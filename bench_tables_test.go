@@ -1,0 +1,108 @@
+package raha
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"raha/internal/experiments"
+)
+
+// BenchmarkFigure11 runs the existing-LAG augment loop with failing new
+// capacity over a slack sweep.
+func BenchmarkFigure11(b *testing.B) {
+	var rows []experiments.AugmentRow
+	for i := 0; i < b.N; i++ {
+		s := experiments.Production(benchBudget)
+		var err error
+		rows, err = experiments.Figure11(s, []float64{0, 0.5, 1.0}, 1e-4, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	header("Figure 11 (augment, new capacity can fail)", "slack%  steps  avg-reduction  links  converged")
+	for _, r := range rows {
+		fmt.Printf("%5.0f  %5d  %13.2f  %5d  %v\n", r.Slack*100, r.Steps, r.AvgReduction, r.LinksAdded, r.Converged)
+	}
+	for _, r := range rows {
+		if !r.Converged {
+			b.Fatalf("augment did not converge at slack %.0f%%", r.Slack*100)
+		}
+	}
+}
+
+// BenchmarkFigure17 repeats Figure 11 with non-failing new capacity (the
+// prior-work setting) — convergence should take fewer steps.
+func BenchmarkFigure17(b *testing.B) {
+	var rows []experiments.AugmentRow
+	for i := 0; i < b.N; i++ {
+		s := experiments.Production(benchBudget)
+		var err error
+		rows, err = experiments.Figure11(s, []float64{0, 0.5, 1.0}, 1e-4, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	header("Figure 17 (augment, new capacity cannot fail)", "slack%  steps  avg-reduction  links  converged")
+	for _, r := range rows {
+		fmt.Printf("%5.0f  %5d  %13.2f  %5d  %v\n", r.Slack*100, r.Steps, r.AvgReduction, r.LinksAdded, r.Converged)
+	}
+	for _, r := range rows {
+		if !r.Converged {
+			b.Fatalf("augment did not converge at slack %.0f%%", r.Slack*100)
+		}
+	}
+}
+
+// BenchmarkFigure18 runs the new-LAG (Appendix C) augment loop.
+func BenchmarkFigure18(b *testing.B) {
+	var rows []experiments.AugmentRow
+	for i := 0; i < b.N; i++ {
+		s := experiments.Production(benchBudget)
+		var err error
+		rows, err = experiments.Figure18(s, []float64{0, 0.5}, 1e-4, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	header("Figure 18 (new-LAG augments)", "slack%  steps  avg-reduction  links  converged")
+	for _, r := range rows {
+		fmt.Printf("%5.0f  %5d  %13.2f  %5d  %v\n", r.Slack*100, r.Steps, r.AvgReduction, r.LinksAdded, r.Converged)
+	}
+}
+
+// BenchmarkTable3 regenerates the B4 grid.
+func BenchmarkTable3(b *testing.B) {
+	var rows []experiments.TableRow
+	for i := 0; i < b.N; i++ {
+		s := experiments.B4(benchBudget)
+		var err error
+		rows, err = experiments.Table3(s, []float64{1e-1, 1e-2, 1e-4}, []int{1, 2}, []int{1, 2, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	header("Table 3 (B4)", "threshold  backups  k     degradation  runtime")
+	for _, r := range rows {
+		fmt.Printf("%9.0e  %7d  %4s  %11.3f  %v\n",
+			r.Threshold, r.Backups, experiments.KLabel(r.MaxFailures), r.Degradation, r.Runtime.Round(time.Millisecond))
+	}
+}
+
+// BenchmarkTable4 regenerates the Cogentco grid with clustering.
+func BenchmarkTable4(b *testing.B) {
+	var rows []experiments.TableRow
+	for i := 0; i < b.N; i++ {
+		s := experiments.CogentcoSetup(8 * time.Second)
+		var err error
+		rows, err = experiments.Table4(s, 8, []float64{1e-1, 1e-2}, []int{1, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	header("Table 4 (Cogentco, 8 clusters)", "threshold  k     degradation  runtime")
+	for _, r := range rows {
+		fmt.Printf("%9.0e  %4s  %11.3f  %v\n",
+			r.Threshold, experiments.KLabel(r.MaxFailures), r.Degradation, r.Runtime.Round(time.Millisecond))
+	}
+}

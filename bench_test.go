@@ -1,0 +1,212 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§8, Appendix D). Each benchmark prints the rows/series its figure
+// reports; EXPERIMENTS.md records paper-vs-measured shapes. Run with an
+// explicit timeout — the full suite drives hundreds of MILP solves:
+//
+//	go test -bench=. -benchmem -timeout 120m .
+//
+// cmd/raha-experiments regenerates the same data as CSV with configurable
+// budgets.
+package raha
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"raha/internal/experiments"
+)
+
+// benchBudget is the per-analysis solver budget used by the benchmarks —
+// the analogue of the paper's Gurobi timeout, scaled to our from-scratch
+// solver and the moderated instance sizes (see EXPERIMENTS.md).
+const benchBudget = 3 * time.Second
+
+// benchThresholds is the probability sweep used across figures (the paper
+// sweeps 1e-1 .. 1e-7).
+var benchThresholds = []float64{1e-1, 1e-3, 1e-5, 1e-7}
+
+// benchKs is the failure-budget sweep: the prior-work baselines k ∈ {1,2,4}
+// plus Raha's unconstrained mode (0 = ∞).
+var benchKs = []int{1, 2, 4, 0}
+
+func header(name, cols string) {
+	fmt.Printf("\n== %s ==\n%s\n", name, cols)
+}
+
+// BenchmarkFigure1 regenerates the motivating example: fixed demand vs the
+// naive worst demand vs Raha's joint search on the §2.1 network.
+func BenchmarkFigure1(b *testing.B) {
+	top := Figure1()
+	bn, _ := top.NodeByName("B")
+	cn, _ := top.NodeByName("C")
+	dn, _ := top.NodeByName("D")
+	pairs := [][2]Node{{bn, dn}, {cn, dn}}
+	base := Matrix{{Src: bn, Dst: dn, Volume: 12}, {Src: cn, Dst: dn, Volume: 10}}
+
+	type row struct {
+		name                 string
+		healthy, failed, gap float64
+	}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		dps, err := ComputePaths(top, pairs, 2, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = rows[:0]
+		fixed, err := Analyze(Config{Topo: top, Demands: dps, Envelope: Fixed(base), MaxFailures: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, row{"fixed-demand", fixed.Healthy.Objective, fixed.Failed.Objective, fixed.Degradation})
+		naive, err := Analyze(Config{Topo: top, Demands: dps, Envelope: Around(base, 0.5), Mode: FailedOnly, MaxFailures: 1, QuantBits: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, row{"naive-worst", naive.Healthy.Objective, naive.Failed.Objective, naive.Healthy.Objective - naive.Failed.Objective})
+		raha, err := Analyze(Config{Topo: top, Demands: dps, Envelope: Around(base, 0.5), MaxFailures: 1, QuantBits: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, row{"raha", raha.Healthy.Objective, raha.Failed.Objective, raha.Degradation})
+	}
+	header("Figure 1 (motivating example)", "scenario        healthy  failed  degradation")
+	for _, r := range rows {
+		fmt.Printf("%-15s %7.1f %7.1f %12.1f\n", r.name, r.healthy, r.failed, r.gap)
+	}
+	if rows[2].gap <= rows[1].gap {
+		b.Fatalf("Raha (%g) must beat the naive baseline (%g)", rows[2].gap, rows[1].gap)
+	}
+}
+
+// BenchmarkFigure2 regenerates the probable-simultaneous-failures curve on
+// the production stand-in.
+func BenchmarkFigure2(b *testing.B) {
+	top := AfricaWAN()
+	thresholds := []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+	var rows []experiments.Fig2Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure2(top, thresholds)
+	}
+	header("Figure 2 (max simultaneous link failures vs threshold)", "threshold  max-failures")
+	for _, r := range rows {
+		fmt.Printf("%9.0e  %12d\n", r.Threshold, r.MaxFailures)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MaxFailures > rows[i-1].MaxFailures {
+			b.Fatal("curve must be nonincreasing in the threshold")
+		}
+	}
+	if rows[0].MaxFailures < 3 {
+		b.Fatalf("k ≤ 2 misses probable scenarios: expected ≥ 3 at 1e-5, got %d", rows[0].MaxFailures)
+	}
+}
+
+// BenchmarkFigure3 compares Raha against the fixed-demand baselines over
+// slack.
+func BenchmarkFigure3(b *testing.B) {
+	var rows []experiments.Fig3Row
+	for i := 0; i < b.N; i++ {
+		s := experiments.Production(benchBudget)
+		var err error
+		rows, err = experiments.Figure3(s, []float64{0, 0.4, 0.8, 1.4}, 1e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	header("Figure 3 (Raha vs naive baselines over slack)", "slack%  raha   max    avg")
+	for _, r := range rows {
+		fmt.Printf("%5.0f  %5.2f  %5.2f  %5.2f\n", r.Slack*100, r.Raha, r.Max, r.Avg)
+	}
+	// Raha's joint search must dominate both baselines at every slack.
+	for _, r := range rows {
+		if r.Raha < r.Max-1e-6 || r.Raha < r.Avg-1e-6 {
+			b.Fatalf("Raha %.3f fell below a baseline (max %.3f, avg %.3f) at slack %.0f%%", r.Raha, r.Max, r.Avg, r.Slack*100)
+		}
+	}
+}
+
+// BenchmarkFixedDemandRuntime reproduces §8.5's claim that fixed-demand
+// analysis is fast and stable regardless of the setting — here on the
+// full-size (76-node / 334-LAG / 382-link) production stand-in.
+func BenchmarkFixedDemandRuntime(b *testing.B) {
+	var rows []experiments.RuntimeRow
+	for i := 0; i < b.N; i++ {
+		s := experiments.Africa(0)
+		var err error
+		rows, err = experiments.FixedRuntime(s, 2, []float64{1e-2, 1e-4, 1e-6})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	header("§8.5 fixed-demand runtime (AfricaWAN stand-in)", "threshold  runtime       degradation")
+	for _, r := range rows {
+		fmt.Printf("%9.0e  %-12v  %.3f\n", r.Value, r.Runtime.Round(time.Millisecond), r.Degradation)
+	}
+	for _, r := range rows {
+		if r.Runtime > 2*time.Minute {
+			b.Fatalf("fixed-demand run took %v; the paper's point is that this path is fast", r.Runtime)
+		}
+	}
+}
+
+// BenchmarkMLUDegradation reproduces §8.5 "on other objectives".
+func BenchmarkMLUDegradation(b *testing.B) {
+	var rows []experiments.MLURow
+	for i := 0; i < b.N; i++ {
+		s := experiments.Production(benchBudget)
+		var err error
+		rows, err = experiments.MLUSlack(s, []float64{0, 0.1, 0.2, 0.4}, 1e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	header("§8.5 worst-case MLU degradation vs slack", "slack%  degradation  runtime")
+	for _, r := range rows {
+		fmt.Printf("%5.0f  %11.3f  %v\n", r.Slack*100, r.Degradation, r.Runtime.Round(time.Millisecond))
+	}
+	if rows[len(rows)-1].Degradation < rows[0].Degradation-1e-6 {
+		b.Fatal("MLU degradation must not shrink with slack")
+	}
+}
+
+// BenchmarkMaxMinDegradation exercises the Appendix A max-min (geometric
+// binner) objective: worst-case binned-utility degradation vs slack.
+func BenchmarkMaxMinDegradation(b *testing.B) {
+	type row struct {
+		slack float64
+		deg   float64
+	}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		s := experiments.Production(benchBudget)
+		dps, err := ComputePaths(s.Topo, s.Pairs, s.Primary, s.Backup, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, slack := range []float64{0, 0.25, 0.5} {
+			res, err := Analyze(Config{
+				Topo:          s.Topo,
+				Demands:       dps,
+				Envelope:      UpTo(s.Base, slack),
+				Objective:     MaxMin,
+				ProbThreshold: 1e-4,
+				QuantBits:     2,
+				Solver:        SolverParams{TimeLimit: benchBudget},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, row{slack, res.Degradation})
+		}
+	}
+	header("Appendix A max-min (geometric binner) degradation vs slack", "slack%  degradation (binned utility)")
+	for _, r := range rows {
+		fmt.Printf("%5.0f  %11.1f\n", r.slack*100, r.deg)
+	}
+	if rows[len(rows)-1].deg < rows[0].deg-1e-6 {
+		b.Fatal("max-min degradation must not shrink with slack")
+	}
+}

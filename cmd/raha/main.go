@@ -1,0 +1,303 @@
+// Command raha is the command-line front end of the Raha WAN degradation
+// analyzer.
+//
+// Subcommands:
+//
+//	probe    — Figure-2 analysis: how many links can simultaneously fail
+//	           within each probability threshold.
+//	analyze  — find the worst-case (demand, failure) degradation scenario.
+//	augment  — iteratively add capacity until no probable failure degrades
+//	           the network.
+//	alert    — the production two-phase check: fixed peak demand first,
+//	           then the full demand envelope.
+//
+// Topologies are selected with -topology: a built-in name (smallwan, b4,
+// uninett2010, cogentco, africa, figure1) or a path to a Topology Zoo GML
+// file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"raha"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "probe":
+		err = probe(os.Args[2:])
+	case "analyze":
+		err = analyze(os.Args[2:])
+	case "augment":
+		err = augmentCmd(os.Args[2:])
+	case "alert":
+		err = alert(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "raha: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raha: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: raha <probe|analyze|augment|alert> [flags]
+
+Run "raha <subcommand> -h" for flags.`)
+}
+
+// loadTopology resolves -topology values.
+func loadTopology(name string) (*raha.Topology, error) {
+	switch strings.ToLower(name) {
+	case "smallwan":
+		return raha.SmallWAN(), nil
+	case "b4":
+		return raha.B4(), nil
+	case "uninett2010":
+		return raha.Uninett2010(), nil
+	case "cogentco":
+		return raha.Cogentco(), nil
+	case "africa", "africawan":
+		return raha.AfricaWAN(), nil
+	case "figure1":
+		return raha.Figure1(), nil
+	}
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("topology %q is not a built-in name and cannot be read as a GML file: %w", name, err)
+	}
+	top, err := raha.ParseGML(string(src), 100)
+	if err != nil {
+		return nil, err
+	}
+	// Zoo files carry no failure telemetry; use a uniform probability the
+	// way the paper assigns production-derived values.
+	top.SetLinkFailProb(0.001)
+	return top, nil
+}
+
+type commonFlags struct {
+	fs        *flag.FlagSet
+	topology  *string
+	pairs     *int
+	primary   *int
+	backup    *int
+	slack     *float64
+	threshold *float64
+	maxFail   *int
+	ce        *bool
+	budget    *time.Duration
+	seed      *int64
+}
+
+func newCommon(name string) *commonFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &commonFlags{
+		fs:        fs,
+		topology:  fs.String("topology", "smallwan", "built-in topology name or GML file path"),
+		pairs:     fs.Int("pairs", 6, "number of (highest-gravity) demand pairs to model"),
+		primary:   fs.Int("primary", 2, "primary paths per demand"),
+		backup:    fs.Int("backup", 1, "backup paths per demand"),
+		slack:     fs.Float64("slack", 0.5, "demand slack: each demand in [0, base*(1+slack)]; negative = fixed base demand"),
+		threshold: fs.Float64("threshold", 1e-4, "failure-scenario probability threshold (0 disables)"),
+		maxFail:   fs.Int("k", 0, "maximum number of link failures (0 = unlimited)"),
+		ce:        fs.Bool("ce", false, "enforce connectivity (at least one path up per demand)"),
+		budget:    fs.Duration("budget", 30*time.Second, "solver time budget"),
+		seed:      fs.Int64("seed", 1, "seed for the gravity demand model"),
+	}
+}
+
+func (c *commonFlags) setup() (*raha.Topology, []raha.DemandPaths, raha.Matrix, raha.Envelope, error) {
+	top, err := loadTopology(*c.topology)
+	if err != nil {
+		return nil, nil, nil, raha.Envelope{}, err
+	}
+	pairs := raha.TopPairs(top, *c.pairs, *c.seed)
+	dps, err := raha.ComputePaths(top, pairs, *c.primary, *c.backup, nil)
+	if err != nil {
+		return nil, nil, nil, raha.Envelope{}, err
+	}
+	base := raha.Gravity(top, pairs, top.MeanLAGCapacity()*0.8, *c.seed)
+	env := raha.Fixed(base)
+	if *c.slack >= 0 {
+		env = raha.UpTo(base, *c.slack)
+	}
+	return top, dps, base, env, nil
+}
+
+func probe(args []string) error {
+	fs := flag.NewFlagSet("probe", flag.ExitOnError)
+	topo := fs.String("topology", "smallwan", "built-in topology name or GML file path")
+	fs.Parse(args)
+	top, err := loadTopology(*topo)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %d nodes, %d LAGs, %d links, mean LAG capacity %.1f\n",
+		top.NumNodes(), top.NumLAGs(), top.NumLinks(), top.MeanLAGCapacity())
+	thresholds := []float64{1e-7, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+	curve := raha.FailureCurve(top, thresholds)
+	fmt.Println("threshold  max simultaneous link failures")
+	for i, th := range thresholds {
+		fmt.Printf("%9.0e  %d\n", th, curve[i])
+	}
+	return nil
+}
+
+func analyze(args []string) error {
+	c := newCommon("analyze")
+	c.fs.Parse(args)
+	top, dps, _, env, err := c.setup()
+	if err != nil {
+		return err
+	}
+	res, err := raha.Analyze(raha.Config{
+		Topo:                 top,
+		Demands:              dps,
+		Envelope:             env,
+		ProbThreshold:        *c.threshold,
+		MaxFailures:          *c.maxFail,
+		ConnectivityEnforced: *c.ce,
+		Solver:               raha.SolverParams{TimeLimit: *c.budget},
+	})
+	if err != nil {
+		return err
+	}
+	printResult(top, dps, res)
+	return nil
+}
+
+func printResult(top *raha.Topology, dps []raha.DemandPaths, res *raha.Result) {
+	fmt.Printf("status:      %v (%d nodes explored in %v)\n", res.Status, res.Nodes, res.Runtime.Round(time.Millisecond))
+	fmt.Printf("healthy:     %.1f\n", res.Healthy.Objective)
+	fmt.Printf("failed:      %.1f\n", res.Failed.Objective)
+	fmt.Printf("degradation: %.1f (%.3f × mean LAG capacity)\n", res.Degradation, res.Degradation/top.MeanLAGCapacity())
+	if res.Scenario != nil {
+		names := res.Scenario.FailedLinkNames(top)
+		fmt.Printf("failed links (%d): %s\n", len(names), strings.Join(names, ", "))
+		fmt.Printf("scenario probability: %.3e\n", expSafe(res.Scenario.LogProb(top)))
+	}
+	fmt.Println("worst-case demands:")
+	for k, d := range res.Demands {
+		fmt.Printf("  %s -> %s: %.1f\n", top.Name(dps[k].Src), top.Name(dps[k].Dst), d)
+	}
+}
+
+func expSafe(logp float64) float64 {
+	// Clamp so %e formatting never sees a full underflow.
+	const minLog = -700
+	if logp < minLog {
+		logp = minLog
+	}
+	return math.Exp(logp)
+}
+
+func augmentCmd(args []string) error {
+	c := newCommon("augment")
+	newLAGs := c.fs.Bool("new-lags", false, "add new LAGs (Appendix C) instead of augmenting existing ones")
+	candidates := c.fs.Int("candidates", 8, "candidate new-LAG count (with -new-lags)")
+	canFail := c.fs.Bool("can-fail", false, "added capacity can itself fail")
+	c.fs.Parse(args)
+	top, _, base, env, err := c.setup()
+	if err != nil {
+		return err
+	}
+	_ = base
+	cfg := raha.AugmentConfig{
+		Topo:                 top,
+		Pairs:                pairsOf(env),
+		Envelope:             env,
+		Primary:              *c.primary,
+		Backup:               *c.backup,
+		ProbThreshold:        *c.threshold,
+		MaxFailures:          *c.maxFail,
+		ConnectivityEnforced: *c.ce,
+		Solver:               raha.SolverParams{TimeLimit: *c.budget},
+		NewCapacityCanFail:   *canFail,
+	}
+	if *newLAGs {
+		res, err := raha.AugmentNewLAGs(cfg, candidateLAGs(top, *candidates))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("converged: %v after %d steps, %d links in %d new LAGs, final degradation %.1f\n",
+			res.Converged, len(res.Steps), res.TotalLinksAdded, res.Topo.NumLAGs()-top.NumLAGs(), res.FinalDegradation)
+		for i, st := range res.Steps {
+			fmt.Printf("  step %d: degradation %.1f, added %d links\n", i+1, st.Degradation, st.LinksAdded)
+		}
+		return nil
+	}
+	res, err := raha.AugmentExisting(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged: %v after %d steps, %d links added, final degradation %.1f\n",
+		res.Converged, len(res.Steps), res.TotalLinksAdded, res.FinalDegradation)
+	for i, st := range res.Steps {
+		fmt.Printf("  step %d: degradation %.1f, added %d links across %d LAGs\n", i+1, st.Degradation, st.LinksAdded, len(st.Added))
+	}
+	return nil
+}
+
+func pairsOf(env raha.Envelope) [][2]raha.Node { return env.Pairs }
+
+// candidateLAGs proposes absent pairs between high-degree nodes.
+func candidateLAGs(top *raha.Topology, n int) [][2]raha.Node {
+	var out [][2]raha.Node
+	for a := 0; a < top.NumNodes() && len(out) < n; a++ {
+		for b := a + 1; b < top.NumNodes() && len(out) < n; b++ {
+			na, nb := raha.Node(a), raha.Node(b)
+			if top.LAGBetween(na, nb) < 0 {
+				out = append(out, [2]raha.Node{na, nb})
+			}
+		}
+	}
+	return out
+}
+
+func alert(args []string) error {
+	c := newCommon("alert")
+	tolerance := c.fs.Float64("tolerance", 0.5, "alert when degradation exceeds this multiple of mean LAG capacity")
+	c.fs.Parse(args)
+	top, dps, base, env, err := c.setup()
+	if err != nil {
+		return err
+	}
+	rep, err := raha.Alert(raha.AlertConfig{
+		Topo:                 top,
+		Demands:              dps,
+		Peak:                 base.Scale(1.5),
+		Envelope:             env,
+		ProbThreshold:        *c.threshold,
+		Tolerance:            *tolerance,
+		ConnectivityEnforced: *c.ce,
+		Phase1Budget:         *c.budget,
+		Phase2Budget:         *c.budget,
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Raised {
+		fmt.Printf("ALERT (phase %d): worst degradation %.3f × mean LAG capacity exceeds tolerance %.3f\n",
+			rep.Phase, rep.NormalizedDegradation, *tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: worst degradation %.3f × mean LAG capacity within tolerance %.3f\n",
+		rep.NormalizedDegradation, *tolerance)
+	return nil
+}

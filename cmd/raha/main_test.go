@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"raha"
+)
+
+func TestLoadTopologyBuiltins(t *testing.T) {
+	for _, name := range []string{"smallwan", "b4", "uninett2010", "cogentco", "africa", "figure1"} {
+		top, err := loadTopology(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if top.NumNodes() == 0 {
+			t.Fatalf("%s: empty topology", name)
+		}
+	}
+}
+
+func TestLoadTopologyGMLFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.gml")
+	src := `graph [ node [ id 0 label "a" ] node [ id 1 label "b" ] edge [ source 0 target 1 ] ]`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	top, err := loadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumLAGs() != 1 {
+		t.Fatalf("lags = %d", top.NumLAGs())
+	}
+	// Probabilities must be assigned so threshold analyses work.
+	for _, l := range top.LAGs() {
+		for _, ln := range l.Links {
+			if ln.FailProb <= 0 || ln.FailProb >= 1 {
+				t.Fatalf("prob = %g", ln.FailProb)
+			}
+		}
+	}
+	if _, err := loadTopology("no-such-topology"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestCandidateLAGsHelper(t *testing.T) {
+	top := raha.Figure1() // K4 minus B-C
+	cands := candidateLAGs(top, 10)
+	if len(cands) != 1 {
+		t.Fatalf("Figure1 has exactly one absent pair, got %d", len(cands))
+	}
+}
+
+func TestExpSafe(t *testing.T) {
+	if got := expSafe(-1e9); got <= 0 {
+		t.Fatalf("expSafe underflowed to %g", got)
+	}
+	if got := expSafe(0); got != 1 {
+		t.Fatalf("expSafe(0) = %g", got)
+	}
+}

@@ -1,0 +1,80 @@
+// Capacityplanning shows Raha's offline provisioning mode (§7): find the
+// probable failure scenario that degrades a WAN the most, then iteratively
+// add capacity to existing LAGs until no probable failure can degrade the
+// network, and verify the augmented design.
+//
+//	go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"raha"
+)
+
+func main() {
+	top := raha.SmallWAN()
+	fmt.Printf("WAN: %d nodes, %d LAGs, %d physical links (mean LAG capacity %.0f)\n",
+		top.NumNodes(), top.NumLAGs(), top.NumLinks(), top.MeanLAGCapacity())
+
+	pairs := raha.TopPairs(top, 6, 1)
+	base := raha.Gravity(top, pairs, top.MeanLAGCapacity()*0.8, 1)
+	env := raha.UpTo(base, 0.3) // plan for demands up to 130% of today's
+
+	// Step 1: how exposed is the current design?
+	dps, err := raha.ComputePaths(top, pairs, 2, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := raha.Analyze(raha.Config{
+		Topo: top, Demands: dps, Envelope: env,
+		ProbThreshold: 1e-4,
+		Solver:        raha.SolverParams{TimeLimit: 10 * time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworst probable scenario today: drop %.0f units (%.2f × mean LAG capacity)\n",
+		before.Degradation, before.Degradation/top.MeanLAGCapacity())
+	fmt.Printf("  failing: %v\n", before.Scenario.FailedLinkNames(top))
+
+	// Step 2: augment existing LAGs until the risk is gone. New capacity
+	// gets realistic failure probabilities and is itself analyzed.
+	res, err := raha.AugmentExisting(raha.AugmentConfig{
+		Topo:               top,
+		Pairs:              pairs,
+		Envelope:           env,
+		Primary:            2,
+		Backup:             1,
+		ProbThreshold:      1e-4,
+		Solver:             raha.SolverParams{TimeLimit: 10 * time.Second},
+		NewCapacityCanFail: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\naugmentation: %d steps, %d links added, converged=%v\n",
+		len(res.Steps), res.TotalLinksAdded, res.Converged)
+	for i, st := range res.Steps {
+		fmt.Printf("  step %d: degradation %.0f, +%d links over %d LAGs\n",
+			i+1, st.Degradation, st.LinksAdded, len(st.Added))
+	}
+
+	// Step 3: verify the augmented design.
+	dps2, err := raha.ComputePaths(res.Topo, pairs, 2, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := raha.Analyze(raha.Config{
+		Topo: res.Topo, Demands: dps2, Envelope: env,
+		ProbThreshold: 1e-4,
+		Solver:        raha.SolverParams{TimeLimit: 10 * time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter augmenting: worst probable degradation %.0f (was %.0f)\n",
+		after.Degradation, before.Degradation)
+}

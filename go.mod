@@ -1,0 +1,3 @@
+module raha
+
+go 1.24

@@ -1,0 +1,182 @@
+package augment
+
+import (
+	"testing"
+
+	"raha/internal/demand"
+	"raha/internal/topology"
+)
+
+// fixture: the Figure-1-style network with demands B→D and C→D.
+func fixture() (*topology.Topology, [][2]topology.Node, demand.Matrix) {
+	top := topology.Figure1()
+	b, _ := top.NodeByName("B")
+	c, _ := top.NodeByName("C")
+	d, _ := top.NodeByName("D")
+	pairs := [][2]topology.Node{{b, d}, {c, d}}
+	base := demand.Matrix{
+		{Src: b, Dst: d, Volume: 12},
+		{Src: c, Dst: d, Volume: 10},
+	}
+	return top, pairs, base
+}
+
+func TestAugmentExistingRemovesDegradation(t *testing.T) {
+	// The paper's §2.1 network: both configured paths usable (2 primaries).
+	// The worst single failure (the A-D LAG) degrades the design point.
+	top, pairs, base := fixture()
+	cfg := Config{
+		Topo:        top,
+		Pairs:       pairs,
+		Envelope:    demand.Fixed(base),
+		Primary:     2,
+		MaxFailures: 1,
+	}
+	res, err := AugmentExisting(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge; final degradation %g after %d steps", res.FinalDegradation, len(res.Steps))
+	}
+	if res.FinalDegradation > 1e-6 {
+		t.Fatalf("final degradation %g", res.FinalDegradation)
+	}
+	if res.TotalLinksAdded == 0 {
+		t.Fatal("the Figure 1 network degrades under single failures; links must be added")
+	}
+	// Original topology must be untouched.
+	if top.NumLinks() != 5 {
+		t.Fatalf("input topology mutated: %d links", top.NumLinks())
+	}
+	if res.Topo.NumLinks() <= 5 {
+		t.Fatalf("augmented topology has %d links", res.Topo.NumLinks())
+	}
+	// Steps record positive degradations in nonincreasing-ish fashion and
+	// positive link additions.
+	for i, st := range res.Steps {
+		if st.Degradation <= 0 || st.LinksAdded <= 0 {
+			t.Fatalf("step %d: degradation %g, links %d", i, st.Degradation, st.LinksAdded)
+		}
+	}
+}
+
+func TestAugmentExistingAlreadyHealthy(t *testing.T) {
+	// With zero demand no failure degrades anything: 0 steps.
+	top, pairs, base := fixture()
+	cfg := Config{
+		Topo:        top,
+		Pairs:       pairs,
+		Envelope:    demand.Fixed(base.Scale(0)),
+		Primary:     1,
+		Backup:      1,
+		MaxFailures: 2,
+	}
+	res, err := AugmentExisting(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || len(res.Steps) != 0 || res.TotalLinksAdded != 0 {
+		t.Fatalf("healthy network should need no augment: %+v", res)
+	}
+}
+
+func TestAugmentExistingCanFailProbabilities(t *testing.T) {
+	top, pairs, base := fixture()
+	cfg := Config{
+		Topo:               top,
+		Pairs:              pairs,
+		Envelope:           demand.Fixed(base),
+		Primary:            2,
+		MaxFailures:        1,
+		NewCapacityCanFail: true,
+	}
+	res, err := AugmentExisting(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Added links must carry the average probability of their LAG, not the
+	// negligible value.
+	found := false
+	for _, l := range res.Topo.LAGs() {
+		for _, ln := range l.Links {
+			if ln.FailProb > negligibleFailProb*10 && ln.FailProb < 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no realistic failure probabilities found on the augmented topology")
+	}
+}
+
+func TestAugmentNewLAGs(t *testing.T) {
+	// Line topology A–B–C with a single-path demand A→C. The worst probable
+	// single failure cuts the line; a direct A-C candidate LAG removes the
+	// degradation. Probability-threshold mode keeps the added (negligible
+	// failure probability) capacity out of the adversary's reach — the
+	// Figure 18 setting.
+	top := topology.New()
+	a := top.AddNode("A")
+	b := top.AddNode("B")
+	c := top.AddNode("C")
+	mk := func() []topology.Link { return []topology.Link{{Capacity: 10, FailProb: 0.01}} }
+	top.MustAddLAG(a, b, mk())
+	top.MustAddLAG(b, c, mk())
+	pairs := [][2]topology.Node{{a, c}}
+	base := demand.Matrix{{Src: a, Dst: c, Volume: 8}}
+	cfg := Config{
+		Topo:          top,
+		Pairs:         pairs,
+		Envelope:      demand.Fixed(base),
+		Primary:       1,
+		ProbThreshold: 1e-3, // single original-link failures only
+	}
+	res, err := AugmentNewLAGs(cfg, [][2]topology.Node{{a, c}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge; final %g after %d steps", res.FinalDegradation, len(res.Steps))
+	}
+	if res.TotalLinksAdded == 0 || res.Topo.NumLAGs() != 3 {
+		t.Fatalf("expected one new LAG: %d links added, %d LAGs", res.TotalLinksAdded, res.Topo.NumLAGs())
+	}
+	if top.NumLAGs() != 2 {
+		t.Fatal("input topology mutated")
+	}
+	if res.Steps[0].Degradation < 8-1e-6 {
+		t.Fatalf("first-step degradation %g, want 8 (full demand dropped)", res.Steps[0].Degradation)
+	}
+}
+
+func TestAugmentNewLAGsNeedsCandidates(t *testing.T) {
+	top, pairs, base := fixture()
+	cfg := Config{
+		Topo: top, Pairs: pairs, Envelope: demand.Fixed(base),
+		Primary: 2, MaxFailures: 1,
+	}
+	if _, err := AugmentNewLAGs(cfg, nil); err == nil {
+		t.Fatal("no candidates must error")
+	}
+	// Candidates that all already exist: the loop must surface the failure
+	// rather than spin.
+	b, _ := top.NodeByName("B")
+	d, _ := top.NodeByName("D")
+	if _, err := AugmentNewLAGs(cfg, [][2]topology.Node{{b, d}}); err == nil {
+		t.Fatal("exhausted candidates with remaining degradation must error")
+	}
+}
+
+func TestLinkCapacityDefault(t *testing.T) {
+	top, _, _ := fixture()
+	cfg := Config{}
+	got := cfg.linkCapacity(top)
+	if got <= 0 {
+		t.Fatalf("default link capacity %g", got)
+	}
+	cfg.LinkCapacity = 42
+	if cfg.linkCapacity(top) != 42 {
+		t.Fatal("explicit capacity ignored")
+	}
+}

@@ -1,0 +1,105 @@
+package demand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"raha/internal/topology"
+)
+
+// TestQuickQuantizerInvariants: rounded values stay inside the envelope,
+// land exactly on the grid, and rounding is idempotent.
+func TestQuickQuantizerInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := make(Matrix, n)
+		for i := range m {
+			m[i] = Demand{Src: 0, Dst: 1, Volume: rng.Float64() * 100}
+		}
+		e := UpTo(m, rng.Float64()*2)
+		bits := 1 + rng.Intn(6)
+		q, err := NewQuantizer(e, bits)
+		if err != nil {
+			return false
+		}
+		for k := range m {
+			v := rng.NormFloat64() * 100
+			r := q.Round(e, k, v)
+			if r < e.Lo[k]-1e-9 || r > e.Hi[k]+1e-9 {
+				return false
+			}
+			if q.Unit[k] > 0 {
+				steps := (r - e.Lo[k]) / q.Unit[k]
+				if math.Abs(steps-math.Round(steps)) > 1e-6 {
+					return false
+				}
+			}
+			if math.Abs(q.Round(e, k, r)-r) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEnvelopeInvariants: all constructors produce Lo ≤ Hi with
+// nonnegative bounds, and Cap only tightens.
+func TestQuickEnvelopeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := make(Matrix, n)
+		for i := range m {
+			m[i] = Demand{Volume: rng.Float64() * 50}
+		}
+		slack := rng.Float64() * 3
+		for _, e := range []Envelope{Fixed(m), UpTo(m, slack), Around(m, slack)} {
+			for k := range e.Lo {
+				if e.Lo[k] < 0 || e.Lo[k] > e.Hi[k]+1e-12 {
+					return false
+				}
+			}
+			c := e.Cap(rng.Float64() * 40)
+			for k := range c.Lo {
+				if c.Lo[k] > c.Hi[k]+1e-12 || c.Hi[k] > e.Hi[k]+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGravityDeterministicAndScaled: gravity matrices are positive,
+// deterministic in the seed, and max-normalized to the scale.
+func TestQuickGravityDeterministicAndScaled(t *testing.T) {
+	top := topology.SmallWAN()
+	f := func(seed int64, rawScale uint8) bool {
+		scale := 1 + float64(rawScale)
+		pairs := TopPairs(top, 5, seed)
+		a := Gravity(top, pairs, scale, seed)
+		b := Gravity(top, pairs, scale, seed)
+		maxV := 0.0
+		for i := range a {
+			if a[i] != b[i] || a[i].Volume <= 0 {
+				return false
+			}
+			if a[i].Volume > maxV {
+				maxV = a[i].Volume
+			}
+		}
+		return math.Abs(maxV-scale) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

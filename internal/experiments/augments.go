@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"raha/internal/augment"
+	"raha/internal/demand"
+	"raha/internal/milp"
+	"raha/internal/topology"
+)
+
+// AugmentRow is one point of the augmentation sweeps (Figures 11, 17, 18).
+type AugmentRow struct {
+	Slack        float64
+	Steps        int
+	AvgReduction float64 // mean per-step reduction of the normalized degradation, relative to step 0
+	LinksAdded   int
+	Converged    bool
+}
+
+// Figure11 sweeps the demand slack and runs the existing-LAG augment loop
+// with new capacity that can fail (the paper's hardest setting). Figure 17
+// is the same sweep with non-failing capacity.
+func Figure11(s *Setup, slacks []float64, threshold float64, canFail bool) ([]AugmentRow, error) {
+	var rows []AugmentRow
+	for _, slack := range slacks {
+		res, err := augment.AugmentExisting(augment.Config{
+			Topo:               s.Topo,
+			Pairs:              s.Pairs,
+			Envelope:           demand.UpTo(s.Base, slack),
+			Primary:            s.Primary,
+			Backup:             s.Backup,
+			Weight:             s.Weight,
+			ProbThreshold:      threshold,
+			QuantBits:          s.QuantBits,
+			Solver:             milp.Params{TimeLimit: s.Budget},
+			NewCapacityCanFail: canFail,
+			MaxSteps:           8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AugmentRow{
+			Slack:        slack,
+			Steps:        len(res.Steps),
+			AvgReduction: avgReduction(stepDegradations(res)),
+			LinksAdded:   res.TotalLinksAdded,
+			Converged:    res.Converged,
+		})
+	}
+	return rows, nil
+}
+
+// Figure18 sweeps the demand slack and runs the new-LAG (Appendix C)
+// augment loop with non-failing new capacity. The candidate set combines
+// absent high-degree pairs with a direct candidate per demand pair, so a
+// sufficient augment always exists (operators provide viable candidate
+// sets; a candidate set that cannot reconnect a demand makes the augment
+// MILP infeasible by construction).
+func Figure18(s *Setup, slacks []float64, threshold float64, maxCandidates int) ([]AugmentRow, error) {
+	candidates := CandidateLAGs(s.Topo, maxCandidates)
+	seen := make(map[[2]topology.Node]bool)
+	for _, c := range candidates {
+		seen[c] = true
+		seen[[2]topology.Node{c[1], c[0]}] = true
+	}
+	for _, p := range s.Pairs {
+		if p[0] == p[1] || seen[p] || s.Topo.LAGBetween(p[0], p[1]) >= 0 {
+			continue
+		}
+		candidates = append(candidates, p)
+		seen[p] = true
+		seen[[2]topology.Node{p[1], p[0]}] = true
+	}
+	var rows []AugmentRow
+	for _, slack := range slacks {
+		res, err := augment.AugmentNewLAGs(augment.Config{
+			Topo:          s.Topo,
+			Pairs:         s.Pairs,
+			Envelope:      demand.UpTo(s.Base, slack),
+			Primary:       s.Primary,
+			Backup:        s.Backup,
+			Weight:        s.Weight,
+			ProbThreshold: threshold,
+			QuantBits:     s.QuantBits,
+			Solver:        milp.Params{TimeLimit: s.Budget},
+			MaxSteps:      8,
+		}, candidates)
+		row := AugmentRow{Slack: slack}
+		if res != nil {
+			row.Steps = len(res.Steps)
+			row.LinksAdded = res.TotalLinksAdded
+			row.Converged = res.Converged
+			var degs []float64
+			for _, st := range res.Steps {
+				degs = append(degs, st.Degradation)
+			}
+			row.AvgReduction = avgReduction(degs)
+		}
+		if err != nil && res == nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CandidateLAGs proposes up to n absent node pairs, preferring pairs of
+// high-degree nodes (the operator's "viable new edges" input).
+func CandidateLAGs(t *topology.Topology, n int) [][2]topology.Node {
+	type scored struct {
+		p [2]topology.Node
+		d int
+	}
+	var all []scored
+	for a := 0; a < t.NumNodes(); a++ {
+		for b := a + 1; b < t.NumNodes(); b++ {
+			na, nb := topology.Node(a), topology.Node(b)
+			if t.LAGBetween(na, nb) >= 0 {
+				continue
+			}
+			all = append(all, scored{p: [2]topology.Node{na, nb}, d: len(t.Incident(na)) + len(t.Incident(nb))})
+		}
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].d > all[best].d {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	out := make([][2]topology.Node, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].p
+	}
+	return out
+}
+
+func stepDegradations(res *augment.Result) []float64 {
+	var degs []float64
+	for _, st := range res.Steps {
+		degs = append(degs, st.Degradation)
+	}
+	return degs
+}
+
+// avgReduction reports the mean per-step fractional reduction relative to
+// the initial degradation (the paper's Figure 11b metric).
+func avgReduction(degs []float64) float64 {
+	if len(degs) < 1 || degs[0] <= 0 {
+		return 0
+	}
+	if len(degs) == 1 {
+		return 1 // one step removed everything
+	}
+	var sum float64
+	for i := 1; i < len(degs); i++ {
+		sum += (degs[i-1] - degs[i]) / degs[0]
+	}
+	// The final step brings the remaining degradation to ~0.
+	sum += degs[len(degs)-1] / degs[0]
+	return sum / float64(len(degs))
+}

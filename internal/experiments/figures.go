@@ -1,0 +1,504 @@
+package experiments
+
+import (
+	"time"
+
+	"raha/internal/demand"
+	"raha/internal/metaopt"
+	"raha/internal/milp"
+	"raha/internal/probability"
+	"raha/internal/topology"
+)
+
+// DemandVariant selects the demand mode of Figures 5/6.
+type DemandVariant int8
+
+// Demand variants, matching Figure 5's three panels.
+const (
+	FixedAvg DemandVariant = iota // (a) fixed average demand
+	FixedMax                      // (b) fixed maximum demand (avg × maxFactor)
+	Variable                      // (c) variable demand in [0, max]
+)
+
+func (v DemandVariant) String() string {
+	switch v {
+	case FixedAvg:
+		return "fixed-avg"
+	case FixedMax:
+		return "fixed-max"
+	case Variable:
+		return "variable"
+	}
+	return "?"
+}
+
+// maxFactor is the ratio between the paper's "maximum over a month" and
+// "average" demand matrices.
+const maxFactor = 1.5
+
+// envelope materializes a demand variant for the setup.
+func (s *Setup) envelope(v DemandVariant) demand.Envelope {
+	switch v {
+	case FixedAvg:
+		return demand.Fixed(s.Base)
+	case FixedMax:
+		return demand.Fixed(s.Base.Scale(maxFactor))
+	default:
+		return demand.UpTo(s.Base, maxFactor-1)
+	}
+}
+
+// --- Figure 2 -----------------------------------------------------------------
+
+// Fig2Row is one point of Figure 2.
+type Fig2Row struct {
+	Threshold   float64
+	MaxFailures int
+}
+
+// Figure2 computes the maximum number of links that can simultaneously fail
+// within each probability threshold.
+func Figure2(t *topology.Topology, thresholds []float64) []Fig2Row {
+	curve := probability.FailureCurve(t, thresholds)
+	rows := make([]Fig2Row, len(thresholds))
+	for i, th := range thresholds {
+		rows[i] = Fig2Row{Threshold: th, MaxFailures: curve[i]}
+	}
+	return rows
+}
+
+// --- Figure 3 -----------------------------------------------------------------
+
+// Fig3Row compares Raha against the naive fixed-demand baselines at one
+// slack value. All degradations are normalized by mean LAG capacity.
+type Fig3Row struct {
+	Slack          float64
+	Raha, Max, Avg float64
+}
+
+// Figure3 reproduces §2.3: the baselines pin the demand (to the average, or
+// to the slack-scaled maximum) and search failures only; Raha searches
+// demands and failures jointly within the slack envelope.
+func Figure3(s *Setup, slacks []float64, threshold float64) ([]Fig3Row, error) {
+	dps, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	avgRes, err := s.analyze(dps, demand.Fixed(s.Base), threshold, 0, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig3Row, 0, len(slacks))
+	var prev *metaopt.Result
+	for _, slack := range slacks {
+		maxRes, err := s.analyze(dps, demand.Fixed(s.Base.Scale(1+slack)), threshold, 0, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		cfg := metaopt.Config{
+			Topo: s.Topo, Demands: dps, Envelope: demand.UpTo(s.Base, slack),
+			ProbThreshold: threshold, QuantBits: s.QuantBits,
+			Solver: milp.Params{TimeLimit: s.Budget},
+		}
+		// Seed with the previous (narrower-envelope) solution so the curve
+		// is monotone by construction even under tight solver budgets.
+		if prev != nil {
+			cfg.WarmStartScenario = prev.Scenario
+			cfg.WarmStartDemands = prev.Demands
+		}
+		rahaRes, err := metaopt.Analyze(cfg)
+		if err != nil {
+			return nil, err
+		}
+		prev = rahaRes
+		rows = append(rows, Fig3Row{
+			Slack: slack,
+			Raha:  rahaRes.Degradation / s.Norm,
+			Max:   maxRes.Degradation / s.Norm,
+			Avg:   avgRes.Degradation / s.Norm,
+		})
+	}
+	return rows, nil
+}
+
+// --- Figures 5 & 6 -------------------------------------------------------------
+
+// DegRow is one degradation measurement of the threshold × budget sweeps.
+type DegRow struct {
+	Threshold   float64
+	MaxFailures int // 0 = unconstrained
+	Variant     DemandVariant
+	Degradation float64 // normalized
+	Runtime     time.Duration
+	Status      milp.Status
+}
+
+// Figure5 sweeps probability thresholds × failure budgets for one demand
+// variant. Figure 6 is the same sweep with CE constraints.
+func Figure5(s *Setup, variant DemandVariant, thresholds []float64, ks []int, ce bool) ([]DegRow, error) {
+	dps, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	env := s.envelope(variant)
+	var rows []DegRow
+	// Sweep thresholds from strict to loose, warm-starting each budget's
+	// search with the previous threshold's solution (its scenario stays
+	// feasible as the threshold relaxes), so the reported curve is monotone
+	// even when the solver budget truncates the search.
+	prev := make(map[int]*metaopt.Result)
+	for _, th := range thresholds {
+		for _, k := range ks {
+			res, err := s.analyze(dps, env, th, k, ce, prev[k])
+			if err != nil {
+				return nil, err
+			}
+			if res.Scenario != nil {
+				prev[k] = res
+			}
+			rows = append(rows, DegRow{
+				Threshold:   th,
+				MaxFailures: k,
+				Variant:     variant,
+				Degradation: res.Degradation / s.Norm,
+				Runtime:     res.Runtime,
+				Status:      res.Status,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// --- Figure 7 -----------------------------------------------------------------
+
+// SlackRow is one point of the degradation-vs-slack sweep.
+type SlackRow struct {
+	Slack       float64
+	MaxFailures int
+	Degradation float64
+	Runtime     time.Duration
+}
+
+// Figure7 sweeps the demand slack for each failure budget: a larger demand
+// search space can only help the adversary.
+func Figure7(s *Setup, slacks []float64, ks []int, threshold float64) ([]SlackRow, error) {
+	dps, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	var rows []SlackRow
+	prev := make(map[int]*metaopt.Result) // per failure budget
+	for _, slack := range slacks {
+		for _, k := range ks {
+			cfg := metaopt.Config{
+				Topo: s.Topo, Demands: dps, Envelope: demand.UpTo(s.Base, slack),
+				ProbThreshold: threshold, MaxFailures: k, QuantBits: s.QuantBits,
+				Solver: milp.Params{TimeLimit: s.Budget},
+			}
+			if p := prev[k]; p != nil {
+				cfg.WarmStartScenario = p.Scenario
+				cfg.WarmStartDemands = p.Demands
+			}
+			res, err := metaopt.Analyze(cfg)
+			if err != nil {
+				return nil, err
+			}
+			prev[k] = res
+			rows = append(rows, SlackRow{Slack: slack, MaxFailures: k, Degradation: res.Degradation / s.Norm, Runtime: res.Runtime})
+		}
+	}
+	return rows, nil
+}
+
+// --- Figures 8 & 9 -------------------------------------------------------------
+
+// ClusterRow is one clustering measurement.
+type ClusterRow struct {
+	Clusters    int
+	Threshold   float64
+	MaxFailures int
+	Degradation float64
+	Runtime     time.Duration
+}
+
+// Figure8 runs the Uninett2010 sweep with and without clustering: demands
+// are capped at half the mean LAG capacity (the paper's bottleneck guard).
+func Figure8(s *Setup, clusters int, thresholds []float64, ks []int) ([]ClusterRow, error) {
+	dps, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	env := demand.UpTo(s.Base, maxFactor-1).Cap(s.Norm / 2)
+	var rows []ClusterRow
+	for _, th := range thresholds {
+		for _, k := range ks {
+			res, err := metaopt.AnalyzeClustered(metaopt.ClusterConfig{
+				Config: metaopt.Config{
+					Topo: s.Topo, Demands: dps, Envelope: env,
+					ProbThreshold: th, MaxFailures: k,
+					QuantBits: s.QuantBits,
+					Solver:    milp.Params{TimeLimit: s.Budget},
+				},
+				Clusters: clusters,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ClusterRow{Clusters: clusters, Threshold: th, MaxFailures: k, Degradation: res.Degradation / s.Norm, Runtime: res.Runtime})
+		}
+	}
+	return rows, nil
+}
+
+// Figure9 varies the cluster count under a fixed total solver budget (the
+// paper divides Gurobi's timeout by the number of solves).
+func Figure9(s *Setup, clusterCounts []int, threshold float64, k int) ([]ClusterRow, error) {
+	dps, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	env := demand.UpTo(s.Base, maxFactor-1)
+	var rows []ClusterRow
+	for _, n := range clusterCounts {
+		start := time.Now()
+		res, err := metaopt.AnalyzeClustered(metaopt.ClusterConfig{
+			Config: metaopt.Config{
+				Topo: s.Topo, Demands: dps, Envelope: env,
+				ProbThreshold: threshold, MaxFailures: k,
+				QuantBits: s.QuantBits,
+				Solver:    milp.Params{TimeLimit: s.Budget},
+			},
+			Clusters: n,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ClusterRow{Clusters: n, Threshold: threshold, MaxFailures: k, Degradation: res.Degradation / s.Norm, Runtime: time.Since(start)})
+	}
+	return rows, nil
+}
+
+// --- Figure 10 & 14: runtime factors -------------------------------------------
+
+// RuntimeRow is one runtime measurement against a swept factor.
+type RuntimeRow struct {
+	Factor      string // which knob was swept
+	Value       float64
+	Runtime     time.Duration
+	Degradation float64
+}
+
+// Figure10 measures how the number of primary paths, the probability
+// threshold, and the failure budget drive the analyzer's runtime (variable
+// demands; path-computation time included, as in the paper).
+func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, threshold float64) ([]RuntimeRow, error) {
+	env := demand.UpTo(s.Base, maxFactor-1)
+	var rows []RuntimeRow
+	for _, np := range primaries {
+		sub := *s
+		sub.Primary = np
+		start := time.Now()
+		dps, err := sub.Paths()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sub.analyze(dps, env, threshold, 0, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RuntimeRow{Factor: "primary-paths", Value: float64(np), Runtime: time.Since(start), Degradation: res.Degradation / s.Norm})
+	}
+	dps, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	for _, th := range thresholds {
+		res, err := s.analyze(dps, env, th, 0, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RuntimeRow{Factor: "threshold", Value: th, Runtime: res.Runtime, Degradation: res.Degradation / s.Norm})
+	}
+	for _, k := range ks {
+		res, err := s.analyze(dps, env, threshold, k, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RuntimeRow{Factor: "max-failures", Value: float64(k), Runtime: res.Runtime, Degradation: res.Degradation / s.Norm})
+	}
+	return rows, nil
+}
+
+// Figure14 measures runtime against the number of backup paths, including
+// path computation (the paper's dominant cost at high backup counts).
+func Figure14(s *Setup, backups []int, threshold float64) ([]RuntimeRow, error) {
+	env := demand.UpTo(s.Base, maxFactor-1)
+	var rows []RuntimeRow
+	for _, nb := range backups {
+		sub := *s
+		sub.Backup = nb
+		start := time.Now()
+		dps, err := sub.Paths()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sub.analyze(dps, env, threshold, 0, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RuntimeRow{Factor: "backup-paths", Value: float64(nb), Runtime: time.Since(start), Degradation: res.Degradation / s.Norm})
+	}
+	return rows, nil
+}
+
+// --- Figures 12, 13, 15: paths and degradation ----------------------------------
+
+// PathRow is one point of the path-count sweeps.
+type PathRow struct {
+	Primaries   int
+	Backups     int
+	MaxFailures int
+	Degradation float64
+}
+
+// Figure12 sweeps the number of primary paths (a: plain, b: CE) and backup
+// paths (c) under variable demands. Figure 15 repeats it with the fixed
+// maximum demand; Figure 13 uses a spread-out weighted path selection.
+func Figure12(s *Setup, primaries, backups []int, ks []int, threshold float64, ce bool, variant DemandVariant) ([]PathRow, error) {
+	env := s.envelope(variant)
+	var rows []PathRow
+	for _, np := range primaries {
+		sub := *s
+		sub.Primary = np
+		dps, err := sub.Paths()
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks {
+			res, err := sub.analyze(dps, env, threshold, k, ce, nil)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PathRow{Primaries: np, Backups: sub.Backup, MaxFailures: k, Degradation: res.Degradation / s.Norm})
+		}
+	}
+	for _, nb := range backups {
+		sub := *s
+		sub.Backup = nb
+		dps, err := sub.Paths()
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks {
+			res, err := sub.analyze(dps, env, threshold, k, ce, nil)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PathRow{Primaries: sub.Primary, Backups: nb, MaxFailures: k, Degradation: res.Degradation / s.Norm})
+		}
+	}
+	return rows, nil
+}
+
+// SpreadWeight returns a LAG weight that de-correlates k-shortest paths
+// (Figure 13's alternative path selection): preferring higher-capacity LAGs
+// with a deterministic per-LAG perturbation spreads paths over distinct
+// LAGs instead of letting them pile onto the same shortest corridor.
+func SpreadWeight(t *topology.Topology) func(int) float64 {
+	return func(id int) float64 {
+		l := t.LAG(id)
+		perturb := float64((id*2654435761)%97) / 97.0
+		return 1 + 0.5*perturb + 100/(100+l.Capacity())
+	}
+}
+
+// --- Figure 16: timeouts ---------------------------------------------------------
+
+// TimeoutRow is one point of the timeout sweep.
+type TimeoutRow struct {
+	Timeout     time.Duration
+	Runtime     time.Duration
+	Degradation float64
+	Status      milp.Status
+}
+
+// Figure16 sweeps the solver timeout: runtime tracks the budget, the
+// degradation found should not (the paper's "timeouts do not impact
+// quality" claim).
+func Figure16(s *Setup, timeouts []time.Duration, threshold float64, k int) ([]TimeoutRow, error) {
+	dps, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	env := demand.UpTo(s.Base, maxFactor-1)
+	var rows []TimeoutRow
+	for _, to := range timeouts {
+		sub := *s
+		sub.Budget = to
+		res, err := sub.analyze(dps, env, threshold, k, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TimeoutRow{Timeout: to, Runtime: res.Runtime, Degradation: res.Degradation / s.Norm, Status: res.Status})
+	}
+	return rows, nil
+}
+
+// --- §8.5: MLU and fixed-demand runtime -------------------------------------------
+
+// MLURow is one worst-case MLU degradation measurement.
+type MLURow struct {
+	Slack       float64
+	Degradation float64 // MLU units (not normalized; the paper reports raw MLU)
+	Runtime     time.Duration
+}
+
+// MLUSlack reproduces §8.5 "on other objectives": worst-case MLU
+// degradation at increasing slack, gravity demands.
+func MLUSlack(s *Setup, slacks []float64, threshold float64) ([]MLURow, error) {
+	dps, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	// The production base is already well under capacity, so the healthy
+	// MLU model can route every demand in full.
+	base := s.Base
+	var rows []MLURow
+	for _, slack := range slacks {
+		res, err := metaopt.Analyze(metaopt.Config{
+			Topo: s.Topo, Demands: dps,
+			Envelope:             demand.UpTo(base, slack),
+			Objective:            metaopt.MLU,
+			ProbThreshold:        threshold,
+			ConnectivityEnforced: true,
+			QuantBits:            s.QuantBits,
+			Solver:               milp.Params{TimeLimit: s.Budget},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MLURow{Slack: slack, Degradation: res.Degradation, Runtime: res.Runtime})
+	}
+	return rows, nil
+}
+
+// FixedRuntime runs repeated fixed-demand analyses and reports each runtime
+// (the paper's "2.68 ± 0.35 minutes no matter the setting" claim, scaled).
+func FixedRuntime(s *Setup, repeats int, thresholds []float64) ([]RuntimeRow, error) {
+	dps, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	env := demand.Fixed(s.Base)
+	var rows []RuntimeRow
+	for r := 0; r < repeats; r++ {
+		for _, th := range thresholds {
+			res, err := s.analyze(dps, env, th, 0, false, nil)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, RuntimeRow{Factor: "fixed-demand", Value: th, Runtime: res.Runtime, Degradation: res.Degradation / s.Norm})
+		}
+	}
+	return rows, nil
+}

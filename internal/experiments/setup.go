@@ -1,0 +1,173 @@
+// Package experiments encodes the evaluation protocol of every table and
+// figure in the Raha paper (§8, Appendix D) as reusable functions. The
+// repository's benchmarks (bench_*_test.go at the root) and the
+// cmd/raha-experiments regenerator both call into this package, so a figure
+// is regenerated identically from either entry point.
+//
+// Scale note: the paper drives Gurobi on a 16-core workstation with
+// 1000-second timeouts; this repository drives its own from-scratch MILP
+// solver. Experiments therefore run on moderated instance sizes (the
+// production stand-in is SmallWAN unless a figure is specifically about a
+// Zoo topology) and tighter solver budgets. Every row still exercises the
+// full pipeline — encoding, bilevel solve, verification by LP re-solve —
+// and the paper's shape conclusions are what the benchmarks assert.
+// EXPERIMENTS.md records paper-vs-measured for each figure.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"raha/internal/demand"
+	"raha/internal/metaopt"
+	"raha/internal/milp"
+	"raha/internal/paths"
+	"raha/internal/topology"
+)
+
+// Setup bundles a topology with a demand population for one experiment.
+type Setup struct {
+	Topo  *topology.Topology
+	Pairs [][2]topology.Node
+	Base  demand.Matrix // the "average over a month" matrix
+	Norm  float64       // mean LAG capacity (the paper's normalizer)
+
+	Primary, Backup int
+	Weight          paths.Weight
+
+	// Budget is the solver time limit per analysis (the paper's Gurobi
+	// timeout). Zero means no limit.
+	Budget time.Duration
+
+	// QuantBits for variable-demand analyses.
+	QuantBits int
+}
+
+// Paths computes the tunnel sets for the current path policy.
+func (s *Setup) Paths() ([]paths.DemandPaths, error) {
+	return paths.Compute(s.Topo, s.Pairs, s.Primary, s.Backup, s.Weight)
+}
+
+// Production returns the default production-like setup: the SmallWAN
+// stand-in (multi-link LAGs, production failure mixture), gravity demands
+// scaled so the average matrix is demand-limited under failures while the
+// maximum matrix saturates failed capacity (separating the paper's
+// fixed-avg / fixed-max / variable panels), 2 primary + 1 backup paths.
+func Production(budget time.Duration) *Setup {
+	top := topology.SmallWAN()
+	pairs := demand.TopPairs(top, 6, 4)
+	base := demand.Gravity(top, pairs, top.MeanLAGCapacity()*0.2, 4)
+	return &Setup{
+		Topo:      top,
+		Pairs:     pairs,
+		Base:      base,
+		Norm:      top.MeanLAGCapacity(),
+		Primary:   2,
+		Backup:    1,
+		Budget:    budget,
+		QuantBits: 3,
+	}
+}
+
+// Africa returns the full-size production stand-in (76 nodes / 334 LAGs /
+// 382 links); used by the fixed-demand runtime experiments where the MILP
+// carries only failure variables.
+func Africa(budget time.Duration) *Setup {
+	top := topology.AfricaWAN()
+	pairs := demand.TopPairs(top, 8, 1)
+	base := demand.Gravity(top, pairs, top.MeanLAGCapacity()*1.5, 1)
+	return &Setup{
+		Topo:      top,
+		Pairs:     pairs,
+		Base:      base,
+		Norm:      top.MeanLAGCapacity(),
+		Primary:   2,
+		Backup:    1,
+		Budget:    budget,
+		QuantBits: 2,
+	}
+}
+
+// Uninett returns the Figure 8 setup: the Uninett2010 stand-in with 4
+// primary + 1 backup paths and demands capped at half the mean LAG capacity
+// so no single demand bottlenecks the analysis.
+func Uninett(budget time.Duration) *Setup {
+	top := topology.Uninett2010()
+	pairs := demand.TopPairs(top, 6, 2010)
+	base := demand.Gravity(top, pairs, top.MeanLAGCapacity(), 2010)
+	return &Setup{
+		Topo:      top,
+		Pairs:     pairs,
+		Base:      base,
+		Norm:      top.MeanLAGCapacity(),
+		Primary:   4,
+		Backup:    1,
+		Budget:    budget,
+		QuantBits: 2,
+	}
+}
+
+// B4 returns the Table 3 setup (normalization constant ≈ 5000).
+func B4(budget time.Duration) *Setup {
+	top := topology.B4()
+	pairs := demand.TopPairs(top, 6, 4)
+	base := demand.Gravity(top, pairs, top.MeanLAGCapacity(), 4)
+	return &Setup{
+		Topo:      top,
+		Pairs:     pairs,
+		Base:      base,
+		Norm:      top.MeanLAGCapacity(),
+		Primary:   4,
+		Backup:    1,
+		Budget:    budget,
+		QuantBits: 2,
+	}
+}
+
+// CogentcoSetup returns the Table 4 setup (197 nodes, 4+1 paths).
+func CogentcoSetup(budget time.Duration) *Setup {
+	top := topology.Cogentco()
+	pairs := demand.TopPairs(top, 6, 486)
+	base := demand.Gravity(top, pairs, top.MeanLAGCapacity(), 486)
+	return &Setup{
+		Topo:      top,
+		Pairs:     pairs,
+		Base:      base,
+		Norm:      top.MeanLAGCapacity(),
+		Primary:   4,
+		Backup:    1,
+		Budget:    budget,
+		QuantBits: 2,
+	}
+}
+
+// analyze runs one analysis under the setup's budget. k == 0 means no
+// failure-count limit; threshold == 0 means no probability constraint.
+// prev, when non-nil, warm-starts the search with an earlier sweep point's
+// solution (valid when the earlier point's feasible set is a subset of this
+// one's — e.g. a stricter threshold or a narrower envelope).
+func (s *Setup) analyze(dps []paths.DemandPaths, env demand.Envelope, threshold float64, k int, ce bool, prev *metaopt.Result) (*metaopt.Result, error) {
+	cfg := metaopt.Config{
+		Topo:                 s.Topo,
+		Demands:              dps,
+		Envelope:             env,
+		ProbThreshold:        threshold,
+		MaxFailures:          k,
+		ConnectivityEnforced: ce,
+		QuantBits:            s.QuantBits,
+		Solver:               milp.Params{TimeLimit: s.Budget},
+	}
+	if prev != nil && prev.Scenario != nil {
+		cfg.WarmStartScenario = prev.Scenario
+		cfg.WarmStartDemands = prev.Demands
+	}
+	return metaopt.Analyze(cfg)
+}
+
+// KLabel renders a failure budget for table output (0 = ∞).
+func KLabel(k int) string {
+	if k == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", k)
+}

@@ -1,0 +1,402 @@
+package failures
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"raha/internal/milp"
+	"raha/internal/paths"
+	"raha/internal/topology"
+)
+
+func diamond() (*topology.Topology, []paths.DemandPaths) {
+	t := topology.New()
+	a := t.AddNode("A")
+	b := t.AddNode("B")
+	c := t.AddNode("C")
+	d := t.AddNode("D")
+	mk := func(caps ...float64) []topology.Link {
+		ls := make([]topology.Link, len(caps))
+		for i, cp := range caps {
+			ls[i] = topology.Link{Capacity: cp, FailProb: 0.01 * float64(i+1)}
+		}
+		return ls
+	}
+	t.MustAddLAG(a, b, mk(10, 10)) // LAG 0: two links
+	t.MustAddLAG(a, c, mk(10))     // LAG 1
+	t.MustAddLAG(b, d, mk(10))     // LAG 2
+	t.MustAddLAG(c, d, mk(10))     // LAG 3
+	dps, err := paths.Compute(t, [][2]topology.Node{{a, d}}, 1, 1, nil)
+	if err != nil {
+		panic(err)
+	}
+	return t, dps
+}
+
+func TestScenarioBasics(t *testing.T) {
+	top, dps := diamond()
+	s := NewScenario(top)
+	if s.NumFailedLinks() != 0 {
+		t.Fatal("fresh scenario must be all-up")
+	}
+	if s.LAGCapacity(top, 0) != 20 {
+		t.Fatalf("capacity = %g", s.LAGCapacity(top, 0))
+	}
+	s.LinkDown[0][0] = true
+	if s.LAGCapacity(top, 0) != 10 {
+		t.Fatalf("partial failure capacity = %g", s.LAGCapacity(top, 0))
+	}
+	if s.LAGDown(0) {
+		t.Fatal("one of two links down is not a LAG failure (Eq. 3)")
+	}
+	s.LinkDown[0][1] = true
+	if !s.LAGDown(0) {
+		t.Fatal("all links down must fail the LAG")
+	}
+	if !s.PathDown(dps[0].Paths[0]) && pathUsesLAG(dps[0].Paths[0], 0) {
+		t.Fatal("path over a failed LAG must be down (Eq. 4)")
+	}
+	caps := s.Capacities(top)
+	if caps[0] != 0 || caps[1] != 10 {
+		t.Fatalf("caps = %v", caps)
+	}
+	if got := len(s.FailedLinkNames(top)); got != 2 {
+		t.Fatalf("failed link names = %d", got)
+	}
+	if s.NumFailedLinks() != 2 {
+		t.Fatal("count")
+	}
+}
+
+func pathUsesLAG(p paths.Path, e int) bool {
+	for _, id := range p.LAGs {
+		if id == e {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFailLAGAndLogProb(t *testing.T) {
+	top, _ := diamond()
+	s := NewScenario(top)
+	s.FailLAG(1)
+	if !s.LAGDown(1) {
+		t.Fatal("FailLAG must down the LAG")
+	}
+	// LogProb: link (1,0) has FailProb 0.01; everything else up.
+	want := math.Log(0.01)
+	for e := 0; e < top.NumLAGs(); e++ {
+		for l, ln := range top.LAG(e).Links {
+			if e == 1 && l == 0 {
+				continue
+			}
+			want += math.Log(1 - ln.FailProb)
+		}
+	}
+	if got := s.LogProb(top); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("logprob = %g, want %g", got, want)
+	}
+}
+
+func TestActivePathsFailOver(t *testing.T) {
+	top, dps := diamond()
+	// Demand A→D: primary (say A-B-D), one backup (A-C-D).
+	s := NewScenario(top)
+	act := s.ActivePaths(dps)
+	if !act[0][0] || act[0][1] {
+		t.Fatalf("healthy: primary active, backup locked; got %v", act[0])
+	}
+	// Fail the primary path's first LAG entirely.
+	firstLAG := dps[0].Paths[0].LAGs[0]
+	s.FailLAG(firstLAG)
+	act = s.ActivePaths(dps)
+	if !act[0][0] || !act[0][1] {
+		t.Fatalf("after primary failure backup must activate; got %v", act[0])
+	}
+}
+
+func TestActivePathsMultiBackupOrder(t *testing.T) {
+	// Build a 2-node topology with 4 parallel-ish paths via intermediates:
+	// primary + 3 ordered backups; r-th backup needs r down paths above it.
+	top := topology.New()
+	s := top.AddNode("S")
+	d := top.AddNode("D")
+	var mids []topology.Node
+	for i := 0; i < 4; i++ {
+		m := top.AddNode(string(rune('a' + i)))
+		mids = append(mids, m)
+		top.MustAddLAG(s, m, []topology.Link{{Capacity: 10, FailProb: 0.01}})
+		top.MustAddLAG(m, d, []topology.Link{{Capacity: 10, FailProb: 0.01}})
+	}
+	dps, err := paths.Compute(top, [][2]topology.Node{{s, d}}, 1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dps[0].Paths) != 4 {
+		t.Fatalf("expected 4 paths, got %d", len(dps[0].Paths))
+	}
+	sc := NewScenario(top)
+	act := sc.ActivePaths(dps)
+	want := []bool{true, false, false, false}
+	for j := range want {
+		if act[0][j] != want[j] {
+			t.Fatalf("healthy active = %v", act[0])
+		}
+	}
+	// Fail primary: backup 0 activates, backups 1,2 stay locked.
+	sc.FailLAG(dps[0].Paths[0].LAGs[0])
+	act = sc.ActivePaths(dps)
+	want = []bool{true, true, false, false}
+	for j := range want {
+		if act[0][j] != want[j] {
+			t.Fatalf("after 1 failure active = %v", act[0])
+		}
+	}
+	// Fail first backup too: second backup activates.
+	sc.FailLAG(dps[0].Paths[1].LAGs[0])
+	act = sc.ActivePaths(dps)
+	want = []bool{true, true, true, false}
+	for j := range want {
+		if act[0][j] != want[j] {
+			t.Fatalf("after 2 failures active = %v", act[0])
+		}
+	}
+}
+
+// TestEncodingMatchesSimulation fixes random link-failure patterns in the
+// MILP encoding and checks that the implied LAG-down, path-down, and
+// fail-over indicator values match the Scenario semantics exactly.
+func TestEncodingMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		top, err := topology.Generate(topology.GenConfig{
+			Nodes: 6, LAGs: 9, ExtraLinks: 3, Seed: rng.Int63(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pairs [][2]topology.Node
+		for len(pairs) < 3 {
+			a := topology.Node(rng.Intn(top.NumNodes()))
+			b := topology.Node(rng.Intn(top.NumNodes()))
+			if a != b {
+				pairs = append(pairs, [2]topology.Node{a, b})
+			}
+		}
+		dps, err := paths.Compute(top, pairs, 2, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		m := milp.NewModel()
+		enc := Encode(m, top, dps)
+		// Random scenario over the used (encoded) LAGs.
+		want := NewScenario(top)
+		for e := range want.LinkDown {
+			if !enc.Used[e] {
+				continue
+			}
+			for l := range want.LinkDown[e] {
+				down := rng.Float64() < 0.3
+				want.LinkDown[e][l] = down
+				if down {
+					m.Fix(enc.LinkDown[e][l], 1)
+				} else {
+					m.Fix(enc.LinkDown[e][l], 0)
+				}
+			}
+		}
+		m.SetObjective(milp.NewExpr(), milp.Maximize)
+		res, err := m.Solve(milp.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != milp.Optimal {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+
+		// LAG-down agreement (used LAGs only; pruned LAGs have no vars).
+		for e := range enc.LAGDown {
+			if !enc.Used[e] {
+				continue
+			}
+			got := res.X[enc.LAGDown[e]] > 0.5
+			if got != want.LAGDown(e) {
+				t.Fatalf("trial %d: LAG %d down=%v, simulation %v", trial, e, got, want.LAGDown(e))
+			}
+		}
+		// Path-down agreement.
+		for k, dp := range dps {
+			for j, p := range dp.Paths {
+				got := res.X[enc.PathDown[k][j]] > 0.5
+				if got != want.PathDown(p) {
+					t.Fatalf("trial %d: path (%d,%d) down=%v, simulation %v", trial, k, j, got, want.PathDown(p))
+				}
+			}
+		}
+		// Fail-over indicator agreement.
+		act := want.ActivePaths(dps)
+		for k, dp := range dps {
+			for j := range dp.Paths {
+				var got bool
+				if enc.Active[k][j] == nil {
+					got = true // primary
+				} else {
+					got = res.X[*enc.Active[k][j]] > 0.5
+				}
+				if got != act[k][j] {
+					t.Fatalf("trial %d: active (%d,%d)=%v, simulation %v", trial, k, j, got, act[k][j])
+				}
+			}
+		}
+		// Round-trip through ScenarioFromSolution.
+		rt := enc.ScenarioFromSolution(res.X)
+		for e := range want.LinkDown {
+			for l := range want.LinkDown[e] {
+				if rt.LinkDown[e][l] != want.LinkDown[e][l] {
+					t.Fatalf("trial %d: round-trip mismatch", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestProbabilityThresholdConstraint(t *testing.T) {
+	top, dps := diamond()
+	m := milp.NewModel()
+	enc := Encode(m, top, dps)
+	if err := enc.AddProbabilityThreshold(m, 1e-4, true); err != nil {
+		t.Fatal(err)
+	}
+	// Maximize failures subject to the probability budget; then verify the
+	// resulting scenario really is above the threshold.
+	obj := milp.NewExpr()
+	for e := range enc.LinkDown {
+		for _, v := range enc.LinkDown[e] {
+			obj.Add(1, v)
+		}
+	}
+	m.SetObjective(obj, milp.Maximize)
+	res, err := m.Solve(milp.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	s := enc.ScenarioFromSolution(res.X)
+	if s.LogProb(top) < math.Log(1e-4)-1e-9 {
+		t.Fatalf("scenario log-prob %g below threshold", s.LogProb(top))
+	}
+	if s.NumFailedLinks() == 0 {
+		t.Fatal("expected some failures within the budget")
+	}
+}
+
+func TestProbabilityThresholdErrors(t *testing.T) {
+	top, dps := diamond()
+	m := milp.NewModel()
+	enc := Encode(m, top, dps)
+	if err := enc.AddProbabilityThreshold(m, 0, true); err == nil {
+		t.Fatal("threshold 0 must error")
+	}
+	if err := enc.AddProbabilityThreshold(m, 1, true); err == nil {
+		t.Fatal("threshold 1 must error")
+	}
+	top.LAG(0).Links[0].FailProb = 0
+	if err := enc.AddProbabilityThreshold(m, 0.1, true); err == nil {
+		t.Fatal("zero link probability must error")
+	}
+}
+
+func TestMaxFailuresConstraint(t *testing.T) {
+	top, dps := diamond()
+	m := milp.NewModel()
+	enc := Encode(m, top, dps)
+	enc.AddMaxFailures(m, 2)
+	obj := milp.NewExpr()
+	for e := range enc.LinkDown {
+		for _, v := range enc.LinkDown[e] {
+			obj.Add(1, v)
+		}
+	}
+	m.SetObjective(obj, milp.Maximize)
+	res, err := m.Solve(milp.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-2) > 1e-6 {
+		t.Fatalf("max failures = %g, want 2", res.Objective)
+	}
+}
+
+func TestConnectivityEnforced(t *testing.T) {
+	top, dps := diamond()
+	m := milp.NewModel()
+	enc := Encode(m, top, dps)
+	enc.AddConnectivityEnforced(m)
+	// Try to bring every path of demand 0 down; CE must forbid it.
+	obj := milp.NewExpr()
+	for _, u := range enc.PathDown[0] {
+		obj.Add(1, u)
+	}
+	m.SetObjective(obj, milp.Maximize)
+	res, err := m.Solve(milp.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Objective > float64(len(enc.PathDown[0]))-1+1e-6 {
+		t.Fatalf("CE violated: %g paths down", res.Objective)
+	}
+}
+
+func TestCESkipsVirtualGatewayDemands(t *testing.T) {
+	// §9: a demand from a virtual gateway node is exempt from CE; the
+	// adversary may cut all its paths.
+	top := topology.New()
+	a := top.AddNode("a")
+	b := top.AddNode("b")
+	top.MustAddLAG(a, b, []topology.Link{{Capacity: 10, FailProb: 0.01}})
+	v, err := top.AddVirtualGateway("v", []topology.Node{a}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dps, err := paths.Compute(top, [][2]topology.Node{{v, b}, {a, b}}, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := milp.NewModel()
+	enc := Encode(m, top, dps)
+	enc.AddConnectivityEnforced(m)
+	// Maximize path-down count for the virtual demand: CE must not bind.
+	obj := milp.NewExpr()
+	for _, u := range enc.PathDown[0] {
+		obj.Add(1, u)
+	}
+	m.SetObjective(obj, milp.Maximize)
+	res, err := m.Solve(milp.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.Optimal || res.Objective < float64(len(enc.PathDown[0]))-1e-6 {
+		t.Fatalf("virtual demand should be CE-exempt: %v %g", res.Status, res.Objective)
+	}
+	// The real demand stays protected.
+	obj2 := milp.NewExpr()
+	for _, u := range enc.PathDown[1] {
+		obj2.Add(1, u)
+	}
+	m.SetObjective(obj2, milp.Maximize)
+	res2, err := m.Solve(milp.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Objective > float64(len(enc.PathDown[1]))-1+1e-6 {
+		t.Fatalf("real demand lost CE protection: %g", res2.Objective)
+	}
+}

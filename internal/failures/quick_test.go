@@ -1,0 +1,134 @@
+package failures
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"raha/internal/paths"
+	"raha/internal/topology"
+)
+
+// TestQuickFailOverInvariants checks the Eq. 5 semantics on random
+// topologies and scenarios:
+//
+//  1. every primary path is active;
+//  2. the first up path (in priority order) is always active;
+//  3. backup j is active iff at least j−primary+1 higher-priority paths
+//     are down;
+//  4. activation is monotone: failing more links never deactivates an
+//     active path.
+func TestQuickFailOverInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 5 + rng.Intn(6)
+		top, err := topology.Generate(topology.GenConfig{
+			Nodes: nodes, LAGs: nodes - 1 + rng.Intn(6), ExtraLinks: rng.Intn(4), Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		a := topology.Node(rng.Intn(top.NumNodes()))
+		b := topology.Node(rng.Intn(top.NumNodes()))
+		if a == b {
+			return true
+		}
+		dps, err := paths.Compute(top, [][2]topology.Node{{a, b}}, 1+rng.Intn(2), 1+rng.Intn(3), nil)
+		if err != nil {
+			return false
+		}
+		s := NewScenario(top)
+		for e := range s.LinkDown {
+			for l := range s.LinkDown[e] {
+				s.LinkDown[e][l] = rng.Float64() < 0.35
+			}
+		}
+		act := s.ActivePaths(dps)
+		dp := dps[0]
+
+		// (1) primaries active.
+		for j := 0; j < dp.Primary; j++ {
+			if !act[0][j] {
+				return false
+			}
+		}
+		// (2) first up path active.
+		for j, p := range dp.Paths {
+			if !s.PathDown(p) {
+				if !act[0][j] {
+					return false
+				}
+				break
+			}
+		}
+		// (3) backup activation rule.
+		for j := dp.Primary; j < len(dp.Paths); j++ {
+			down := 0
+			for i := 0; i < j; i++ {
+				if s.PathDown(dp.Paths[i]) {
+					down++
+				}
+			}
+			if act[0][j] != (down >= j-dp.Primary+1) {
+				return false
+			}
+		}
+		// (4) monotone in failures.
+		s2 := NewScenario(top)
+		for e := range s.LinkDown {
+			copy(s2.LinkDown[e], s.LinkDown[e])
+		}
+		s2.FailLAG(rng.Intn(top.NumLAGs()))
+		act2 := s2.ActivePaths(dps)
+		for j := range act[0] {
+			if act[0][j] && !act2[0][j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCapacityInvariants: surviving capacity is between 0 and nominal,
+// decreases pointwise in the failure set, and hits 0 exactly when the LAG
+// is down.
+func TestQuickCapacityInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 4 + rng.Intn(5)
+		lags := nodes - 1 + rng.Intn(5)
+		if max := nodes * (nodes - 1) / 2; lags > max {
+			lags = max
+		}
+		top, err := topology.Generate(topology.GenConfig{
+			Nodes: nodes, LAGs: lags, ExtraLinks: rng.Intn(8), Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		s := NewScenario(top)
+		for e := range s.LinkDown {
+			for l := range s.LinkDown[e] {
+				s.LinkDown[e][l] = rng.Float64() < 0.5
+			}
+		}
+		for e := 0; e < top.NumLAGs(); e++ {
+			c := s.LAGCapacity(top, e)
+			if c < 0 || c > top.LAG(e).Capacity()+1e-9 {
+				return false
+			}
+			if s.LAGDown(e) != (c == 0) {
+				// All-links-down ⇔ zero capacity only holds when every
+				// link has positive capacity, which the generator ensures.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

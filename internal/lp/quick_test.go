@@ -1,0 +1,117 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickFeasibilityInvariant: for any randomly generated bounded LP, a
+// solver that reports Optimal must return a point satisfying every bound
+// and row, and the objective must equal c·x.
+func TestQuickFeasibilityInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.Cost[j] = rng.NormFloat64()
+			p.Lo[j] = -float64(rng.Intn(3))
+			p.Hi[j] = p.Lo[j] + 1 + rng.Float64()*8
+		}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			var idx []int
+			var coef []float64
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					idx = append(idx, j)
+					coef = append(coef, rng.NormFloat64())
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			p.AddRow(idx, coef, []Rel{LE, GE, EQ}[rng.Intn(3)], rng.NormFloat64()*5)
+		}
+		sol, err := Solve(p, nil)
+		if err != nil {
+			return false
+		}
+		if sol.Status != Optimal {
+			return true // infeasible/unbounded are legitimate outcomes
+		}
+		for j := 0; j < n; j++ {
+			if sol.X[j] < p.Lo[j]-1e-6 || sol.X[j] > p.Hi[j]+1e-6 {
+				return false
+			}
+		}
+		for _, r := range p.Rows {
+			v := 0.0
+			for k, j := range r.Idx {
+				v += r.Coef[k] * sol.X[j]
+			}
+			switch r.Rel {
+			case LE:
+				if v > r.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if v < r.RHS-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(v-r.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			obj += p.Cost[j] * sol.X[j]
+		}
+		return math.Abs(obj-sol.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDualityBound: on random feasible bounded LPs, tightening any
+// upper bound can only worsen (raise) the minimum.
+func TestQuickDualityBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.Cost[j] = rng.NormFloat64()
+			p.Hi[j] = 1 + rng.Float64()*9
+		}
+		var idx []int
+		var coef []float64
+		for j := 0; j < n; j++ {
+			idx = append(idx, j)
+			coef = append(coef, math.Abs(rng.NormFloat64()))
+		}
+		p.AddRow(idx, coef, LE, 5+rng.Float64()*10)
+		a, err := Solve(p, nil)
+		if err != nil || a.Status != Optimal {
+			return true
+		}
+		// Tighten one variable's box.
+		j := rng.Intn(n)
+		p.Hi[j] /= 2
+		b, err := Solve(p, nil)
+		if err != nil {
+			return false
+		}
+		if b.Status != Optimal {
+			return true
+		}
+		return b.Objective >= a.Objective-1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

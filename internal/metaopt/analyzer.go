@@ -1,0 +1,476 @@
+// Package metaopt implements Raha's core: a MetaOpt-style bilevel analyzer
+// that finds the failure scenario and demand matrix maximizing the gap
+// between a network's design point (the healthy network) and the network
+// under failure (§4.1, §5).
+//
+// # How the bilevel problem becomes a single MILP
+//
+// MetaOpt solves max_I [H(I) − H'(I)] where the adversary controls the
+// input I (demands and failures), H is the healthy network's optimum and H'
+// the failed network's optimum. Two observations make this a single-level
+// MILP (DESIGN.md §2.1):
+//
+//  1. The healthy inner problem maximizes the same direction as the outer
+//     problem, so its variables fold directly into the outer model.
+//
+//  2. The failed inner problem is an LP whose value the outer problem wants
+//     small. By LP duality, H'(I) = min over dual-feasible y of dual(y; I),
+//     so introducing the dual variables as outer variables and letting the
+//     outer maximization minimize the dual objective yields exactly H'(I)
+//     at the optimum — no explicit strong-duality constraint is needed.
+//
+// The dual objective contains products of outer variables with dual
+// variables. All are linearized exactly:
+//
+//   - capacity × dual: c_e = Σ_l c_le(1−u_le) with binary u_le, so c_e·β_e
+//     expands into binary×continuous McCormick products;
+//   - demand × dual: demands are quantized into a binary expansion
+//     (MetaOpt's demand pinning), again binary×continuous;
+//   - path-gate × dual: the Eq. 5 fail-over indicator is binary, and the
+//     gate capacity is the constant demand upper bound (equivalent to the
+//     paper's d_k·I(...) form for gating purposes).
+//
+// For the total-flow objective the failed network's duals can be restricted
+// to [0,1] without loss of optimality: every dual constraint has the form
+// α + Σβ + γ ≥ 1 with all coefficients 1, so clamping any component to 1
+// keeps the constraint satisfied wherever that component appears, and the
+// clamped solution's (nonnegative-weighted) objective can only move toward
+// the primal optimum, which weak duality bounds from below.
+package metaopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"raha/internal/demand"
+	"raha/internal/failures"
+	"raha/internal/milp"
+	"raha/internal/paths"
+	"raha/internal/te"
+	"raha/internal/topology"
+)
+
+// Objective selects the TE formulation under analysis.
+type Objective int8
+
+// Supported TE objectives.
+const (
+	// TotalFlow is the paper's production objective (Eq. 2): maximize the
+	// total demand met. Degradation = healthy flow − failed flow.
+	TotalFlow Objective = iota
+	// MLU is Appendix A's minimize-maximum-link-utilization objective.
+	// Degradation = failed MLU − healthy MLU. Requires CE constraints.
+	MLU
+	// MaxMin is Appendix A's single-shot max-min fairness objective in its
+	// geometric-binner approximation. Degradation = healthy binned utility
+	// − failed binned utility.
+	MaxMin
+)
+
+// Mode selects what the adversary optimizes.
+type Mode int8
+
+// Analysis modes.
+const (
+	// Gap maximizes the degradation relative to the design point — Raha's
+	// contribution (§2.1 right panel).
+	Gap Mode = iota
+	// FailedOnly minimizes the failed network's performance outright — the
+	// naive baseline of §2.1's middle panel and of prior work [9, 38],
+	// which chases trivially small demands.
+	FailedOnly
+)
+
+// Config parameterizes an analysis run.
+type Config struct {
+	Topo     *topology.Topology
+	Demands  []paths.DemandPaths
+	Envelope demand.Envelope
+
+	Objective Objective
+	Mode      Mode
+
+	// QuantBits controls demand quantization in variable-demand mode
+	// (ignored when the envelope is fixed). 0 defaults to 3 (8 levels).
+	QuantBits int
+
+	// ProbThreshold, when positive, restricts the search to failure
+	// scenarios with probability ≥ the threshold (§5.1).
+	ProbThreshold float64
+
+	// MaxFailures, when positive, caps the number of failed links — the
+	// k-failure analysis of prior work (§5.1).
+	MaxFailures int
+
+	// ConnectivityEnforced keeps at least one path up per demand (§5.1 CE).
+	ConnectivityEnforced bool
+
+	// NaiveFailover models the §5.1 naive reaction: each backup path may
+	// carry at most what its same-rank primary carried in the healthy
+	// network. Only supported with a fixed envelope (the healthy flows
+	// must be constants for the dual to stay linear).
+	NaiveFailover bool
+
+	// MLUDualBound bounds the failed-network dual variables of the MLU and
+	// MaxMin objectives (0 defaults to 10). Too small a bound biases the
+	// failed network's performance upward — an underestimate of the
+	// degradation, conservative for alerting; see DESIGN.md.
+	MLUDualBound float64
+
+	// MaxMinBinner shapes the geometric binner of the MaxMin objective.
+	// Zero values take the te package defaults (6 bins, ratio 2).
+	MaxMinBinner te.BinnerConfig
+
+	// Solver forwards limits to the branch-and-bound backend (the paper's
+	// Gurobi timeout feature).
+	Solver milp.Params
+
+	// WarmStartScenario and WarmStartDemands optionally seed the search
+	// with a known-good point — typically the result of analyzing a
+	// narrower envelope in a parameter sweep. Demands are rounded onto the
+	// quantizer grid. Ignored for fixed envelopes.
+	WarmStartScenario *failures.Scenario
+	WarmStartDemands  []float64
+}
+
+// Result reports the worst case the analyzer found.
+type Result struct {
+	Status milp.Status
+
+	// Degradation is the verified performance gap: both networks re-solved
+	// as plain LPs at the returned demand and scenario. For TotalFlow it is
+	// healthy flow − failed flow; for MLU it is failed MLU − healthy MLU.
+	Degradation float64
+
+	// ModelObjective is the MILP's own objective value (matches
+	// Degradation up to solver tolerances in Gap mode).
+	ModelObjective float64
+
+	Demands  []float64          // the adversarial demand matrix
+	Scenario *failures.Scenario // the adversarial failure scenario
+
+	Healthy *te.Result // design point at the adversarial demand
+	Failed  *te.Result // network under the adversarial scenario
+
+	Runtime time.Duration
+	Nodes   int // branch-and-bound nodes explored
+}
+
+// ErrNaiveFailoverNeedsFixedDemand is returned when NaiveFailover is set
+// with a variable envelope.
+var ErrNaiveFailoverNeedsFixedDemand = errors.New("metaopt: naive fail-over requires a fixed demand envelope")
+
+func (c *Config) validate() error {
+	if c.Topo == nil || len(c.Demands) == 0 {
+		return fmt.Errorf("metaopt: config needs a topology and at least one demand")
+	}
+	if len(c.Envelope.Lo) != len(c.Demands) {
+		return fmt.Errorf("metaopt: envelope covers %d demands, path set has %d", len(c.Envelope.Lo), len(c.Demands))
+	}
+	if c.NaiveFailover && !c.Envelope.IsFixed() {
+		return ErrNaiveFailoverNeedsFixedDemand
+	}
+	if c.Objective == MLU && !c.ConnectivityEnforced {
+		return fmt.Errorf("metaopt: the MLU objective requires ConnectivityEnforced (disconnected demands make the MLU model infeasible)")
+	}
+	return nil
+}
+
+func (c *Config) quantBits() int {
+	if c.QuantBits <= 0 {
+		return 3
+	}
+	return c.QuantBits
+}
+
+func (c *Config) mluDualBound() float64 {
+	if c.MLUDualBound <= 0 {
+		return 10
+	}
+	return c.MLUDualBound
+}
+
+// Analyze runs the bilevel analysis and returns the worst-case scenario it
+// found. With solver limits set, a Feasible status means the incumbent at
+// the limit (the paper's timeout behaviour); the result is still a genuine
+// — if possibly non-maximal — degradation scenario, verified by re-solving
+// both networks.
+func Analyze(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var (
+		res *Result
+		err error
+	)
+	switch cfg.Objective {
+	case TotalFlow:
+		res, err = analyzeTotalFlow(&cfg)
+	case MLU:
+		res, err = analyzeMLU(&cfg)
+	case MaxMin:
+		res, err = analyzeMaxMin(&cfg)
+	default:
+		return nil, fmt.Errorf("metaopt: unknown objective %d", cfg.Objective)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// verify re-solves both networks as plain LPs at the adversarial point and
+// fills in the verified degradation.
+func verify(cfg *Config, res *Result) error {
+	caps := te.FullCapacities(cfg.Topo)
+	failedCaps := res.Scenario.Capacities(cfg.Topo)
+	healthyActive := te.HealthyActive(cfg.Demands)
+	failedActive := res.Scenario.ActivePaths(cfg.Demands)
+
+	switch cfg.Objective {
+	case TotalFlow:
+		h, err := te.MaxTotalFlow(cfg.Topo, cfg.Demands, res.Demands, caps, healthyActive)
+		if err != nil {
+			return err
+		}
+		var f *te.Result
+		if cfg.NaiveFailover {
+			f, err = naiveFailoverFlow(cfg, res.Demands, failedCaps, failedActive, h)
+		} else {
+			f, err = te.MaxTotalFlow(cfg.Topo, cfg.Demands, res.Demands, failedCaps, failedActive)
+		}
+		if err != nil {
+			return err
+		}
+		res.Healthy, res.Failed = h, f
+		res.Degradation = h.Objective - f.Objective
+	case MLU:
+		h, err := te.MinMLU(cfg.Topo, cfg.Demands, res.Demands, caps, healthyActive)
+		if err != nil {
+			return err
+		}
+		f, err := te.MinMLU(cfg.Topo, cfg.Demands, res.Demands, failedCaps, failedActive)
+		if err != nil {
+			return err
+		}
+		res.Healthy, res.Failed = h, f
+		if h.Feasible && f.Feasible {
+			res.Degradation = f.Objective - h.Objective
+		}
+	case MaxMin:
+		b := cfg.binner()
+		b.Base, _ = binBase(cfg, b)
+		h, err := te.MaxMinBinned(cfg.Topo, cfg.Demands, res.Demands, caps, healthyActive, b)
+		if err != nil {
+			return err
+		}
+		f, err := te.MaxMinBinned(cfg.Topo, cfg.Demands, res.Demands, failedCaps, failedActive, b)
+		if err != nil {
+			return err
+		}
+		res.Healthy, res.Failed = h, f
+		res.Degradation = h.Objective - f.Objective
+	}
+	return nil
+}
+
+// binBase pins the binner's base width to the envelope (not the per-call
+// volumes) so the MILP and the verification LPs use identical bins.
+func binBase(cfg *Config, b te.BinnerConfig) (float64, float64) {
+	maxV := 0.0
+	for _, hi := range cfg.Envelope.Hi {
+		if hi > maxV {
+			maxV = hi
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	if b.Base > 0 {
+		return b.Base, maxV
+	}
+	return maxV / pow(b.Ratio, b.Bins-1), maxV
+}
+
+// addScenarioConstraints installs the §5.1 constraint menu on the encoding.
+func addScenarioConstraints(cfg *Config, m *milp.Model, enc *failures.Encoding) error {
+	if cfg.ProbThreshold > 0 {
+		// Without a failure-count budget, unused links with π > ½ are
+		// assumed failed (their most probable state) — exact, and it keeps
+		// the probability budget faithful on pruned topologies.
+		if err := enc.AddProbabilityThreshold(m, cfg.ProbThreshold, cfg.MaxFailures == 0); err != nil {
+			return err
+		}
+	}
+	if cfg.MaxFailures > 0 {
+		enc.AddMaxFailures(m, cfg.MaxFailures)
+	}
+	if cfg.ConnectivityEnforced {
+		enc.AddConnectivityEnforced(m)
+	}
+	return nil
+}
+
+// demandVars materializes the quantized demand d_k as an expression over
+// fresh binary bit variables: d_k = Lo_k + unit_k·Σ 2^i·b_ki. Fixed demands
+// yield constant expressions and no bits.
+type demandVars struct {
+	expr []milp.Expr  // d_k as an expression (constant when fixed)
+	bits [][]milp.Var // per demand; nil when fixed
+	q    *demand.Quantizer
+}
+
+func newDemandVars(cfg *Config, m *milp.Model) (*demandVars, error) {
+	q, err := demand.NewQuantizer(cfg.Envelope, cfg.quantBits())
+	if err != nil {
+		return nil, err
+	}
+	dv := &demandVars{
+		expr: make([]milp.Expr, len(cfg.Demands)),
+		bits: make([][]milp.Var, len(cfg.Demands)),
+		q:    q,
+	}
+	for k := range cfg.Demands {
+		e := milp.NewExpr()
+		e.AddConst(cfg.Envelope.Lo[k])
+		if unit := q.Unit[k]; unit > 0 {
+			dv.bits[k] = make([]milp.Var, q.Bits)
+			scale := unit
+			for i := 0; i < q.Bits; i++ {
+				b := m.BinaryVar(fmt.Sprintf("dbit[%d][%d]", k, i))
+				dv.bits[k][i] = b
+				e.Add(scale, b)
+				scale *= 2
+			}
+		}
+		dv.expr[k] = e
+	}
+	return dv, nil
+}
+
+// value reads demand k's value out of a MILP solution.
+func (dv *demandVars) value(k int, x []float64) float64 {
+	return milp.Value(dv.expr[k], x)
+}
+
+// buildHint translates a concrete (scenario, demand level) point into a
+// warm-start vector for the variable-demand MILP: every integer variable of
+// the failure encoding and the demand bits get values; the continuous
+// variables (flows, duals, McCormick products) are left to the LP.
+// level ∈ [0,1] selects the demand grid point Lo + level·(Hi − Lo), rounded
+// onto the quantizer grid.
+func buildHint(m *milp.Model, cfg *Config, enc *failures.Encoding, dv *demandVars, s *failures.Scenario, level float64) []float64 {
+	hint := make([]float64, m.NumVars())
+	for i := range hint {
+		hint[i] = math.NaN()
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for e := range enc.LinkDown {
+		if !enc.Used[e] {
+			continue
+		}
+		for l, v := range enc.LinkDown[e] {
+			hint[v] = b2f(s.LinkDown[e][l])
+		}
+		hint[enc.LAGDown[e]] = b2f(s.LAGDown(e))
+	}
+	act := s.ActivePaths(cfg.Demands)
+	maxLevel := (1 << uint(dv.q.Bits)) - 1
+	steps := int(math.Round(level * float64(maxLevel)))
+	for k, dp := range cfg.Demands {
+		for j, p := range dp.Paths {
+			hint[enc.PathDown[k][j]] = b2f(s.PathDown(p))
+			if enc.Active[k][j] != nil {
+				hint[*enc.Active[k][j]] = b2f(act[k][j])
+			}
+		}
+		for i, b := range dv.bits[k] {
+			hint[b] = float64((steps >> uint(i)) & 1)
+		}
+	}
+	return hint
+}
+
+// buildWarmStartHint encodes the user-supplied warm start: per-demand bit
+// levels rounded onto the quantizer grid plus the supplied scenario.
+func buildWarmStartHint(m *milp.Model, cfg *Config, enc *failures.Encoding, dv *demandVars) []float64 {
+	s := cfg.WarmStartScenario
+	if s == nil || len(cfg.WarmStartDemands) != len(cfg.Demands) {
+		return nil
+	}
+	hint := buildHint(m, cfg, enc, dv, s, 0)
+	for k := range cfg.Demands {
+		var steps int
+		if unit := dv.q.Unit[k]; unit > 0 {
+			steps = int(math.Round((cfg.WarmStartDemands[k] - cfg.Envelope.Lo[k]) / unit))
+			if steps < 0 {
+				steps = 0
+			}
+			if max := (1 << uint(dv.q.Bits)) - 1; steps > max {
+				steps = max
+			}
+		}
+		for i, b := range dv.bits[k] {
+			hint[b] = float64((steps >> uint(i)) & 1)
+		}
+	}
+	return hint
+}
+
+// hintScenarios runs quick fixed-demand analyses at a few demand levels of
+// the envelope (its top and midpoint) to obtain strong warm starts for the
+// variable search. Each returned scenario is paired with the level it was
+// found at.
+func hintScenarios(cfg *Config) []struct {
+	Scenario *failures.Scenario
+	Level    float64
+} {
+	budget := 10 * time.Second
+	if cfg.Solver.TimeLimit > 0 && cfg.Solver.TimeLimit/4 < budget {
+		budget = cfg.Solver.TimeLimit / 4
+	}
+	var out []struct {
+		Scenario *failures.Scenario
+		Level    float64
+	}
+	for _, level := range []float64{1.0, 0.5} {
+		sub := *cfg
+		sub.Mode = Gap
+		sub.NaiveFailover = false
+		lo := make([]float64, len(cfg.Envelope.Lo))
+		for k := range lo {
+			lo[k] = cfg.Envelope.Lo[k] + level*(cfg.Envelope.Hi[k]-cfg.Envelope.Lo[k])
+		}
+		sub.Envelope = demand.Envelope{Pairs: cfg.Envelope.Pairs, Lo: lo, Hi: lo}
+		sub.Solver = milp.Params{TimeLimit: budget, MIPGap: 0.05}
+		var (
+			res *Result
+			err error
+		)
+		switch cfg.Objective {
+		case TotalFlow:
+			res, err = analyzeTotalFlow(&sub)
+		case MLU:
+			res, err = analyzeMLU(&sub)
+		case MaxMin:
+			res, err = analyzeMaxMin(&sub)
+		}
+		if err != nil || res == nil || res.Scenario == nil {
+			continue
+		}
+		out = append(out, struct {
+			Scenario *failures.Scenario
+			Level    float64
+		}{res.Scenario, level})
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package metaopt
+
+import (
+	"fmt"
+	"time"
+
+	"raha/internal/demand"
+	"raha/internal/topology"
+)
+
+// ClusterConfig parameterizes the Algorithm 1 clustering scheme (§6): the
+// topology is partitioned into node clusters, the analyzer searches demand
+// values cluster-pair by cluster-pair (all failures and full topology still
+// in scope), pins what it finds, and finishes with a fixed-demand full
+// analysis.
+type ClusterConfig struct {
+	Config
+	Clusters int // number of node clusters; values < 2 run Analyze directly
+}
+
+// AnalyzeClustered runs Algorithm 1. The solver time budget of cfg.Solver
+// is split evenly across the cluster-pair solves and the final fixed-demand
+// solve, matching the paper's Figure 9 experiment protocol.
+func AnalyzeClustered(cfg ClusterConfig) (*Result, error) {
+	if cfg.Clusters < 2 {
+		return Analyze(cfg.Config)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	clusters := PartitionNodes(cfg.Topo, cfg.Clusters)
+	clusterOf := make([]int, cfg.Topo.NumNodes())
+	for ci, ns := range clusters {
+		for _, n := range ns {
+			clusterOf[n] = ci
+		}
+	}
+
+	// Demands grouped by (source cluster, destination cluster).
+	group := make(map[[2]int][]int)
+	for k, dp := range cfg.Demands {
+		key := [2]int{clusterOf[dp.Src], clusterOf[dp.Dst]}
+		group[key] = append(group[key], k)
+	}
+
+	// Budget per solve: pairs with demands + the final fixed solve.
+	solves := len(group) + 1
+	per := cfg.Solver
+	if per.TimeLimit > 0 {
+		per.TimeLimit = time.Duration(int64(per.TimeLimit) / int64(solves))
+		if per.TimeLimit < time.Millisecond {
+			per.TimeLimit = time.Millisecond
+		}
+	}
+
+	// Current demand values, initialized to zero (Algorithm 1, line 3).
+	current := make([]float64, len(cfg.Demands))
+
+	// Iterate cluster pairs: first intra-cluster (Ci == Cj), then
+	// cross-cluster, in deterministic order.
+	var keys [][2]int
+	for ci := range clusters {
+		keys = append(keys, [2]int{ci, ci})
+	}
+	for ci := range clusters {
+		for cj := range clusters {
+			if ci != cj {
+				keys = append(keys, [2]int{ci, cj})
+			}
+		}
+	}
+
+	for _, key := range keys {
+		ks := group[key]
+		if len(ks) == 0 {
+			continue
+		}
+		// Envelope: demands of this pair keep their original range; all
+		// others are pinned to their current values.
+		env := demand.Envelope{
+			Pairs: cfg.Envelope.Pairs,
+			Lo:    append([]float64(nil), current...),
+			Hi:    append([]float64(nil), current...),
+		}
+		for _, k := range ks {
+			env.Lo[k] = cfg.Envelope.Lo[k]
+			env.Hi[k] = cfg.Envelope.Hi[k]
+		}
+		sub := cfg.Config
+		sub.Envelope = env
+		sub.Solver = per
+		res, err := Analyze(sub)
+		if err != nil {
+			return nil, fmt.Errorf("metaopt: cluster pair %v: %w", key, err)
+		}
+		if res.Demands != nil {
+			for _, k := range ks {
+				current[k] = res.Demands[k]
+			}
+		}
+	}
+
+	// Final pass: fixed demands, search failures only (Algorithm 1's last
+	// Solve).
+	final := cfg.Config
+	final.Envelope = demand.Envelope{
+		Pairs: cfg.Envelope.Pairs,
+		Lo:    append([]float64(nil), current...),
+		Hi:    append([]float64(nil), current...),
+	}
+	final.Solver = per
+	return Analyze(final)
+}
+
+// PartitionNodes splits the topology's nodes into n balanced, connected-ish
+// clusters by multi-source BFS from spread-out seeds.
+func PartitionNodes(t *topology.Topology, n int) [][]topology.Node {
+	if n < 1 {
+		n = 1
+	}
+	if n > t.NumNodes() {
+		n = t.NumNodes()
+	}
+	// Seeds: greedy farthest-point placement by BFS hop distance.
+	seeds := []topology.Node{0}
+	for len(seeds) < n {
+		dist := bfsDistances(t, seeds)
+		far := topology.Node(0)
+		fd := -1
+		for v, d := range dist {
+			if d > fd {
+				fd = d
+				far = topology.Node(v)
+			}
+		}
+		seeds = append(seeds, far)
+	}
+	// Multi-source BFS: each node joins its nearest seed (ties to the
+	// lower-index seed).
+	owner := make([]int, t.NumNodes())
+	dist := make([]int, t.NumNodes())
+	for v := range owner {
+		owner[v] = -1
+	}
+	var queue []topology.Node
+	for i, s := range seeds {
+		owner[s] = i
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range t.Incident(u) {
+			v := t.LAG(e).Other(u)
+			if owner[v] < 0 {
+				owner[v] = owner[u]
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	out := make([][]topology.Node, len(seeds))
+	for v, o := range owner {
+		if o < 0 {
+			o = 0 // disconnected stragglers join cluster 0
+		}
+		out[o] = append(out[o], topology.Node(v))
+	}
+	return out
+}
+
+func bfsDistances(t *topology.Topology, from []topology.Node) []int {
+	dist := make([]int, t.NumNodes())
+	for i := range dist {
+		dist[i] = 1 << 30
+	}
+	var queue []topology.Node
+	for _, s := range from {
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range t.Incident(u) {
+			v := t.LAG(e).Other(u)
+			if dist[v] > dist[u]+1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,137 @@
+package metaopt
+
+import (
+	"testing"
+	"time"
+
+	"raha/internal/demand"
+	"raha/internal/milp"
+	"raha/internal/paths"
+	"raha/internal/topology"
+)
+
+func TestPartitionNodes(t *testing.T) {
+	top := topology.SmallWAN()
+	for _, n := range []int{1, 2, 3, 5} {
+		clusters := PartitionNodes(top, n)
+		if len(clusters) != n {
+			t.Fatalf("n=%d: got %d clusters", n, len(clusters))
+		}
+		seen := make(map[topology.Node]bool)
+		total := 0
+		for _, c := range clusters {
+			if len(c) == 0 {
+				t.Fatalf("n=%d: empty cluster", n)
+			}
+			for _, nd := range c {
+				if seen[nd] {
+					t.Fatalf("n=%d: node %v in two clusters", n, nd)
+				}
+				seen[nd] = true
+				total++
+			}
+		}
+		if total != top.NumNodes() {
+			t.Fatalf("n=%d: %d nodes covered of %d", n, total, top.NumNodes())
+		}
+	}
+	// Degenerate requests clamp.
+	if got := len(PartitionNodes(top, 0)); got != 1 {
+		t.Fatalf("n=0 -> %d clusters", got)
+	}
+	if got := len(PartitionNodes(top, 1000)); got != top.NumNodes() {
+		t.Fatalf("n=1000 -> %d clusters", got)
+	}
+}
+
+func TestAnalyzeClusteredFindsDegradation(t *testing.T) {
+	top, dps := tiny()
+	base := demand.Matrix{
+		{Src: dps[0].Src, Dst: dps[0].Dst, Volume: 12},
+		{Src: dps[1].Src, Dst: dps[1].Dst, Volume: 10},
+	}
+	cfg := ClusterConfig{
+		Config: Config{
+			Topo: top, Demands: dps, Envelope: demand.Around(base, 0.5),
+			QuantBits: 2, MaxFailures: 2,
+		},
+		Clusters: 2,
+	}
+	clustered, err := AnalyzeClustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustered.Status != milp.Optimal {
+		t.Fatalf("status %v", clustered.Status)
+	}
+	// Clustering approximates the demand: its degradation is at most the
+	// full solve's, and must still be a genuine degradation scenario.
+	full := analyzeOK(t, cfg.Config)
+	if clustered.Degradation > full.Degradation+1e-6 {
+		t.Fatalf("clustered %g exceeds exact %g", clustered.Degradation, full.Degradation)
+	}
+	if clustered.Degradation <= 0 {
+		t.Fatalf("clustered analysis found no degradation at all")
+	}
+	if clustered.Scenario == nil || len(clustered.Demands) != len(dps) {
+		t.Fatal("clustered result incomplete")
+	}
+}
+
+func TestAnalyzeClusteredSingleClusterEqualsAnalyze(t *testing.T) {
+	top, dps := tiny()
+	base := demand.Matrix{
+		{Src: dps[0].Src, Dst: dps[0].Dst, Volume: 12},
+		{Src: dps[1].Src, Dst: dps[1].Dst, Volume: 10},
+	}
+	cfg := ClusterConfig{
+		Config: Config{
+			Topo: top, Demands: dps, Envelope: demand.Around(base, 0.5),
+			QuantBits: 2, MaxFailures: 2,
+		},
+		Clusters: 1,
+	}
+	a, err := AnalyzeClustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := analyzeOK(t, cfg.Config)
+	if a.Degradation != b.Degradation {
+		t.Fatalf("clusters=1 must match Analyze: %g vs %g", a.Degradation, b.Degradation)
+	}
+}
+
+func TestAnalyzeClusteredSplitsBudget(t *testing.T) {
+	top, dps := tiny()
+	base := demand.Matrix{
+		{Src: dps[0].Src, Dst: dps[0].Dst, Volume: 12},
+		{Src: dps[1].Src, Dst: dps[1].Dst, Volume: 10},
+	}
+	cfg := ClusterConfig{
+		Config: Config{
+			Topo: top, Demands: dps, Envelope: demand.Around(base, 0.5),
+			QuantBits: 2, MaxFailures: 2,
+			Solver: milp.Params{TimeLimit: 2 * time.Second},
+		},
+		Clusters: 2,
+	}
+	start := time.Now()
+	if _, err := AnalyzeClustered(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 4*time.Second {
+		t.Fatalf("clustered run blew the overall budget: %v", time.Since(start))
+	}
+}
+
+func TestAnalyzeClusteredValidates(t *testing.T) {
+	if _, err := AnalyzeClustered(ClusterConfig{Clusters: 3}); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+// tinyPaths exposes the tiny fixture's path sets for other tests.
+func tinyPaths(t *testing.T) (*topology.Topology, []paths.DemandPaths) {
+	t.Helper()
+	return tiny()
+}

@@ -1,0 +1,241 @@
+package metaopt
+
+import (
+	"fmt"
+
+	"raha/internal/failures"
+	"raha/internal/milp"
+	"raha/internal/te"
+)
+
+// analyzeMaxMin builds and solves the single-level MILP for the Appendix A
+// max-min fairness objective in its single-shot geometric-binner form
+// (Soroush's binner family): each demand's flow is split across bins of
+// geometrically growing width, with geometrically decaying weights, so
+// early units of every demand dominate later units of any demand.
+// Degradation = healthy binned utility − failed binned utility.
+//
+// Failed binner LP (outer variables highlighted by name):
+//
+//	max Σ_kb w_b·f_kb
+//	s.t. Σ_j f_kj − Σ_b f_kb = 0      [λ_k free]
+//	     Σ_b f_kb ≤ d_k               [α_k ≥ 0]
+//	     f_kb ≤ width_b               [μ_kb ≥ 0]
+//	     Σ_{kj∋e} f_kj ≤ c_e          [β_e ≥ 0]
+//	     f_kj ≤ C_kj                  [γ_kj ≥ 0]
+//
+//	dual: min Σ_k d_k·α_k + Σ_kb width_b·μ_kb + Σ_e c_e·β_e + Σ_kj C_kj·γ_kj
+//	      s.t. λ_k + Σ_{e∈p} β_e + γ_kj ≥ 0       ∀(k,j)
+//	           −λ_k + α_k + μ_kb ≥ w_b            ∀(k,b)
+//
+// As with MLU, these duals have no natural [0,1] box; they are clipped to
+// MLUDualBound (the weights w_b are ≤ 1, so the default is generous).
+// Clipping can only raise the dual minimum, i.e. overestimate the failed
+// network's utility — an underestimate of the degradation, conservative
+// for alerting.
+func analyzeMaxMin(cfg *Config) (*Result, error) {
+	m := milp.NewModel()
+	enc := failures.Encode(m, cfg.Topo, cfg.Demands)
+	if err := addScenarioConstraints(cfg, m, enc); err != nil {
+		return nil, err
+	}
+	dv, err := newDemandVars(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	binner := cfg.binner()
+	widths, weights := binShape(cfg, binner)
+
+	obj := milp.NewExpr()
+	if cfg.Mode == Gap {
+		if cfg.Envelope.IsFixed() {
+			h, err := te.MaxMinBinned(cfg.Topo, cfg.Demands, cfg.Envelope.Lo, te.FullCapacities(cfg.Topo), te.HealthyActive(cfg.Demands), binner)
+			if err != nil {
+				return nil, err
+			}
+			if !h.Feasible {
+				return nil, fmt.Errorf("metaopt: healthy max-min network LP infeasible")
+			}
+			obj.AddConst(h.Objective)
+		} else {
+			buildHealthyMaxMin(cfg, m, dv, &obj, widths, weights)
+		}
+	}
+
+	dualObj := buildFailedDualMaxMin(cfg, m, enc, dv, widths, weights)
+	obj.AddExpr(-1, dualObj)
+	m.SetObjective(obj, milp.Maximize)
+
+	params := cfg.Solver
+	if cfg.Mode == Gap {
+		if !cfg.Envelope.IsFixed() {
+			for _, h := range hintScenarios(cfg) {
+				params.Hints = append(params.Hints, buildHint(m, cfg, enc, dv, h.Scenario, h.Level))
+			}
+		}
+		if h := buildWarmStartHint(m, cfg, enc, dv); h != nil {
+			params.Hints = append(params.Hints, h)
+		}
+	}
+	mres, err := m.Solve(params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Status: mres.Status, Nodes: mres.Nodes}
+	if mres.X == nil {
+		return res, nil
+	}
+	res.ModelObjective = mres.Objective
+	res.Scenario = enc.ScenarioFromSolution(mres.X)
+	res.Demands = make([]float64, len(cfg.Demands))
+	for k := range cfg.Demands {
+		res.Demands[k] = dv.value(k, mres.X)
+	}
+	if err := verify(cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// binShape materializes the binner's widths and weights, using the same
+// envelope-pinned base as verification (binBase).
+func binShape(cfg *Config, b te.BinnerConfig) (widths, weights []float64) {
+	base, _ := binBase(cfg, b)
+	w := base
+	weight := 1.0
+	for i := 0; i < b.Bins; i++ {
+		widths = append(widths, w)
+		weights = append(weights, weight)
+		w *= b.Ratio
+		weight /= b.Ratio
+	}
+	return widths, weights
+}
+
+func pow(r float64, n int) float64 {
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p *= r
+	}
+	return p
+}
+
+// binner resolves the configured binner shape with the te defaults.
+func (c *Config) binner() te.BinnerConfig {
+	b := c.MaxMinBinner
+	if b.Bins <= 0 {
+		b.Bins = 6
+	}
+	if b.Ratio <= 1 {
+		b.Ratio = 2
+	}
+	return b
+}
+
+// buildHealthyMaxMin folds the healthy binner primal into the outer problem.
+func buildHealthyMaxMin(cfg *Config, m *milp.Model, dv *demandVars, obj *milp.Expr, widths, weights []float64) {
+	byLAG := make([][]milp.Var, cfg.Topo.NumLAGs())
+	for k, dp := range cfg.Demands {
+		hi := cfg.Envelope.Hi[k]
+		flowSum := milp.NewExpr()
+		for j := 0; j < dp.Primary; j++ {
+			f := m.ContinuousVar(0, hi, fmt.Sprintf("fo[%d][%d]", k, j))
+			flowSum.Add(1, f)
+			for _, e := range dp.Paths[j].LAGs {
+				byLAG[e] = append(byLAG[e], f)
+			}
+		}
+		binSum := milp.NewExpr()
+		demandRow := milp.NewExpr()
+		for b := range widths {
+			fb := m.ContinuousVar(0, widths[b], fmt.Sprintf("fob[%d][%d]", k, b))
+			obj.Add(weights[b], fb)
+			binSum.Add(-1, fb)
+			demandRow.Add(1, fb)
+		}
+		// Σ_j f_kj = Σ_b f_kb.
+		binSum.AddExpr(1, flowSum)
+		m.Add(binSum, milp.EQ, 0, fmt.Sprintf("healthy-bins[%d]", k))
+		// Σ_b f_kb ≤ d_k.
+		demandRow.AddExpr(-1, dv.expr[k])
+		m.Add(demandRow, milp.LE, 0, fmt.Sprintf("healthy-demand[%d]", k))
+	}
+	for e, vars := range byLAG {
+		if len(vars) == 0 {
+			continue
+		}
+		row := milp.NewExpr()
+		for _, f := range vars {
+			row.Add(1, f)
+		}
+		m.Add(row, milp.LE, cfg.Topo.LAG(e).Capacity(), fmt.Sprintf("healthy-cap[%d]", e))
+	}
+}
+
+// buildFailedDualMaxMin adds the failed binner's LP dual and returns its
+// objective expression (minimized by the outer maximization).
+func buildFailedDualMaxMin(cfg *Config, m *milp.Model, enc *failures.Encoding, dv *demandVars, widths, weights []float64) milp.Expr {
+	bound := cfg.mluDualBound()
+	dual := milp.NewExpr()
+
+	lambda := make([]milp.Var, len(cfg.Demands))
+	alpha := make([]milp.Var, len(cfg.Demands))
+	for k := range cfg.Demands {
+		lambda[k] = m.ContinuousVar(-bound, bound, fmt.Sprintf("lambda[%d]", k))
+		alpha[k] = m.ContinuousVar(0, bound, fmt.Sprintf("alpha[%d]", k))
+		// d_k·α_k with quantized d.
+		if lo := cfg.Envelope.Lo[k]; lo != 0 {
+			dual.Add(lo, alpha[k])
+		}
+		if dv.bits[k] != nil {
+			scale := dv.q.Unit[k]
+			for i, b := range dv.bits[k] {
+				w := m.Product(b, alpha[k], fmt.Sprintf("w[%d][%d]", k, i))
+				dual.Add(scale, w)
+				scale *= 2
+			}
+		}
+		// Bin duals: −λ_k + α_k + μ_kb ≥ w_b, objective width_b·μ_kb.
+		for b := range widths {
+			mu := m.ContinuousVar(0, bound, fmt.Sprintf("mu[%d][%d]", k, b))
+			dual.Add(widths[b], mu)
+			m.Add(milp.NewExpr(milp.T(-1, lambda[k]), milp.T(1, alpha[k]), milp.T(1, mu)), milp.GE, weights[b], fmt.Sprintf("dualbin[%d][%d]", k, b))
+		}
+	}
+
+	beta := make([]milp.Var, cfg.Topo.NumLAGs())
+	for e := 0; e < cfg.Topo.NumLAGs(); e++ {
+		if !enc.Used[e] {
+			continue
+		}
+		beta[e] = m.ContinuousVar(0, bound, fmt.Sprintf("beta[%d]", e))
+		for l, ln := range cfg.Topo.LAG(e).Links {
+			dual.Add(ln.Capacity, beta[e])
+			v := m.Product(enc.LinkDown[e][l], beta[e], fmt.Sprintf("v[%d][%d]", e, l))
+			dual.Add(-ln.Capacity, v)
+		}
+	}
+
+	for k, dp := range cfg.Demands {
+		hi := cfg.Envelope.Hi[k]
+		for j := range dp.Paths {
+			gamma := m.ContinuousVar(0, bound, fmt.Sprintf("gamma[%d][%d]", k, j))
+			// λ_k + Σ β_e + γ_kj ≥ 0.
+			feas := milp.NewExpr(milp.T(1, lambda[k]), milp.T(1, gamma))
+			for _, e := range dp.Paths[j].LAGs {
+				feas.Add(1, beta[e])
+			}
+			m.Add(feas, milp.GE, 0, fmt.Sprintf("dualfeas[%d][%d]", k, j))
+			if hi == 0 {
+				continue
+			}
+			if enc.Active[k][j] == nil {
+				dual.Add(hi, gamma)
+			} else {
+				g := m.Product(*enc.Active[k][j], gamma, fmt.Sprintf("g[%d][%d]", k, j))
+				dual.Add(hi, g)
+			}
+		}
+	}
+	return dual
+}

@@ -1,0 +1,186 @@
+package metaopt
+
+import (
+	"fmt"
+
+	"raha/internal/failures"
+	"raha/internal/milp"
+	"raha/internal/te"
+)
+
+// analyzeMLU builds and solves the single-level MILP for the Appendix A
+// minimize-MLU objective. Degradation = U_failed − U_healthy.
+//
+// The roles mirror the total-flow case with signs flipped: the healthy
+// network is a minimization aligned with the outer problem (outer wants
+// U_healthy small), so its primal folds in directly; the failed network is
+// a minimization the outer problem wants LARGE, so it is replaced by its LP
+// dual — a maximization that folds into the outer objective:
+//
+//	failed primal: min U  s.t. Σ_j f_kj = d_k            [λ_k free]
+//	                          Σ_{kj∋e} f_kj ≤ U·c_e      [β_e ≥ 0]
+//	                          f_kj ≤ C_kj                [γ_kj ≥ 0]
+//	failed dual:   max Σ_k d_k·λ_k − Σ C_kj·γ_kj
+//	               s.t. λ_k ≤ Σ_{e∈p_kj} β_e + γ_kj   ∀(k,j)
+//	                    Σ_e c_e·β_e ≤ 1
+//
+// Unlike the total-flow dual, these duals have no natural [0,1] box; they
+// are clipped to the configurable MLUDualBound. Too small a bound
+// underestimates the failed MLU (conservative for alerting).
+func analyzeMLU(cfg *Config) (*Result, error) {
+	m := milp.NewModel()
+	enc := failures.Encode(m, cfg.Topo, cfg.Demands)
+	if err := addScenarioConstraints(cfg, m, enc); err != nil {
+		return nil, err
+	}
+	dv, err := newDemandVars(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+
+	obj := milp.NewExpr()
+	if cfg.Mode == Gap {
+		if cfg.Envelope.IsFixed() {
+			h, err := te.MinMLU(cfg.Topo, cfg.Demands, cfg.Envelope.Lo, te.FullCapacities(cfg.Topo), te.HealthyActive(cfg.Demands))
+			if err != nil {
+				return nil, err
+			}
+			if !h.Feasible {
+				return nil, fmt.Errorf("metaopt: healthy MLU network cannot route the fixed demand")
+			}
+			obj.AddConst(-h.Objective)
+		} else {
+			buildHealthyMLU(cfg, m, dv, &obj)
+		}
+	}
+
+	dualObj := buildFailedDualMLU(cfg, m, enc, dv)
+	obj.AddExpr(1, dualObj)
+	m.SetObjective(obj, milp.Maximize)
+
+	params := cfg.Solver
+	if cfg.Mode == Gap {
+		if !cfg.Envelope.IsFixed() {
+			for _, h := range hintScenarios(cfg) {
+				params.Hints = append(params.Hints, buildHint(m, cfg, enc, dv, h.Scenario, h.Level))
+			}
+		}
+		if h := buildWarmStartHint(m, cfg, enc, dv); h != nil {
+			params.Hints = append(params.Hints, h)
+		}
+	}
+	mres, err := m.Solve(params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Status: mres.Status, Nodes: mres.Nodes}
+	if mres.X == nil {
+		return res, nil
+	}
+	res.ModelObjective = mres.Objective
+	res.Scenario = enc.ScenarioFromSolution(mres.X)
+	res.Demands = make([]float64, len(cfg.Demands))
+	for k := range cfg.Demands {
+		res.Demands[k] = dv.value(k, mres.X)
+	}
+	if err := verify(cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// buildHealthyMLU folds the healthy MLU primal into the outer problem:
+// minimize U° over primary paths at full capacity, demands routed in full.
+func buildHealthyMLU(cfg *Config, m *milp.Model, dv *demandVars, obj *milp.Expr) {
+	u := m.ContinuousVar(0, 1e9, "U_healthy")
+	obj.Add(-1, u)
+	byLAG := make([][]milp.Var, cfg.Topo.NumLAGs())
+	for k, dp := range cfg.Demands {
+		row := milp.NewExpr()
+		for j := 0; j < dp.Primary; j++ {
+			f := m.ContinuousVar(0, cfg.Envelope.Hi[k], fmt.Sprintf("fo[%d][%d]", k, j))
+			row.Add(1, f)
+			for _, e := range dp.Paths[j].LAGs {
+				byLAG[e] = append(byLAG[e], f)
+			}
+		}
+		row.AddExpr(-1, dv.expr[k])
+		m.Add(row, milp.EQ, 0, fmt.Sprintf("healthy-demand[%d]", k))
+	}
+	for e, vars := range byLAG {
+		if len(vars) == 0 {
+			continue
+		}
+		row := milp.NewExpr(milp.T(-cfg.Topo.LAG(e).Capacity(), u))
+		for _, f := range vars {
+			row.Add(1, f)
+		}
+		m.Add(row, milp.LE, 0, fmt.Sprintf("healthy-util[%d]", e))
+	}
+}
+
+// buildFailedDualMLU adds the failed network's MLU dual and returns its
+// objective expression (to be maximized by the outer problem).
+func buildFailedDualMLU(cfg *Config, m *milp.Model, enc *failures.Encoding, dv *demandVars) milp.Expr {
+	bound := cfg.mluDualBound()
+	dual := milp.NewExpr()
+
+	lambda := make([]milp.Var, len(cfg.Demands))
+	for k := range cfg.Demands {
+		lambda[k] = m.ContinuousVar(-bound, bound, fmt.Sprintf("lambda[%d]", k))
+		// d_k·λ_k = Lo_k·λ_k + unit·Σ 2^i·(b_ki·λ_k).
+		if lo := cfg.Envelope.Lo[k]; lo != 0 {
+			dual.Add(lo, lambda[k])
+		}
+		if dv.bits[k] != nil {
+			scale := dv.q.Unit[k]
+			for i, b := range dv.bits[k] {
+				w := m.Product(b, lambda[k], fmt.Sprintf("w[%d][%d]", k, i))
+				dual.Add(scale, w)
+				scale *= 2
+			}
+		}
+	}
+
+	beta := make([]milp.Var, cfg.Topo.NumLAGs())
+	// Σ_e c_e·β_e ≤ 1 with c_e = Σ_l c_le(1−u_le), over used LAGs only
+	// (pruned LAGs carry no flow and need no utilization constraint).
+	capRow := milp.NewExpr()
+	for e := 0; e < cfg.Topo.NumLAGs(); e++ {
+		if !enc.Used[e] {
+			continue
+		}
+		beta[e] = m.ContinuousVar(0, bound, fmt.Sprintf("beta[%d]", e))
+		for l, ln := range cfg.Topo.LAG(e).Links {
+			capRow.Add(ln.Capacity, beta[e])
+			v := m.Product(enc.LinkDown[e][l], beta[e], fmt.Sprintf("v[%d][%d]", e, l))
+			capRow.Add(-ln.Capacity, v)
+		}
+	}
+	m.Add(capRow, milp.LE, 1, "dual-U")
+
+	for k, dp := range cfg.Demands {
+		hi := cfg.Envelope.Hi[k]
+		for j := range dp.Paths {
+			gamma := m.ContinuousVar(0, bound, fmt.Sprintf("gamma[%d][%d]", k, j))
+			// λ_k − Σ β_e − γ_kj ≤ 0.
+			feas := milp.NewExpr(milp.T(1, lambda[k]), milp.T(-1, gamma))
+			for _, e := range dp.Paths[j].LAGs {
+				feas.Add(-1, beta[e])
+			}
+			m.Add(feas, milp.LE, 0, fmt.Sprintf("dualfeas[%d][%d]", k, j))
+
+			// −C_kj·γ_kj with C_kj = Hi_k·A_kj.
+			if hi == 0 {
+				continue
+			}
+			if enc.Active[k][j] == nil {
+				dual.Add(-hi, gamma)
+			} else {
+				g := m.Product(*enc.Active[k][j], gamma, fmt.Sprintf("g[%d][%d]", k, j))
+				dual.Add(-hi, g)
+			}
+		}
+	}
+	return dual
+}

@@ -1,0 +1,108 @@
+package metaopt
+
+import (
+	"math"
+	"testing"
+
+	"raha/internal/demand"
+	"raha/internal/failures"
+	"raha/internal/te"
+)
+
+// bruteForceMLU computes the exact worst MLU degradation over all allowed
+// scenarios and grid demands, skipping infeasible (disconnected) points the
+// way CE prevents them.
+func bruteForceMLU(t *testing.T, cfg *Config) float64 {
+	t.Helper()
+	caps := te.FullCapacities(cfg.Topo)
+	healthyActive := te.HealthyActive(cfg.Demands)
+	best := math.Inf(-1)
+	enumerate(cfg.Topo, func(s *failures.Scenario) {
+		if !scenarioAllowed(cfg, s) {
+			return
+		}
+		failedCaps := s.Capacities(cfg.Topo)
+		act := s.ActivePaths(cfg.Demands)
+		demandGrid(cfg.Envelope, cfg.quantBits(), func(d []float64) {
+			h, err := te.MinMLU(cfg.Topo, cfg.Demands, d, caps, healthyActive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := te.MinMLU(cfg.Topo, cfg.Demands, d, failedCaps, act)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !h.Feasible || !f.Feasible {
+				return
+			}
+			if gap := f.Objective - h.Objective; gap > best {
+				best = gap
+			}
+		})
+	})
+	return best
+}
+
+func TestMLUGapMatchesBruteForce(t *testing.T) {
+	top, dps := tiny()
+	base := demand.Matrix{
+		{Src: dps[0].Src, Dst: dps[0].Dst, Volume: 6},
+		{Src: dps[1].Src, Dst: dps[1].Dst, Volume: 5},
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"fixed", Config{
+			Topo: top, Demands: dps, Envelope: demand.Fixed(base),
+			Objective: MLU, ConnectivityEnforced: true, MaxFailures: 2,
+		}},
+		{"variable", Config{
+			Topo: top, Demands: dps, Envelope: demand.Around(base, 0.4),
+			Objective: MLU, ConnectivityEnforced: true, MaxFailures: 2, QuantBits: 2,
+		}},
+		{"threshold", Config{
+			Topo: top, Demands: dps, Envelope: demand.Fixed(base),
+			Objective: MLU, ConnectivityEnforced: true, ProbThreshold: 1e-3,
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := analyzeOK(t, c.cfg)
+			want := bruteForceMLU(t, &c.cfg)
+			if math.Abs(res.Degradation-want) > 1e-4 {
+				t.Fatalf("degradation = %g, brute force %g", res.Degradation, want)
+			}
+			if !res.Healthy.Feasible || !res.Failed.Feasible {
+				t.Fatal("CE should keep both networks feasible")
+			}
+			// Failing links can only increase the MLU.
+			if res.Degradation < -1e-6 {
+				t.Fatalf("negative MLU degradation %g", res.Degradation)
+			}
+		})
+	}
+}
+
+func TestMLUDegradationGrowsWithSlack(t *testing.T) {
+	// §8.5 "on other objectives": degradation grows with slack.
+	top, dps := tiny()
+	base := demand.Matrix{
+		{Src: dps[0].Src, Dst: dps[0].Dst, Volume: 6},
+		{Src: dps[1].Src, Dst: dps[1].Dst, Volume: 5},
+	}
+	prev := -1.0
+	for _, slack := range []float64{0, 0.2, 0.4} {
+		cfg := Config{
+			Topo: top, Demands: dps,
+			Envelope:  demand.Envelope{Pairs: base.Pairs(), Lo: []float64{6 * (1 - 0), 5}, Hi: []float64{6 * (1 + slack), 5 * (1 + slack)}},
+			Objective: MLU, ConnectivityEnforced: true, MaxFailures: 2, QuantBits: 2,
+		}
+		cfg.Envelope.Lo = []float64{0, 0}
+		res := analyzeOK(t, cfg)
+		if res.Degradation < prev-1e-6 {
+			t.Fatalf("slack %g: degradation %g decreased from %g", slack, res.Degradation, prev)
+		}
+		prev = res.Degradation
+	}
+}

@@ -1,0 +1,235 @@
+package metaopt
+
+import (
+	"fmt"
+
+	"raha/internal/failures"
+	"raha/internal/milp"
+	"raha/internal/te"
+)
+
+// analyzeTotalFlow builds and solves the single-level MILP for the
+// total-demand-met objective (Eq. 2).
+func analyzeTotalFlow(cfg *Config) (*Result, error) {
+	m := milp.NewModel()
+	enc := failures.Encode(m, cfg.Topo, cfg.Demands)
+	if err := addScenarioConstraints(cfg, m, enc); err != nil {
+		return nil, err
+	}
+	dv, err := newDemandVars(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+
+	obj := milp.NewExpr()
+
+	// Healthy network. With a fixed envelope the design point is a
+	// constant the analyzer computes once by LP (§6's easy-scaling case);
+	// otherwise its primal folds into the outer problem.
+	var healthyFlows *te.Result
+	if cfg.Mode == Gap {
+		if cfg.Envelope.IsFixed() {
+			h, err := te.MaxTotalFlow(cfg.Topo, cfg.Demands, cfg.Envelope.Lo, te.FullCapacities(cfg.Topo), te.HealthyActive(cfg.Demands))
+			if err != nil {
+				return nil, err
+			}
+			if !h.Feasible {
+				return nil, fmt.Errorf("metaopt: healthy network LP infeasible")
+			}
+			healthyFlows = h
+			obj.AddConst(h.Objective)
+		} else {
+			buildHealthyTotalFlow(cfg, m, dv, &obj)
+		}
+	} else if cfg.NaiveFailover {
+		// FailedOnly + naive fail-over still needs the healthy flows as
+		// gate constants.
+		h, err := te.MaxTotalFlow(cfg.Topo, cfg.Demands, cfg.Envelope.Lo, te.FullCapacities(cfg.Topo), te.HealthyActive(cfg.Demands))
+		if err != nil {
+			return nil, err
+		}
+		healthyFlows = h
+	}
+
+	// Failed network: dual objective, minimized by the outer maximization.
+	dualObj, err := buildFailedDualTotalFlow(cfg, m, enc, dv, healthyFlows)
+	if err != nil {
+		return nil, err
+	}
+	obj.AddExpr(-1, dualObj)
+	m.SetObjective(obj, milp.Maximize)
+
+	params := cfg.Solver
+	if cfg.Mode == Gap {
+		if !cfg.Envelope.IsFixed() {
+			for _, h := range hintScenarios(cfg) {
+				params.Hints = append(params.Hints, buildHint(m, cfg, enc, dv, h.Scenario, h.Level))
+			}
+		}
+		if h := buildWarmStartHint(m, cfg, enc, dv); h != nil {
+			params.Hints = append(params.Hints, h)
+		}
+	}
+	mres, err := m.Solve(params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Status: mres.Status, Nodes: mres.Nodes}
+	if mres.X == nil {
+		return res, nil
+	}
+	res.ModelObjective = mres.Objective
+	res.Scenario = enc.ScenarioFromSolution(mres.X)
+	res.Demands = make([]float64, len(cfg.Demands))
+	for k := range cfg.Demands {
+		res.Demands[k] = dv.value(k, mres.X)
+	}
+	if err := verify(cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// buildHealthyTotalFlow folds the healthy network's primal into the outer
+// problem: flow variables on primary paths, demand rows against the
+// quantized demand expressions, capacity rows at full LAG capacity. The
+// flows' sum joins the outer objective.
+func buildHealthyTotalFlow(cfg *Config, m *milp.Model, dv *demandVars, obj *milp.Expr) {
+	byLAG := make([][]milp.Var, cfg.Topo.NumLAGs())
+	for k, dp := range cfg.Demands {
+		hi := cfg.Envelope.Hi[k]
+		row := milp.NewExpr()
+		for j := 0; j < dp.Primary; j++ {
+			f := m.ContinuousVar(0, hi, fmt.Sprintf("fo[%d][%d]", k, j))
+			obj.Add(1, f)
+			row.Add(1, f)
+			for _, e := range dp.Paths[j].LAGs {
+				byLAG[e] = append(byLAG[e], f)
+			}
+		}
+		// Σ_j fo_kj ≤ d_k  ⇔  Σ_j fo_kj − (d_k − Lo_k) ≤ Lo_k.
+		row.AddExpr(-1, dv.expr[k])
+		m.Add(row, milp.LE, 0, fmt.Sprintf("healthy-demand[%d]", k))
+	}
+	for e, vars := range byLAG {
+		if len(vars) == 0 {
+			continue
+		}
+		row := milp.NewExpr()
+		for _, f := range vars {
+			row.Add(1, f)
+		}
+		m.Add(row, milp.LE, cfg.Topo.LAG(e).Capacity(), fmt.Sprintf("healthy-cap[%d]", e))
+	}
+}
+
+// buildFailedDualTotalFlow adds the failed network's LP dual to the outer
+// problem and returns its objective expression.
+//
+// Failed primal (per §5, with outer variables highlighted):
+//
+//	max Σ f_kj   s.t.  Σ_j f_kj ≤ d_k        [α_k]
+//	                   Σ_{kj∋e} f_kj ≤ c_e   [β_e]   c_e = Σ_l c_le(1−u_le)
+//	                   f_kj ≤ C_kj           [γ_kj]  C_kj = Hi_k·A_kj
+//	                   (naive) f_kj ≤ n_kj   [δ_kj]  n_kj = healthy flow
+//
+// Dual: min Σ d_k α_k + Σ c_e β_e + Σ C_kj γ_kj (+ Σ n_kj δ_kj)
+// s.t. α_k + Σ_{e∈p_kj} β_e + γ_kj (+ δ_kj) ≥ 1, all duals in [0,1]
+// (restriction WLOG; see the package comment).
+func buildFailedDualTotalFlow(cfg *Config, m *milp.Model, enc *failures.Encoding, dv *demandVars, healthy *te.Result) (milp.Expr, error) {
+	dual := milp.NewExpr()
+
+	alpha := make([]milp.Var, len(cfg.Demands))
+	for k := range cfg.Demands {
+		alpha[k] = m.ContinuousVar(0, 1, fmt.Sprintf("alpha[%d]", k))
+		// d_k·α_k = Lo_k·α_k + unit·Σ 2^i·(b_ki·α_k).
+		if lo := cfg.Envelope.Lo[k]; lo != 0 {
+			dual.Add(lo, alpha[k])
+		}
+		if dv.bits[k] != nil {
+			scale := dv.q.Unit[k]
+			for i, b := range dv.bits[k] {
+				w := m.Product(b, alpha[k], fmt.Sprintf("w[%d][%d]", k, i))
+				dual.Add(scale, w)
+				scale *= 2
+			}
+		}
+	}
+
+	beta := make([]milp.Var, cfg.Topo.NumLAGs())
+	for e := 0; e < cfg.Topo.NumLAGs(); e++ {
+		if !enc.Used[e] {
+			continue // pruned: no flow, no capacity constraint, no dual
+		}
+		beta[e] = m.ContinuousVar(0, 1, fmt.Sprintf("beta[%d]", e))
+		// c_e·β_e = Σ_l c_le·β_e − Σ_l c_le·(u_le·β_e).
+		for l, ln := range cfg.Topo.LAG(e).Links {
+			dual.Add(ln.Capacity, beta[e])
+			v := m.Product(enc.LinkDown[e][l], beta[e], fmt.Sprintf("v[%d][%d]", e, l))
+			dual.Add(-ln.Capacity, v)
+		}
+	}
+
+	for k, dp := range cfg.Demands {
+		hi := cfg.Envelope.Hi[k]
+		for j := range dp.Paths {
+			gamma := m.ContinuousVar(0, 1, fmt.Sprintf("gamma[%d][%d]", k, j))
+			// Dual feasibility for f_kj.
+			feas := milp.NewExpr(milp.T(1, alpha[k]), milp.T(1, gamma))
+			for _, e := range dp.Paths[j].LAGs {
+				feas.Add(1, beta[e])
+			}
+			if cfg.NaiveFailover {
+				delta := m.ContinuousVar(0, 1, fmt.Sprintf("delta[%d][%d]", k, j))
+				feas.Add(1, delta)
+				bound := naiveGate(healthy, k, j, dp.Primary)
+				if bound != 0 {
+					dual.Add(bound, delta)
+				}
+			}
+			m.Add(feas, milp.GE, 1, fmt.Sprintf("dualfeas[%d][%d]", k, j))
+
+			// Gate term C_kj·γ_kj.
+			if hi == 0 {
+				continue
+			}
+			if enc.Active[k][j] == nil {
+				dual.Add(hi, gamma) // primary: always active
+			} else {
+				g := m.Product(*enc.Active[k][j], gamma, fmt.Sprintf("g[%d][%d]", k, j))
+				dual.Add(hi, g)
+			}
+		}
+	}
+	return dual, nil
+}
+
+// naiveGate returns the §5.1 naive fail-over bound for path j of demand k:
+// primaries are capped at their own healthy flow; the r-th backup at the
+// r-th primary's healthy flow (0 when there is no r-th primary).
+func naiveGate(healthy *te.Result, k, j, primary int) float64 {
+	if healthy == nil {
+		return 0
+	}
+	if j < primary {
+		return healthy.PathFlows[k][j]
+	}
+	r := j - primary
+	if r < primary {
+		return healthy.PathFlows[k][r]
+	}
+	return 0
+}
+
+// naiveFailoverFlow re-solves the failed network with the naive fail-over
+// gates for verification.
+func naiveFailoverFlow(cfg *Config, volumes, caps []float64, active [][]bool, healthy *te.Result) (*te.Result, error) {
+	pathCaps := make([][]float64, len(cfg.Demands))
+	for k, dp := range cfg.Demands {
+		pathCaps[k] = make([]float64, len(dp.Paths))
+		for j := range dp.Paths {
+			pathCaps[k][j] = naiveGate(healthy, k, j, dp.Primary)
+		}
+	}
+	return te.MaxTotalFlowWithPathCaps(cfg.Topo, cfg.Demands, volumes, caps, active, pathCaps)
+}

@@ -1,0 +1,292 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"raha/internal/lp"
+)
+
+// Status reports the outcome of a MILP solve.
+type Status int8
+
+// Solve outcomes. Feasible means a limit (time, nodes, gap) stopped the
+// search with an incumbent in hand — the behaviour the paper relies on when
+// it runs Gurobi with its timeout feature.
+const (
+	Optimal Status = iota
+	Feasible
+	Infeasible
+	Unbounded
+	Unknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Params tunes the branch-and-bound search. Zero values select defaults.
+type Params struct {
+	TimeLimit time.Duration // wall-clock budget; 0 = unlimited
+	NodeLimit int           // maximum explored nodes; 0 = unlimited
+	MIPGap    float64       // relative gap at which to stop; 0 = prove optimality
+	IntTol    float64       // integrality tolerance; 0 = 1e-6
+
+	// Hints are warm-start candidates: full-length value vectors whose
+	// integer entries are fixed (rounded, clamped to bounds) and whose
+	// continuous entries are re-optimized by LP. Feasible hints become
+	// incumbents before the search starts — the analogue of a MIP start in
+	// a commercial solver. NaN entries on integer variables skip the hint.
+	Hints [][]float64
+}
+
+// Result is the outcome of a MILP solve.
+type Result struct {
+	Status    Status
+	Objective float64 // incumbent objective (model sense)
+	Bound     float64 // best dual bound (model sense)
+	X         []float64
+	Nodes     int
+	Runtime   time.Duration
+}
+
+// Gap returns the relative optimality gap of the result.
+func (r *Result) Gap() float64 {
+	if r.Status == Optimal {
+		return 0
+	}
+	d := math.Abs(r.Objective)
+	if d < 1 {
+		d = 1
+	}
+	return math.Abs(r.Bound-r.Objective) / d
+}
+
+type node struct {
+	lo, hi []float64
+	relax  float64 // bound inherited from the parent (model sense)
+}
+
+// Solve runs branch and bound on the model.
+func (m *Model) Solve(p Params) (*Result, error) {
+	start := time.Now()
+	if p.IntTol == 0 {
+		p.IntTol = 1e-6
+	}
+	intVars := make([]Var, 0, len(m.vtype))
+	for v, t := range m.vtype {
+		if t != Continuous {
+			intVars = append(intVars, Var(v))
+		}
+	}
+
+	maximize := m.sense == Maximize
+	// toObj maps the solver's internal minimized value back to model sense.
+	// The objective's constant term is not part of the LP and re-enters
+	// here.
+	objConst := m.obj.Const
+	toObj := func(v float64) float64 {
+		if maximize {
+			return -v + objConst
+		}
+		return v + objConst
+	}
+
+	inf := math.Inf(1)
+	root := node{lo: append([]float64(nil), m.lo...), hi: append([]float64(nil), m.hi...), relax: toObj(-inf)}
+
+	res := &Result{Status: Unknown, Objective: toObj(inf), Bound: toObj(-inf)}
+	var haveIncumbent bool
+	clean := true // no node was abandoned due to LP iteration limits
+
+	better := func(a, b float64) bool { // a strictly better than b in model sense
+		if maximize {
+			return a > b
+		}
+		return a < b
+	}
+
+	// solveLP solves the relaxation under the node's bounds.
+	solveLP := func(lo, hi []float64) (*lp.Solution, error) {
+		return lp.Solve(m.toLP(lo, hi), nil)
+	}
+
+	// fractional returns the most fractional integer variable, or -1.
+	fractional := func(x []float64) Var {
+		best := Var(-1)
+		bestDist := p.IntTol
+		for _, v := range intVars {
+			f := x[v] - math.Floor(x[v])
+			dist := math.Min(f, 1-f)
+			if dist > bestDist {
+				bestDist = dist
+				best = v
+			}
+		}
+		// Prefer the variable closest to 0.5; bestDist tracks the max.
+		return best
+	}
+
+	// tryRound fixes integers to rounded values and re-solves; a feasible
+	// result becomes an incumbent candidate.
+	tryRound := func(n *node, x []float64) {
+		lo := append([]float64(nil), n.lo...)
+		hi := append([]float64(nil), n.hi...)
+		for _, v := range intVars {
+			r := math.Round(x[v])
+			if r < lo[v] {
+				r = lo[v]
+			}
+			if r > hi[v] {
+				r = hi[v]
+			}
+			lo[v], hi[v] = r, r
+		}
+		sol, err := solveLP(lo, hi)
+		if err != nil || sol.Status != lp.Optimal {
+			return
+		}
+		obj := toObj(sol.Objective)
+		if !haveIncumbent || better(obj, res.Objective) {
+			haveIncumbent = true
+			res.Objective = obj
+			res.X = sol.X
+		}
+	}
+
+	// Warm starts: fix integers to each hint, LP the rest.
+	for _, h := range p.Hints {
+		if len(h) != len(m.lo) {
+			continue
+		}
+		usable := true
+		for _, v := range intVars {
+			if math.IsNaN(h[v]) {
+				usable = false
+				break
+			}
+		}
+		if usable {
+			tryRound(&root, h)
+		}
+	}
+
+	stack := []node{root}
+	const heurEvery = 64
+
+	for len(stack) > 0 {
+		if p.TimeLimit > 0 && time.Since(start) > p.TimeLimit {
+			break
+		}
+		if p.NodeLimit > 0 && res.Nodes >= p.NodeLimit {
+			break
+		}
+
+		// Global bound = best over open nodes (their inherited bounds);
+		// the initial value is the worst possible in model sense.
+		bound := toObj(inf)
+		for i := range stack {
+			if better(stack[i].relax, bound) {
+				bound = stack[i].relax
+			}
+		}
+		if haveIncumbent {
+			res.Bound = bound
+			if p.MIPGap > 0 && gapMet(res.Objective, bound, p.MIPGap) {
+				break
+			}
+		}
+
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		// Prune by inherited bound.
+		if haveIncumbent && !better(n.relax, res.Objective) {
+			continue
+		}
+
+		res.Nodes++
+		sol, err := solveLP(n.lo, n.hi)
+		if err != nil {
+			return nil, fmt.Errorf("milp: node relaxation: %w", err)
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if res.Nodes == 1 {
+				res.Status = Unbounded
+				res.Runtime = time.Since(start)
+				return res, nil
+			}
+			continue
+		case lp.IterLimit:
+			clean = false
+			continue
+		}
+
+		obj := toObj(sol.Objective)
+		if haveIncumbent && !better(obj, res.Objective) {
+			continue
+		}
+
+		v := fractional(sol.X)
+		if v < 0 {
+			// Integral: new incumbent.
+			haveIncumbent = true
+			res.Objective = obj
+			res.X = sol.X
+			continue
+		}
+
+		if res.Nodes == 1 || res.Nodes%heurEvery == 0 {
+			tryRound(&n, sol.X)
+		}
+
+		// Branch: child bounds inherit the node's LP bound. Push the
+		// "away" child first so the rounded direction is explored next.
+		xf := sol.X[v]
+		down := node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj}
+		up := node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj}
+		down.hi[v] = math.Floor(xf)
+		up.lo[v] = math.Ceil(xf)
+		if xf-math.Floor(xf) < 0.5 {
+			stack = append(stack, up, down) // explore down first
+		} else {
+			stack = append(stack, down, up)
+		}
+	}
+
+	res.Runtime = time.Since(start)
+	switch {
+	case len(stack) == 0 && haveIncumbent && clean:
+		res.Status = Optimal
+		res.Bound = res.Objective
+	case len(stack) == 0 && !haveIncumbent && clean:
+		res.Status = Infeasible
+	case haveIncumbent:
+		res.Status = Feasible
+	default:
+		res.Status = Unknown
+	}
+	return res, nil
+}
+
+func gapMet(incumbent, bound, gap float64) bool {
+	d := math.Abs(incumbent)
+	if d < 1 {
+		d = 1
+	}
+	return math.Abs(bound-incumbent)/d <= gap
+}

@@ -1,0 +1,255 @@
+// Package paths computes the tunnel sets Raha takes as input: k-shortest
+// paths (Yen's algorithm) over LAGs with pluggable edge weights, split into
+// an ordered list of primary paths and fail-over-ordered backup paths per
+// demand (§4.2). Raha itself accepts any path selection policy; this
+// package reproduces the paper's default (k shortest paths, optionally
+// LAG-weighted as in Figure 13).
+package paths
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"raha/internal/topology"
+)
+
+// Path is a loop-free node sequence together with the LAGs it traverses.
+type Path struct {
+	Nodes []topology.Node
+	LAGs  []int
+}
+
+// Weight is an edge-weight function over LAG ids. Nil means unit weights
+// (hop count).
+type Weight func(lagID int) float64
+
+// HopWeight is the unit weight function.
+func HopWeight(int) float64 { return 1 }
+
+// InverseCapacityWeight prefers high-capacity LAGs.
+func InverseCapacityWeight(t *topology.Topology) Weight {
+	return func(id int) float64 { return 1 / (1 + t.LAG(id).Capacity()) }
+}
+
+// cost returns the total weight of a path.
+func cost(p Path, w Weight) float64 {
+	var c float64
+	for _, id := range p.LAGs {
+		c += w(id)
+	}
+	return c
+}
+
+// Equal reports whether two paths traverse the same LAG sequence.
+func Equal(a, b Path) bool {
+	if len(a.LAGs) != len(b.LAGs) {
+		return false
+	}
+	for i := range a.LAGs {
+		if a.LAGs[i] != b.LAGs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node topology.Node
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// shortest runs Dijkstra from src to dst, skipping banned LAGs and nodes.
+// It returns the path and true on success.
+func shortest(t *topology.Topology, src, dst topology.Node, w Weight, bannedLAG map[int]bool, bannedNode map[topology.Node]bool) (Path, bool) {
+	n := t.NumNodes()
+	dist := make([]float64, n)
+	prevLAG := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevLAG[i] = -1
+	}
+	dist[src] = 0
+	q := pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, id := range t.Incident(u) {
+			if bannedLAG[id] {
+				continue
+			}
+			v := t.LAG(id).Other(u)
+			if bannedNode[v] {
+				continue
+			}
+			d := dist[u] + w(id)
+			if d < dist[v]-1e-12 {
+				dist[v] = d
+				prevLAG[v] = id
+				heap.Push(&q, pqItem{node: v, dist: d})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	// Reconstruct.
+	var revLAGs []int
+	var revNodes []topology.Node
+	for at := dst; at != src; {
+		id := prevLAG[at]
+		revLAGs = append(revLAGs, id)
+		revNodes = append(revNodes, at)
+		at = t.LAG(id).Other(at)
+	}
+	p := Path{Nodes: make([]topology.Node, 0, len(revNodes)+1), LAGs: make([]int, 0, len(revLAGs))}
+	p.Nodes = append(p.Nodes, src)
+	for i := len(revNodes) - 1; i >= 0; i-- {
+		p.Nodes = append(p.Nodes, revNodes[i])
+		p.LAGs = append(p.LAGs, revLAGs[i])
+	}
+	return p, true
+}
+
+// KShortest returns up to k loop-free shortest paths from src to dst in
+// nondecreasing weight order (Yen's algorithm).
+func KShortest(t *topology.Topology, src, dst topology.Node, k int, w Weight) []Path {
+	if w == nil {
+		w = HopWeight
+	}
+	if k <= 0 || src == dst {
+		return nil
+	}
+	first, ok := shortest(t, src, dst, w, nil, nil)
+	if !ok {
+		return nil
+	}
+	result := []Path{first}
+	var candidates []Path
+
+	for len(result) < k {
+		prev := result[len(result)-1]
+		// Spur from every node of the previous path except the last.
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spur := prev.Nodes[i]
+			rootNodes := prev.Nodes[:i+1]
+			rootLAGs := prev.LAGs[:i]
+
+			bannedLAG := make(map[int]bool)
+			for _, rp := range result {
+				if sharesRoot(rp, rootNodes) && i < len(rp.LAGs) {
+					bannedLAG[rp.LAGs[i]] = true
+				}
+			}
+			bannedNode := make(map[topology.Node]bool)
+			for _, nd := range rootNodes[:len(rootNodes)-1] {
+				bannedNode[nd] = true
+			}
+
+			tail, ok := shortest(t, spur, dst, w, bannedLAG, bannedNode)
+			if !ok {
+				continue
+			}
+			cand := Path{
+				Nodes: append(append([]topology.Node(nil), rootNodes...), tail.Nodes[1:]...),
+				LAGs:  append(append([]int(nil), rootLAGs...), tail.LAGs...),
+			}
+			dup := false
+			for _, c := range candidates {
+				if Equal(c, cand) {
+					dup = true
+					break
+				}
+			}
+			for _, rp := range result {
+				if Equal(rp, cand) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Take the cheapest candidate.
+		best := 0
+		bestCost := cost(candidates[0], w)
+		for i := 1; i < len(candidates); i++ {
+			if c := cost(candidates[i], w); c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		result = append(result, candidates[best])
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+	return result
+}
+
+func sharesRoot(p Path, rootNodes []topology.Node) bool {
+	if len(p.Nodes) < len(rootNodes) {
+		return false
+	}
+	for i, nd := range rootNodes {
+		if p.Nodes[i] != nd {
+			return false
+		}
+	}
+	return true
+}
+
+// DemandPaths is the ordered tunnel set of one demand: the first Primary
+// entries are primary paths, the remainder an ordered fail-over list of
+// backups (§4.2).
+type DemandPaths struct {
+	Src, Dst topology.Node
+	Paths    []Path
+	Primary  int
+}
+
+// Backups reports the number of backup paths.
+func (d *DemandPaths) Backups() int { return len(d.Paths) - d.Primary }
+
+// Compute builds DemandPaths for each (src,dst) pair using k-shortest paths
+// with primary+backup paths requested per pair. Pairs with no connecting
+// path are rejected.
+func Compute(t *topology.Topology, pairs [][2]topology.Node, primary, backup int, w Weight) ([]DemandPaths, error) {
+	if primary < 1 {
+		return nil, fmt.Errorf("paths: need at least one primary path, got %d", primary)
+	}
+	if backup < 0 {
+		return nil, fmt.Errorf("paths: negative backup count %d", backup)
+	}
+	out := make([]DemandPaths, 0, len(pairs))
+	for _, pr := range pairs {
+		ps := KShortest(t, pr[0], pr[1], primary+backup, w)
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("paths: no path between %s and %s", t.Name(pr[0]), t.Name(pr[1]))
+		}
+		np := primary
+		if np > len(ps) {
+			np = len(ps)
+		}
+		out = append(out, DemandPaths{Src: pr[0], Dst: pr[1], Paths: ps, Primary: np})
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package probability
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"raha/internal/topology"
+)
+
+func TestEstimateDownProb(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(100 * time.Hour)
+	outages := []Outage{
+		{Down: start.Add(10 * time.Hour), Up: start.Add(15 * time.Hour)},
+		{Down: start.Add(50 * time.Hour), Up: start.Add(55 * time.Hour)},
+	}
+	p, err := EstimateDownProb(start, end, outages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.1) > 1e-12 {
+		t.Fatalf("p = %g, want 0.1", p)
+	}
+}
+
+func TestEstimateDownProbClipsWindow(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(10 * time.Hour)
+	outages := []Outage{
+		{Down: start.Add(-5 * time.Hour), Up: start.Add(2 * time.Hour)}, // clipped to 2h
+		{Down: start.Add(9 * time.Hour), Up: start.Add(20 * time.Hour)}, // clipped to 1h
+	}
+	p, err := EstimateDownProb(start, end, outages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.3) > 1e-12 {
+		t.Fatalf("p = %g, want 0.3", p)
+	}
+}
+
+func TestEstimateDownProbErrors(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := EstimateDownProb(start, start, nil); err == nil {
+		t.Fatal("empty window must error")
+	}
+	end := start.Add(time.Hour)
+	bad := []Outage{{Down: start.Add(30 * time.Minute), Up: start.Add(10 * time.Minute)}}
+	if _, err := EstimateDownProb(start, end, bad); err == nil {
+		t.Fatal("inverted outage must error")
+	}
+	overlap := []Outage{
+		{Down: start.Add(10 * time.Minute), Up: start.Add(30 * time.Minute)},
+		{Down: start.Add(20 * time.Minute), Up: start.Add(40 * time.Minute)},
+	}
+	if _, err := EstimateDownProb(start, end, overlap); err == nil {
+		t.Fatal("overlapping outages must error")
+	}
+}
+
+func TestSimulateAndEstimateRoundTrip(t *testing.T) {
+	// The renewal-reward estimate over a long window must approach
+	// MTTR/(MTBF+MTTR).
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(5 * 365 * 24 * time.Hour)
+	mtbf := 200 * time.Hour
+	mttr := 50 * time.Hour
+	outages := SimulateOutages(start, end, mtbf, mttr, 99)
+	if len(outages) < 50 {
+		t.Fatalf("only %d outages simulated", len(outages))
+	}
+	p, err := EstimateDownProb(start, end, outages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(mttr) / float64(mtbf+mttr) // 0.2
+	if math.Abs(p-want) > 0.05 {
+		t.Fatalf("estimate %g too far from theory %g", p, want)
+	}
+	// Determinism.
+	o2 := SimulateOutages(start, end, mtbf, mttr, 99)
+	if len(o2) != len(outages) || o2[0] != outages[0] {
+		t.Fatal("simulation must be deterministic in seed")
+	}
+}
+
+func TestScenarioLogProb(t *testing.T) {
+	probs := []float64{0.1, 0.2, 0.5}
+	failed := []bool{true, false, true}
+	want := math.Log(0.1) + math.Log(0.8) + math.Log(0.5)
+	if got := ScenarioLogProb(probs, failed); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %g, want %g", got, want)
+	}
+}
+
+func TestMaxSimultaneousFailures(t *testing.T) {
+	// Three identical links with π = 0.1: failing c of them has probability
+	// 0.1^c·0.9^(3−c) = {0.729, 0.081, 0.009, 0.001}.
+	probs := []float64{0.1, 0.1, 0.1}
+	cases := []struct {
+		threshold float64
+		want      int
+	}{
+		{0.5, 0},
+		{0.05, 1},
+		{0.005, 2},
+		{0.0005, 3},
+		{0.2, 0},
+	}
+	for _, c := range cases {
+		if got := MaxSimultaneousFailures(probs, c.threshold); got != c.want {
+			t.Fatalf("threshold %g: got %d, want %d", c.threshold, got, c.want)
+		}
+	}
+}
+
+func TestMaxSimultaneousFailuresHighProbLinks(t *testing.T) {
+	// Links with π > 0.5 are *more* likely down than up; the most probable
+	// scenario fails them, so they count even at high thresholds.
+	probs := []float64{0.9, 0.9, 0.001}
+	// All-up: 0.1·0.1·0.999 ≈ 0.00999 < 0.5. Failing both flaky links:
+	// 0.9·0.9·0.999 ≈ 0.808 ≥ 0.5.
+	if got := MaxSimultaneousFailures(probs, 0.5); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+	// Threshold so high nothing qualifies.
+	if got := MaxSimultaneousFailures(probs, 0.9); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+}
+
+func TestMaxSimultaneousFailuresZeroThreshold(t *testing.T) {
+	probs := []float64{0.5, 0.5}
+	if got := MaxSimultaneousFailures(probs, 0); got != 2 {
+		t.Fatalf("got %d, want everything", got)
+	}
+}
+
+func TestMaxSimultaneousFailuresBruteForce(t *testing.T) {
+	// Exhaustive check against enumeration over all subsets.
+	probs := []float64{0.02, 0.3, 0.7, 0.15, 0.55, 0.004}
+	for _, th := range []float64{1e-6, 1e-4, 1e-2, 0.05, 0.2, 0.5} {
+		want := 0
+		found := false
+		for mask := 0; mask < 1<<len(probs); mask++ {
+			lp := 0.0
+			c := 0
+			for i, p := range probs {
+				if mask&(1<<i) != 0 {
+					lp += math.Log(p)
+					c++
+				} else {
+					lp += math.Log(1 - p)
+				}
+			}
+			if lp >= math.Log(th) {
+				found = true
+				if c > want {
+					want = c
+				}
+			}
+		}
+		got := MaxSimultaneousFailures(probs, th)
+		if !found {
+			if got != 0 {
+				t.Fatalf("threshold %g: got %d, nothing qualifies", th, got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("threshold %g: got %d, brute force %d", th, got, want)
+		}
+	}
+}
+
+func TestFailureCurveMonotone(t *testing.T) {
+	top := topology.AfricaWAN()
+	thresholds := []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+	curve := FailureCurve(top, thresholds)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Fatalf("curve must be nonincreasing in threshold: %v", curve)
+		}
+	}
+	// The paper's Figure 2 point: even at 99% availability thresholds the
+	// number of probable simultaneous failures is far above the k ≤ 2 prior
+	// work assumes.
+	if curve[0] < 5 {
+		t.Fatalf("at threshold 1e-5 expected many simultaneous failures, got %d", curve[0])
+	}
+	if probs := LinkProbs(top); len(probs) != top.NumLinks() {
+		t.Fatalf("LinkProbs length %d != %d links", len(probs), top.NumLinks())
+	}
+}

@@ -1,0 +1,109 @@
+package probability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickMaxFailuresMonotone: the Figure 2 curve is nonincreasing in the
+// threshold for any probability vector.
+func TestQuickMaxFailuresMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		probs := make([]float64, 1+rng.Intn(40))
+		for i := range probs {
+			probs[i] = math.Min(0.999, math.Max(1e-6, rng.Float64()*rng.Float64()))
+		}
+		prev := len(probs) + 1
+		for _, th := range []float64{1e-12, 1e-8, 1e-4, 1e-2, 1e-1, 0.5} {
+			got := MaxSimultaneousFailures(probs, th)
+			if got > prev {
+				return false
+			}
+			if got < 0 || got > len(probs) {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMaxFailuresAchievable: the reported count is witnessed by an
+// actual scenario of at least the threshold probability (fail the links
+// with the largest log-odds).
+func TestQuickMaxFailuresAchievable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		probs := make([]float64, 1+rng.Intn(20))
+		for i := range probs {
+			probs[i] = math.Min(0.99, math.Max(1e-5, rng.Float64()))
+		}
+		th := math.Pow(10, -1-6*rng.Float64())
+		c := MaxSimultaneousFailures(probs, th)
+		if c == 0 {
+			return true
+		}
+		// Build the witness: fail the c largest-increment links.
+		type d struct {
+			delta float64
+			idx   int
+		}
+		ds := make([]d, len(probs))
+		for i, p := range probs {
+			ds[i] = d{math.Log(p) - math.Log(1-p), i}
+		}
+		for i := 0; i < c; i++ { // selection of top c
+			best := i
+			for j := i + 1; j < len(ds); j++ {
+				if ds[j].delta > ds[best].delta {
+					best = j
+				}
+			}
+			ds[i], ds[best] = ds[best], ds[i]
+		}
+		failed := make([]bool, len(probs))
+		for i := 0; i < c; i++ {
+			failed[ds[i].idx] = true
+		}
+		return ScenarioLogProb(probs, failed) >= math.Log(th)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScenarioLogProbBounds: a log-probability is never positive, and
+// flipping one link changes it by exactly that link's log-odds.
+func TestQuickScenarioLogProbBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		probs := make([]float64, n)
+		failed := make([]bool, n)
+		for i := range probs {
+			probs[i] = math.Min(0.99, math.Max(0.01, rng.Float64()))
+			failed[i] = rng.Intn(2) == 0
+		}
+		lp := ScenarioLogProb(probs, failed)
+		if lp > 0 {
+			return false
+		}
+		i := rng.Intn(n)
+		failed[i] = !failed[i]
+		lp2 := ScenarioLogProb(probs, failed)
+		want := math.Log(probs[i]) - math.Log(1-probs[i])
+		if failed[i] {
+			return math.Abs((lp2-lp)-want) < 1e-9
+		}
+		return math.Abs((lp-lp2)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

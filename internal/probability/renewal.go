@@ -1,0 +1,146 @@
+// Package probability implements the paper's failure-probability machinery:
+// renewal-reward estimation of per-link down probabilities from up/down
+// telemetry (Appendix B), scenario log-probabilities under independent link
+// failures (§5.1), and the maximum-simultaneous-failures analysis behind
+// Figure 2.
+package probability
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Outage is one down interval of a link.
+type Outage struct {
+	Down, Up time.Time
+}
+
+// EstimateDownProb applies the renewal-reward theorem (Appendix B): with
+// renewal cycles X_i = time between consecutive repairs and rewards R_i =
+// downtime within the cycle, E(R)/E(X) = long-run fraction of time the link
+// is down. Given a telemetry window [start, end] and the link's outages, it
+// returns that fraction.
+func EstimateDownProb(start, end time.Time, outages []Outage) (float64, error) {
+	if !end.After(start) {
+		return 0, fmt.Errorf("probability: empty telemetry window")
+	}
+	total := end.Sub(start).Seconds()
+	var down float64
+	var prevUp time.Time // zero: outages may begin before the window
+	for i, o := range outages {
+		if o.Up.Before(o.Down) {
+			return 0, fmt.Errorf("probability: outage %d repairs before it fails", i)
+		}
+		if o.Down.Before(prevUp) {
+			return 0, fmt.Errorf("probability: outage %d overlaps the previous one", i)
+		}
+		d, u := o.Down, o.Up
+		if d.Before(start) {
+			d = start
+		}
+		if u.After(end) {
+			u = end
+		}
+		if u.After(d) {
+			down += u.Sub(d).Seconds()
+		}
+		prevUp = o.Up
+	}
+	p := down / total
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// SimulateOutages generates a synthetic outage log from a renewal process
+// with the given mean time between failures and mean time to repair,
+// deterministic in the seed. It stands in for the production telemetry the
+// paper estimates probabilities from.
+func SimulateOutages(start, end time.Time, mtbf, mttr time.Duration, seed int64) []Outage {
+	// xorshift64 keeps this free of math/rand state coupling.
+	s := uint64(seed)*2654435761 + 1
+	next := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%1_000_000) / 1_000_000
+	}
+	exp := func(mean time.Duration) time.Duration {
+		u := next()
+		if u < 1e-9 {
+			u = 1e-9
+		}
+		return time.Duration(-float64(mean) * math.Log(u))
+	}
+	var out []Outage
+	at := start
+	for {
+		at = at.Add(exp(mtbf))
+		if !at.Before(end) {
+			return out
+		}
+		up := at.Add(exp(mttr))
+		out = append(out, Outage{Down: at, Up: up})
+		at = up
+		if !at.Before(end) {
+			return out
+		}
+	}
+}
+
+// ScenarioLogProb returns log P of a failure scenario over independent
+// links: Σ_{failed} log π + Σ_{up} log(1−π). probs holds every link's down
+// probability; failed marks the failed ones.
+func ScenarioLogProb(probs []float64, failed []bool) float64 {
+	var lp float64
+	for i, p := range probs {
+		if failed[i] {
+			lp += math.Log(p)
+		} else {
+			lp += math.Log(1 - p)
+		}
+	}
+	return lp
+}
+
+// MaxSimultaneousFailures answers Figure 2's question: the largest number of
+// links that can be simultaneously down in a scenario whose probability is
+// at least threshold. Flipping link l from up to down changes the scenario
+// log-probability by log π_l − log(1−π_l); choosing the largest increments
+// first is optimal for maximizing the count, so a greedy sweep is exact.
+func MaxSimultaneousFailures(probs []float64, threshold float64) int {
+	if threshold <= 0 {
+		return len(probs)
+	}
+	base := 0.0 // log-prob of the all-up scenario
+	deltas := make([]float64, len(probs))
+	for i, p := range probs {
+		base += math.Log(1 - p)
+		deltas[i] = math.Log(p) - math.Log(1-p)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(deltas)))
+	budget := math.Log(threshold)
+	// For any failure count c, the most probable scenario fails the c links
+	// with the largest increments, so the best achievable log-probability at
+	// count c is base + prefix(c). Return the largest c that clears the
+	// threshold. (Links with π > 0.5 have positive increments, so the curve
+	// rises before it falls; scanning from the top handles both regimes.)
+	lp := base
+	best := -1
+	if base >= budget {
+		best = 0
+	}
+	for c := 1; c <= len(deltas); c++ {
+		lp += deltas[c-1]
+		if lp >= budget {
+			best = c
+		}
+	}
+	if best < 0 {
+		return 0 // no scenario at all reaches the threshold
+	}
+	return best
+}

@@ -1,0 +1,27 @@
+package probability
+
+import "raha/internal/topology"
+
+// LinkProbs flattens a topology's per-link failure probabilities into one
+// slice, ordered LAG by LAG. This is the canonical ordering used by the
+// Figure 2 analysis and the probe CLI.
+func LinkProbs(t *topology.Topology) []float64 {
+	var out []float64
+	for _, l := range t.LAGs() {
+		for _, ln := range l.Links {
+			out = append(out, ln.FailProb)
+		}
+	}
+	return out
+}
+
+// FailureCurve evaluates MaxSimultaneousFailures over a sweep of
+// thresholds, reproducing Figure 2's x-axis.
+func FailureCurve(t *topology.Topology, thresholds []float64) []int {
+	probs := LinkProbs(t)
+	out := make([]int, len(thresholds))
+	for i, th := range thresholds {
+		out[i] = MaxSimultaneousFailures(probs, th)
+	}
+	return out
+}

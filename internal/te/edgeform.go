@@ -1,0 +1,98 @@
+package te
+
+import (
+	"fmt"
+
+	"raha/internal/lp"
+	"raha/internal/topology"
+)
+
+// EdgeDemand is a source/destination pair with a volume cap for the
+// edge-form multi-commodity flow.
+type EdgeDemand struct {
+	Src, Dst topology.Node
+	Volume   float64
+}
+
+// EdgeFormMaxFlow solves the edge formulation of the multi-commodity flow
+// problem (Appendix C): per-demand directed flows on LAGs with flow
+// conservation, maximizing total flow. allowed restricts, per demand, which
+// LAGs the demand may use (nil = all). Because the edge form has every path
+// implicitly available, its optimum upper-bounds what the path-form TE can
+// route — the property Appendix C's augment algorithm leans on.
+func EdgeFormMaxFlow(t *topology.Topology, demands []EdgeDemand, caps []float64, allowed [][]bool) (*Result, error) {
+	if len(caps) != t.NumLAGs() {
+		return nil, fmt.Errorf("te: %d capacities for %d LAGs", len(caps), t.NumLAGs())
+	}
+	if allowed != nil && len(allowed) != len(demands) {
+		return nil, fmt.Errorf("te: %d allowed rows for %d demands", len(allowed), len(demands))
+	}
+	nd := len(demands)
+	nl := t.NumLAGs()
+	// Variables: for each demand and LAG, flow A→B and flow B→A, then one
+	// f_k per demand.
+	fwd := func(k, e int) int { return k*2*nl + 2*e }
+	rev := func(k, e int) int { return k*2*nl + 2*e + 1 }
+	fk := func(k int) int { return nd*2*nl + k }
+	p := lp.NewProblem(nd*2*nl + nd)
+	for k, d := range demands {
+		p.Hi[fk(k)] = d.Volume
+		p.Cost[fk(k)] = -1 // maximize Σ f_k
+		for e := 0; e < nl; e++ {
+			if allowed != nil && !allowed[k][e] {
+				p.Hi[fwd(k, e)] = 0
+				p.Hi[rev(k, e)] = 0
+			}
+		}
+	}
+	// Flow conservation: for node i, Σ out − Σ in = f_k·(i==src) − f_k·(i==dst).
+	for k, d := range demands {
+		for i := 0; i < t.NumNodes(); i++ {
+			var idx []int
+			var coef []float64
+			for _, e := range t.Incident(topology.Node(i)) {
+				l := t.LAG(e)
+				if l.A == topology.Node(i) {
+					idx = append(idx, fwd(k, e), rev(k, e))
+				} else {
+					idx = append(idx, rev(k, e), fwd(k, e))
+				}
+				coef = append(coef, 1, -1) // out, in
+			}
+			rhsCoef := 0.0
+			switch topology.Node(i) {
+			case d.Src:
+				rhsCoef = -1
+			case d.Dst:
+				rhsCoef = 1
+			}
+			if rhsCoef != 0 {
+				idx = append(idx, fk(k))
+				coef = append(coef, rhsCoef)
+			}
+			if len(idx) > 0 {
+				p.AddRow(idx, coef, lp.EQ, 0)
+			}
+		}
+	}
+	// Shared LAG capacity across demands and directions.
+	for e := 0; e < nl; e++ {
+		var idx []int
+		for k := 0; k < nd; k++ {
+			idx = append(idx, fwd(k, e), rev(k, e))
+		}
+		p.AddRow(idx, ones(len(idx)), lp.LE, caps[e])
+	}
+	sol, err := lp.Solve(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return &Result{}, nil
+	}
+	per := make([]float64, nd)
+	for k := range demands {
+		per[k] = sol.X[fk(k)]
+	}
+	return &Result{Feasible: true, Objective: -sol.Objective, PerDemand: per}, nil
+}

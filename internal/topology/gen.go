@@ -1,0 +1,110 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterizes the seeded synthetic WAN generator.
+type GenConfig struct {
+	Nodes int
+	LAGs  int // must be ≥ Nodes-1 (a spanning tree is laid down first)
+	Seed  int64
+
+	// ExtraLinks distributes this many additional member links over random
+	// LAGs, producing multi-link LAGs (the production topology's 334 LAGs /
+	// 382 links shape).
+	ExtraLinks int
+
+	// MeanLinkCapacity sets the average member-link capacity; individual
+	// links vary ±50% around it. Zero defaults to 1000 (the normalization
+	// constant the paper uses for Zoo topologies).
+	MeanLinkCapacity float64
+
+	// FailProbs, when non-nil, is sampled (uniformly with the generator's
+	// RNG) for each link's failure probability. Nil selects the
+	// production-like heavy-tailed mixture (see ProductionFailProbs).
+	FailProbs []float64
+}
+
+// ProductionFailProbs is a heavy-tailed mixture of link down-probabilities
+// shaped like the renewal-reward estimates the paper derives from production
+// telemetry: most links are reliable, a minority are flaky (frequent cuts,
+// long repairs — the paper's seismic-zone fibers), and a few are effectively
+// out of service awaiting maintenance. This tail is what makes the paper's
+// Figure 2 possible: scenarios with 15+ simultaneously failed links can
+// still clear a 1e-5 probability threshold.
+func ProductionFailProbs() []float64 {
+	probs := make([]float64, 0, 100)
+	for i := 0; i < 88; i++ { // reliable
+		probs = append(probs, 0.0001+0.0002*float64(i%6))
+	}
+	for i := 0; i < 6; i++ { // degraded
+		probs = append(probs, 0.005+0.004*float64(i%4))
+	}
+	for i := 0; i < 2; i++ { // flaky (frequent cuts, long repairs)
+		probs = append(probs, 0.05+0.05*float64(i))
+	}
+	for i := 0; i < 4; i++ { // out of service / awaiting maintenance
+		probs = append(probs, 0.90+0.025*float64(i))
+	}
+	return probs
+}
+
+// Generate builds a connected random WAN: a random spanning tree plus random
+// chords, with capacities and failure probabilities drawn deterministically
+// from the seed.
+func Generate(cfg GenConfig) (*Topology, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.LAGs < cfg.Nodes-1 {
+		return nil, fmt.Errorf("topology: %d LAGs cannot connect %d nodes", cfg.LAGs, cfg.Nodes)
+	}
+	maxLAGs := cfg.Nodes * (cfg.Nodes - 1) / 2
+	if cfg.LAGs > maxLAGs {
+		return nil, fmt.Errorf("topology: %d LAGs exceed the %d possible on %d nodes", cfg.LAGs, maxLAGs, cfg.Nodes)
+	}
+	meanCap := cfg.MeanLinkCapacity
+	if meanCap == 0 {
+		meanCap = 1000
+	}
+	probs := cfg.FailProbs
+	if probs == nil {
+		probs = ProductionFailProbs()
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := New()
+	for i := 0; i < cfg.Nodes; i++ {
+		t.AddNode(fmt.Sprintf("n%d", i))
+	}
+
+	newLink := func() Link {
+		return Link{
+			Capacity: meanCap * (0.5 + rng.Float64()),
+			FailProb: probs[rng.Intn(len(probs))],
+		}
+	}
+
+	// Spanning tree: attach each node to a random earlier node.
+	for i := 1; i < cfg.Nodes; i++ {
+		j := rng.Intn(i)
+		t.MustAddLAG(Node(j), Node(i), []Link{newLink()})
+	}
+	// Chords.
+	for t.NumLAGs() < cfg.LAGs {
+		a := Node(rng.Intn(cfg.Nodes))
+		b := Node(rng.Intn(cfg.Nodes))
+		if a == b || t.LAGBetween(a, b) >= 0 {
+			continue
+		}
+		t.MustAddLAG(a, b, []Link{newLink()})
+	}
+	// Extra member links over random LAGs.
+	for i := 0; i < cfg.ExtraLinks; i++ {
+		id := rng.Intn(t.NumLAGs())
+		t.lags[id].Links = append(t.lags[id].Links, newLink())
+	}
+	return t, nil
+}

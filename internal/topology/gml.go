@@ -1,0 +1,232 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseGML parses the subset of the GML format used by the Internet Topology
+// Zoo: a top-level `graph [ ... ]` block containing `node [ id … label … ]`
+// and `edge [ source … target … ]` blocks. Edge capacity is taken from
+// LinkSpeedRaw (bits/s, converted to Gbps) when present, otherwise
+// defaultCapacity. Every edge becomes a single-link LAG; duplicate edges
+// between the same pair merge into one multi-link LAG, which is how the Zoo
+// encodes parallel capacity.
+func ParseGML(src string, defaultCapacity float64) (*Topology, error) {
+	toks, err := lexGML(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &gmlParser{toks: toks}
+	root, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	graph, ok := findBlock(root, "graph")
+	if !ok {
+		return nil, fmt.Errorf("topology: GML has no graph block")
+	}
+
+	t := New()
+	idToNode := make(map[int]Node)
+	for _, item := range graph.children {
+		if item.key != "node" {
+			continue
+		}
+		id, ok := item.intAttr("id")
+		if !ok {
+			return nil, fmt.Errorf("topology: GML node without id")
+		}
+		label, _ := item.strAttr("label")
+		if label == "" {
+			label = fmt.Sprintf("n%d", id)
+		}
+		// Zoo files occasionally repeat labels; disambiguate with the id.
+		if _, exists := t.NodeByName(label); exists {
+			label = fmt.Sprintf("%s#%d", label, id)
+		}
+		idToNode[id] = t.AddNode(label)
+	}
+
+	for _, item := range graph.children {
+		if item.key != "edge" {
+			continue
+		}
+		src, ok1 := item.intAttr("source")
+		dst, ok2 := item.intAttr("target")
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("topology: GML edge missing source/target")
+		}
+		a, okA := idToNode[src]
+		b, okB := idToNode[dst]
+		if !okA || !okB {
+			return nil, fmt.Errorf("topology: GML edge references unknown node %d/%d", src, dst)
+		}
+		if a == b {
+			continue // Zoo files contain occasional self-loops; drop them.
+		}
+		capacity := defaultCapacity
+		if raw, ok := item.floatAttr("LinkSpeedRaw"); ok && raw > 0 {
+			capacity = raw / 1e9 // bits/s → Gbps
+		}
+		link := Link{Capacity: capacity}
+		if id := t.LAGBetween(a, b); id >= 0 {
+			t.lags[id].Links = append(t.lags[id].Links, link)
+		} else if _, err := t.AddLAG(a, b, []Link{link}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+type gmlToken struct {
+	kind byte // 'k' key, 's' string, 'n' number, '[' or ']'
+	text string
+}
+
+func lexGML(src string) ([]gmlToken, error) {
+	var toks []gmlToken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '[' || c == ']':
+			toks = append(toks, gmlToken{kind: c})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("topology: unterminated GML string")
+			}
+			toks = append(toks, gmlToken{kind: 's', text: src[i+1 : j]})
+			i = j + 1
+		case c == '-' || c == '+' || c == '.' || (c >= '0' && c <= '9'):
+			j := i
+			for j < len(src) && strings.IndexByte("+-.eE0123456789", src[j]) >= 0 {
+				j++
+			}
+			toks = append(toks, gmlToken{kind: 'n', text: src[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, gmlToken{kind: 'k', text: src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("topology: unexpected GML character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+// gmlItem is a key with either a scalar value or a nested block.
+type gmlItem struct {
+	key      string
+	value    string // scalar (string or number text)
+	children []gmlItem
+	isBlock  bool
+}
+
+func (g *gmlItem) intAttr(key string) (int, bool) {
+	for _, c := range g.children {
+		if c.key == key && !c.isBlock {
+			v, err := strconv.Atoi(c.value)
+			if err == nil {
+				return v, true
+			}
+			// Some Zoo files write ids as floats.
+			f, err := strconv.ParseFloat(c.value, 64)
+			if err == nil {
+				return int(f), true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (g *gmlItem) floatAttr(key string) (float64, bool) {
+	for _, c := range g.children {
+		if c.key == key && !c.isBlock {
+			if v, err := strconv.ParseFloat(c.value, 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (g *gmlItem) strAttr(key string) (string, bool) {
+	for _, c := range g.children {
+		if c.key == key && !c.isBlock {
+			return c.value, true
+		}
+	}
+	return "", false
+}
+
+func findBlock(items []gmlItem, key string) (*gmlItem, bool) {
+	for i := range items {
+		if items[i].key == key && items[i].isBlock {
+			return &items[i], true
+		}
+	}
+	return nil, false
+}
+
+type gmlParser struct {
+	toks []gmlToken
+	pos  int
+}
+
+// block parses a sequence of key/value and key/[...] items until a closing
+// bracket or end of input.
+func (p *gmlParser) block() ([]gmlItem, error) {
+	var items []gmlItem
+	for p.pos < len(p.toks) {
+		t := p.toks[p.pos]
+		if t.kind == ']' {
+			return items, nil
+		}
+		if t.kind != 'k' {
+			return nil, fmt.Errorf("topology: GML expected key, got %q", t.text)
+		}
+		key := t.text
+		p.pos++
+		if p.pos >= len(p.toks) {
+			return nil, fmt.Errorf("topology: GML key %q without value", key)
+		}
+		v := p.toks[p.pos]
+		switch v.kind {
+		case '[':
+			p.pos++
+			children, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			if p.pos >= len(p.toks) || p.toks[p.pos].kind != ']' {
+				return nil, fmt.Errorf("topology: GML unbalanced brackets in %q", key)
+			}
+			p.pos++
+			items = append(items, gmlItem{key: key, children: children, isBlock: true})
+		case 's', 'n', 'k':
+			p.pos++
+			items = append(items, gmlItem{key: key, value: v.text})
+		default:
+			return nil, fmt.Errorf("topology: GML unexpected token after %q", key)
+		}
+	}
+	return items, nil
+}

@@ -1,0 +1,59 @@
+package topology
+
+import "fmt"
+
+// This file implements the paper's §9 "on equivalences": some sources and
+// destinations are interchangeable — traffic entering or leaving a
+// continent can transit any of several gateways. Raha models this with
+// virtual nodes connected to each gateway by a virtual LAG sized to the
+// gateway's transit capacity. Because path computation runs over the whole
+// graph, a virtual node automatically has access to every path its
+// gateways have, which is exactly the property §9 asks for. Connectivity
+// enforcement skips demands that touch virtual nodes (§9: "we enforce CE
+// constraints on non-virtual nodes").
+
+// virtualFailProb keeps virtual LAGs out of the adversary's reach: a
+// virtual LAG models gateway transit capacity, not a physical cable that
+// can be cut.
+const virtualFailProb = 1e-12
+
+// AddVirtualGateway adds a virtual node named name that can reach the
+// network through any of the given gateways, each with the corresponding
+// transit capacity. It returns the virtual node.
+func (t *Topology) AddVirtualGateway(name string, gateways []Node, transit []float64) (Node, error) {
+	if len(gateways) == 0 {
+		return 0, fmt.Errorf("topology: virtual gateway %q needs at least one gateway", name)
+	}
+	if len(transit) != len(gateways) {
+		return 0, fmt.Errorf("topology: %d transit capacities for %d gateways", len(transit), len(gateways))
+	}
+	if _, exists := t.nameIdx[name]; exists {
+		return 0, fmt.Errorf("topology: node %q already exists", name)
+	}
+	v := t.AddNode(name)
+	t.markVirtual(v)
+	for i, g := range gateways {
+		if g == v {
+			return 0, fmt.Errorf("topology: virtual gateway %q cannot be its own gateway", name)
+		}
+		if transit[i] <= 0 {
+			return 0, fmt.Errorf("topology: gateway %s transit capacity must be positive", t.Name(g))
+		}
+		if _, err := t.AddLAG(v, g, []Link{{Capacity: transit[i], FailProb: virtualFailProb}}); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
+}
+
+func (t *Topology) markVirtual(n Node) {
+	for len(t.virtual) < len(t.names) {
+		t.virtual = append(t.virtual, false)
+	}
+	t.virtual[n] = true
+}
+
+// IsVirtual reports whether n is a virtual gateway node.
+func (t *Topology) IsVirtual(n Node) bool {
+	return int(n) < len(t.virtual) && t.virtual[n]
+}

@@ -1,0 +1,130 @@
+package topology
+
+// This file provides the named topologies the paper evaluates on. B4 is the
+// published 12-node/19-edge Google WAN used by TEAVAR and the paper's Table
+// 3. Uninett2010 and Cogentco are seeded synthetic stand-ins with the
+// node/edge counts the paper quotes (the GML files themselves are not
+// redistributable here; users with Topology Zoo files can load them via
+// ParseGML). AfricaWAN is a stand-in for the paper's production continental
+// topology: 76 nodes, 334 LAGs, 382 physical links.
+
+// B4 returns the 12-node, 19-edge B4 topology. Mean LAG capacity is ~5000,
+// the normalization constant of the paper's Table 3. Link failure
+// probabilities follow the production-like mixture.
+func B4() *Topology {
+	t := New()
+	names := []string{
+		"b4-01", "b4-02", "b4-03", "b4-04", "b4-05", "b4-06",
+		"b4-07", "b4-08", "b4-09", "b4-10", "b4-11", "b4-12",
+	}
+	nodes := make([]Node, len(names))
+	for i, n := range names {
+		nodes[i] = t.AddNode(n)
+	}
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {3, 5},
+		{4, 6}, {5, 6}, {5, 7}, {6, 8}, {7, 8}, {7, 9}, {8, 10},
+		{9, 10}, {9, 11}, {10, 11}, {2, 5}, {4, 8},
+	}
+	probs := ProductionFailProbs()
+	for i, e := range edges {
+		// Deterministic capacity spread around 5000 and a deterministic
+		// walk through the failure-probability mixture.
+		capacity := 5000.0 * (0.7 + 0.06*float64(i%11))
+		t.MustAddLAG(nodes[e[0]], nodes[e[1]], []Link{{
+			Capacity: capacity,
+			FailProb: probs[(i*37)%len(probs)],
+		}})
+	}
+	return t
+}
+
+// Uninett2010 returns a 74-node stand-in for the Topology Zoo Uninett2010
+// graph (the paper counts 202 directed edges = 101 undirected LAGs). Mean
+// LAG capacity ≈ 1000, the paper's normalization for this topology.
+func Uninett2010() *Topology {
+	t, err := Generate(GenConfig{
+		Nodes:            74,
+		LAGs:             101,
+		Seed:             2010,
+		MeanLinkCapacity: 1000,
+	})
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return t
+}
+
+// Cogentco returns a 197-node stand-in for the Topology Zoo Cogentco graph
+// (the paper counts 486 edges = 243 undirected LAGs). Mean LAG capacity
+// ≈ 1000.
+func Cogentco() *Topology {
+	t, err := Generate(GenConfig{
+		Nodes:            197,
+		LAGs:             243,
+		Seed:             486,
+		MeanLinkCapacity: 1000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AfricaWAN returns a stand-in for the paper's production continental
+// topology: 76 nodes, 334 LAGs and 382 physical links (48 LAGs carry more
+// than one member link), with the production-like failure-probability
+// mixture.
+func AfricaWAN() *Topology {
+	t, err := Generate(GenConfig{
+		Nodes:            76,
+		LAGs:             334,
+		ExtraLinks:       48,
+		Seed:             270,
+		MeanLinkCapacity: 800,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// SmallWAN returns a compact WAN (12 nodes / 20 LAGs / 26 links) with the
+// production failure mixture; the repository's experiments use it where the
+// paper uses its continental topology, scaled to what the from-scratch MILP
+// solver proves optimal in benchmark time (see EXPERIMENTS.md).
+func SmallWAN() *Topology {
+	t, err := Generate(GenConfig{
+		Nodes:            12,
+		LAGs:             20,
+		ExtraLinks:       6,
+		Seed:             7,
+		MeanLinkCapacity: 800,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Figure1 returns the four-node example topology of the paper's Figure 1:
+// nodes A, B, C, D; demands B→D and C→D with paths {BD, BAD} and {CD, CAD}.
+// Capacities are chosen so the three scenarios of §2.1 play out the same
+// way (exact capacities are unreadable in the published figure; see
+// examples/quickstart).
+func Figure1() *Topology {
+	t := New()
+	a := t.AddNode("A")
+	b := t.AddNode("B")
+	c := t.AddNode("C")
+	d := t.AddNode("D")
+	cap1 := func(capacity float64) []Link {
+		return []Link{{Capacity: capacity, FailProb: 0.01}}
+	}
+	t.MustAddLAG(b, d, cap1(8))  // BD
+	t.MustAddLAG(b, a, cap1(12)) // BA
+	t.MustAddLAG(a, d, cap1(9))  // AD
+	t.MustAddLAG(c, d, cap1(8))  // CD
+	t.MustAddLAG(c, a, cap1(12)) // CA
+	return t
+}

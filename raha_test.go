@@ -1,0 +1,246 @@
+package raha
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// figure1Setup reproduces the paper's §2.1 network with both configured
+// paths usable (2 primaries).
+func figure1Setup(t *testing.T) (*Topology, []DemandPaths, Matrix) {
+	t.Helper()
+	top := Figure1()
+	b, _ := top.NodeByName("B")
+	c, _ := top.NodeByName("C")
+	d, _ := top.NodeByName("D")
+	pairs := [][2]Node{{b, d}, {c, d}}
+	dps, err := ComputePaths(top, pairs, 2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Matrix{{Src: b, Dst: d, Volume: 12}, {Src: c, Dst: d, Volume: 10}}
+	return top, dps, base
+}
+
+func TestFigure1Scenarios(t *testing.T) {
+	// The three panels of the paper's Figure 1 on our capacity assignment.
+	top, dps, base := figure1Setup(t)
+
+	// (a,b) fixed demand: worst single-LAG failure.
+	fixed, err := Analyze(Config{Topo: top, Demands: dps, Envelope: Fixed(base), MaxFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Healthy.Objective != 22 {
+		t.Fatalf("design point routes %g, want 22", fixed.Healthy.Objective)
+	}
+	if math.Abs(fixed.Degradation-6) > 1e-6 { // A-D failure: 22 → 16
+		t.Fatalf("fixed-demand degradation %g, want 6", fixed.Degradation)
+	}
+
+	// (c,d) naive worst demand: tiny degradation at trivially small demands.
+	naive, err := Analyze(Config{
+		Topo: top, Demands: dps, Envelope: Around(base, 0.5),
+		Mode: FailedOnly, MaxFailures: 1, QuantBits: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveGap := naive.Healthy.Objective - naive.Failed.Objective
+
+	// (e,f) Raha: jointly search demands and failures for the worst gap.
+	full, err := Analyze(Config{
+		Topo: top, Demands: dps, Envelope: Around(base, 0.5),
+		MaxFailures: 1, QuantBits: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Degradation <= naiveGap {
+		t.Fatalf("Raha's gap %g must beat the naive baseline's %g", full.Degradation, naiveGap)
+	}
+	if full.Degradation < fixed.Degradation-1e-9 {
+		t.Fatalf("joint search %g must be at least the fixed-demand gap %g", full.Degradation, fixed.Degradation)
+	}
+}
+
+func TestAlertTwoPhases(t *testing.T) {
+	top, dps, base := figure1Setup(t)
+	// Tolerance 0: any degradation raises. Phase 1 should already fire.
+	rep, err := Alert(AlertConfig{
+		Topo: top, Demands: dps, Peak: base,
+		ProbThreshold: 1e-4, Tolerance: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Raised || rep.Phase != 1 {
+		t.Fatalf("expected phase-1 alert, got %+v", rep)
+	}
+	if rep.NormalizedDegradation <= 0 {
+		t.Fatal("normalized degradation must be positive")
+	}
+
+	// Sky-high tolerance: no alert, but both phases run.
+	quiet, err := Alert(AlertConfig{
+		Topo: top, Demands: dps, Peak: base,
+		ProbThreshold: 1e-4, Tolerance: 1e9,
+		Phase1Budget: 30 * time.Second, Phase2Budget: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Raised || quiet.Phase1 == nil || quiet.Phase2 == nil {
+		t.Fatalf("expected a quiet two-phase run, got %+v", quiet)
+	}
+	// Phase 2 searches a superset of phase 1's space.
+	if quiet.Phase2.Degradation < quiet.Phase1.Degradation-1e-6 {
+		t.Fatalf("phase 2 (%g) must dominate phase 1 (%g)", quiet.Phase2.Degradation, quiet.Phase1.Degradation)
+	}
+}
+
+func TestAlertValidation(t *testing.T) {
+	top, dps, base := figure1Setup(t)
+	if _, err := Alert(AlertConfig{}); err == nil {
+		t.Fatal("empty config must error")
+	}
+	if _, err := Alert(AlertConfig{Topo: top, Demands: dps, Peak: base}); err == nil {
+		t.Fatal("missing threshold must error")
+	}
+	if _, err := Alert(AlertConfig{Topo: top, Demands: dps, Peak: base[:1], ProbThreshold: 1e-4}); err == nil {
+		t.Fatal("peak shape mismatch must error")
+	}
+}
+
+func TestPublicSurfaceSmoke(t *testing.T) {
+	// Exercise the re-exported constructors end to end on a small WAN.
+	top := SmallWAN()
+	if !top.Connected() {
+		t.Fatal("SmallWAN must be connected")
+	}
+	pairs := TopPairs(top, 4, 1)
+	dps, err := ComputePaths(top, pairs, 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Gravity(top, pairs, top.MeanLAGCapacity()/2, 1)
+	res, err := Analyze(Config{
+		Topo:          top,
+		Demands:       dps,
+		Envelope:      Fixed(base),
+		ProbThreshold: 1e-3,
+		Solver:        SolverParams{TimeLimit: 60 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario == nil {
+		t.Fatalf("no scenario returned (status %v)", res.Status)
+	}
+	if res.Degradation < 0 {
+		t.Fatalf("negative degradation %g", res.Degradation)
+	}
+	// The scenario's probability must respect the threshold.
+	if res.Scenario.LogProb(top) < math.Log(1e-3)-1e-9 {
+		t.Fatalf("scenario log-probability %g below the threshold", res.Scenario.LogProb(top))
+	}
+
+	curve := FailureCurve(top, []float64{1e-4, 1e-2})
+	if len(curve) != 2 || curve[0] < curve[1] {
+		t.Fatalf("failure curve %v", curve)
+	}
+}
+
+func TestKShortestPathsExport(t *testing.T) {
+	top := Figure1()
+	b, _ := top.NodeByName("B")
+	d, _ := top.NodeByName("D")
+	ps := KShortestPaths(top, b, d, 5, nil)
+	// B→D: direct, B-A-D, and B-A-C-D.
+	if len(ps) != 3 {
+		t.Fatalf("B→D has exactly 3 simple paths, got %d", len(ps))
+	}
+	if len(ps[0].LAGs) != 1 || len(ps[1].LAGs) != 2 || len(ps[2].LAGs) != 3 {
+		t.Fatalf("path lengths wrong: %d/%d/%d", len(ps[0].LAGs), len(ps[1].LAGs), len(ps[2].LAGs))
+	}
+}
+
+func TestEstimateDownProbExport(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(1000 * time.Hour)
+	outages := SimulateOutages(start, end, 100*time.Hour, 10*time.Hour, 5)
+	p, err := EstimateDownProb(start, end, outages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 {
+		t.Fatalf("p = %g", p)
+	}
+}
+
+func TestAnalyzeClusteredExport(t *testing.T) {
+	top, dps, base := figure1Setup(t)
+	res, err := AnalyzeClustered(ClusterConfig{
+		Config: Config{
+			Topo: top, Demands: dps, Envelope: Around(base, 0.5),
+			MaxFailures: 1, QuantBits: 2,
+		},
+		Clusters: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario == nil {
+		t.Fatalf("no scenario (status %v)", res.Status)
+	}
+}
+
+func TestAugmentExports(t *testing.T) {
+	top, _, base := figure1Setup(t)
+	b, _ := top.NodeByName("B")
+	c, _ := top.NodeByName("C")
+	d, _ := top.NodeByName("D")
+	res, err := AugmentExisting(AugmentConfig{
+		Topo:        top,
+		Pairs:       [][2]Node{{b, d}, {c, d}},
+		Envelope:    Fixed(base),
+		Primary:     2,
+		MaxFailures: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("augment did not converge: %+v", res)
+	}
+	if res.FinalDegradation > 1e-6 {
+		t.Fatalf("residual degradation %g", res.FinalDegradation)
+	}
+}
+
+func TestGenerateTopologyExport(t *testing.T) {
+	top, err := GenerateTopology(GenConfig{Nodes: 10, LAGs: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !top.Connected() || top.NumLAGs() != 15 {
+		t.Fatal("generated topology malformed")
+	}
+	if _, err := GenerateTopology(GenConfig{Nodes: 1}); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestParseGMLExport(t *testing.T) {
+	top, err := ParseGML(`graph [ node [ id 0 label "a" ] node [ id 1 label "b" ] edge [ source 0 target 1 ] ]`, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumLAGs() != 1 || top.LAG(0).Capacity() != 7 {
+		t.Fatal("GML parse wrong")
+	}
+	if _, err := ParseGML("not gml @@@", 1); err == nil {
+		t.Fatal("bad GML must error")
+	}
+}
