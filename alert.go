@@ -1,6 +1,7 @@
 package raha
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -33,6 +34,10 @@ type AlertConfig struct {
 
 	// Phase budgets (solver time limits). Zero means no limit.
 	Phase1Budget, Phase2Budget time.Duration
+
+	// Workers bounds the branch-and-bound parallelism of each phase's
+	// solve; 0 uses all cores.
+	Workers int
 }
 
 // AlertReport is the outcome of an alerting run.
@@ -52,6 +57,13 @@ type AlertReport struct {
 // Alert runs the two-phase check. Phase 2 is skipped when phase 1 already
 // raises.
 func Alert(cfg AlertConfig) (*AlertReport, error) {
+	return AlertContext(context.Background(), cfg)
+}
+
+// AlertContext is Alert under a context: cancelling it interrupts whichever
+// phase is solving, which then reports the best scenario found so far (see
+// AnalyzeContext).
+func AlertContext(ctx context.Context, cfg AlertConfig) (*AlertReport, error) {
 	if cfg.Topo == nil || len(cfg.Demands) == 0 {
 		return nil, fmt.Errorf("raha: alert config needs a topology and demands")
 	}
@@ -70,13 +82,13 @@ func Alert(cfg AlertConfig) (*AlertReport, error) {
 
 	// Phase 1: fixed peak demand — the healthy optimum is a constant and
 	// the MILP carries only failure variables.
-	p1, err := Analyze(Config{
+	p1, err := AnalyzeContext(ctx, Config{
 		Topo:                 cfg.Topo,
 		Demands:              cfg.Demands,
 		Envelope:             Fixed(cfg.Peak),
 		ProbThreshold:        cfg.ProbThreshold,
 		ConnectivityEnforced: cfg.ConnectivityEnforced,
-		Solver:               SolverParams{TimeLimit: cfg.Phase1Budget},
+		Solver:               SolverParams{TimeLimit: cfg.Phase1Budget, Workers: cfg.Workers},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("raha: alert phase 1: %w", err)
@@ -94,14 +106,14 @@ func Alert(cfg AlertConfig) (*AlertReport, error) {
 	if len(env.Lo) == 0 {
 		env = UpTo(cfg.Peak, 0)
 	}
-	p2, err := Analyze(Config{
+	p2, err := AnalyzeContext(ctx, Config{
 		Topo:                 cfg.Topo,
 		Demands:              cfg.Demands,
 		Envelope:             env,
 		ProbThreshold:        cfg.ProbThreshold,
 		ConnectivityEnforced: cfg.ConnectivityEnforced,
 		QuantBits:            cfg.QuantBits,
-		Solver:               SolverParams{TimeLimit: cfg.Phase2Budget},
+		Solver:               SolverParams{TimeLimit: cfg.Phase2Budget, Workers: cfg.Workers},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("raha: alert phase 2: %w", err)

@@ -1,0 +1,15 @@
+#!/bin/sh
+# ci.sh — the repository's verification gate: vet, build, then the full test
+# suite under the race detector (the branch-and-bound worker pool and the
+# sweep fan-outs are concurrent code; plain `go test` would not exercise
+# their synchronization).
+#
+# Extra arguments pass through to `go test`, e.g.:
+#
+#	./ci.sh -short          # trim the slow property-test corpus
+#	./ci.sh -run TestRandom # one test across all packages
+set -eu
+cd "$(dirname "$0")"
+go vet ./...
+go build ./...
+go test -race "$@" ./...

@@ -19,11 +19,29 @@ import (
 	"raha/internal/topology"
 )
 
+// Solver and sweep parallelism, set once from flags in main and applied to
+// every Setup by tuned.
+var (
+	solverWorkers int
+	sweepParallel int
+)
+
+// tuned applies the global parallelism flags to a freshly built Setup.
+func tuned(s *experiments.Setup) *experiments.Setup {
+	s.Workers = solverWorkers
+	s.Parallel = sweepParallel
+	return s
+}
+
 func main() {
 	out := flag.String("out", "results", "output directory for CSV files")
 	budget := flag.Duration("budget", 5*time.Second, "solver time budget per analysis")
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
+	workers := flag.Int("workers", 0, "branch-and-bound worker goroutines per solve (0 = all cores, 1 = serial)")
+	parallel := flag.Int("parallel", 0, "concurrent analyses per sweep (0 or 1 = serial)")
 	flag.Parse()
+	solverWorkers = *workers
+	sweepParallel = *parallel
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
@@ -50,7 +68,7 @@ func main() {
 			return out, nil
 		}},
 		{"figure3", func() ([]string, error) {
-			s := experiments.Production(*budget)
+			s := tuned(experiments.Production(*budget))
 			rows, err := experiments.Figure3(s, []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4}, 1e-4)
 			if err != nil {
 				return nil, err
@@ -64,7 +82,7 @@ func main() {
 		{"figure5", func() ([]string, error) { return degCSV(*budget, false) }},
 		{"figure6", func() ([]string, error) { return degCSV(*budget, true) }},
 		{"figure7", func() ([]string, error) {
-			s := experiments.Production(*budget)
+			s := tuned(experiments.Production(*budget))
 			rows, err := experiments.Figure7(s, []float64{0, 0.5, 1, 2, 3, 4}, []int{1, 2, 3, 4, 0}, 1e-4)
 			if err != nil {
 				return nil, err
@@ -76,7 +94,7 @@ func main() {
 			return out, nil
 		}},
 		{"figure8", func() ([]string, error) {
-			s := experiments.Uninett(*budget)
+			s := tuned(experiments.Uninett(*budget))
 			out := []string{"clusters,threshold,k,degradation,runtime_ms"}
 			for _, clusters := range []int{0, 2} {
 				rows, err := experiments.Figure8(s, clusters, []float64{1e-1, 1e-3, 1e-5, 1e-7}, []int{1, 2, 4, 0})
@@ -90,7 +108,7 @@ func main() {
 			return out, nil
 		}},
 		{"figure9", func() ([]string, error) {
-			s := experiments.Production(*budget)
+			s := tuned(experiments.Production(*budget))
 			rows, err := experiments.Figure9(s, []int{0, 2, 4, 6, 8, 10}, 1e-4, 0)
 			if err != nil {
 				return nil, err
@@ -102,7 +120,7 @@ func main() {
 			return out, nil
 		}},
 		{"figure10", func() ([]string, error) {
-			s := experiments.Production(*budget)
+			s := tuned(experiments.Production(*budget))
 			rows, err := experiments.Figure10(s, []int{1, 2, 4, 8, 16}, []float64{1e-1, 1e-3, 1e-5, 1e-7}, []int{1, 2, 4, 8, 0}, 1e-4)
 			if err != nil {
 				return nil, err
@@ -115,12 +133,12 @@ func main() {
 		{"figure12", func() ([]string, error) { return pathCSV(*budget, false, nil, experiments.Variable) }},
 		{"figure12b", func() ([]string, error) { return pathCSV(*budget, true, nil, experiments.Variable) }},
 		{"figure13", func() ([]string, error) {
-			s := experiments.Production(*budget)
+			s := tuned(experiments.Production(*budget))
 			return pathCSVWith(s, false, experiments.SpreadWeight(s.Topo), experiments.Variable)
 		}},
 		{"figure15", func() ([]string, error) { return pathCSV(*budget, false, nil, experiments.FixedMax) }},
 		{"figure14", func() ([]string, error) {
-			s := experiments.Production(*budget)
+			s := tuned(experiments.Production(*budget))
 			rows, err := experiments.Figure14(s, []int{0, 1, 2, 3, 4}, 1e-4)
 			if err != nil {
 				return nil, err
@@ -128,7 +146,7 @@ func main() {
 			return runtimeCSV(rows), nil
 		}},
 		{"figure16", func() ([]string, error) {
-			s := experiments.Production(0)
+			s := tuned(experiments.Production(0))
 			rows, err := experiments.Figure16(s, []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second}, 1e-4, 0)
 			if err != nil {
 				return nil, err
@@ -140,7 +158,7 @@ func main() {
 			return out, nil
 		}},
 		{"table3", func() ([]string, error) {
-			s := experiments.B4(*budget)
+			s := tuned(experiments.B4(*budget))
 			rows, err := experiments.Table3(s, []float64{1e-1, 1e-2, 1e-4}, []int{1, 2, 4}, []int{1, 2, 4, 0})
 			if err != nil {
 				return nil, err
@@ -148,7 +166,7 @@ func main() {
 			return tableCSV(rows), nil
 		}},
 		{"table4", func() ([]string, error) {
-			s := experiments.CogentcoSetup(*budget)
+			s := tuned(experiments.CogentcoSetup(*budget))
 			rows, err := experiments.Table4(s, 8, []float64{1e-1, 1e-2}, []int{1, 2, 4, 0})
 			if err != nil {
 				return nil, err
@@ -156,7 +174,7 @@ func main() {
 			return tableCSV(rows), nil
 		}},
 		{"mlu", func() ([]string, error) {
-			s := experiments.Production(*budget)
+			s := tuned(experiments.Production(*budget))
 			rows, err := experiments.MLUSlack(s, []float64{0, 0.1, 0.2, 0.4}, 1e-4)
 			if err != nil {
 				return nil, err
@@ -168,7 +186,7 @@ func main() {
 			return out, nil
 		}},
 		{"fixed-runtime", func() ([]string, error) {
-			s := experiments.Africa(0)
+			s := tuned(experiments.Africa(0))
 			rows, err := experiments.FixedRuntime(s, 3, []float64{1e-2, 1e-4, 1e-6})
 			if err != nil {
 				return nil, err
@@ -195,7 +213,7 @@ func main() {
 }
 
 func degCSV(budget time.Duration, ce bool) ([]string, error) {
-	s := experiments.Production(budget)
+	s := tuned(experiments.Production(budget))
 	out := []string{"variant,threshold,k,degradation,runtime_ms,status"}
 	for _, v := range []experiments.DemandVariant{experiments.FixedAvg, experiments.FixedMax, experiments.Variable} {
 		rows, err := experiments.Figure5(s, v, []float64{1e-1, 1e-3, 1e-5, 1e-7}, []int{1, 2, 3, 4, 0}, ce)
@@ -210,7 +228,7 @@ func degCSV(budget time.Duration, ce bool) ([]string, error) {
 }
 
 func augmentCSV(budget time.Duration, canFail, newLAGs bool) ([]string, error) {
-	s := experiments.Production(budget)
+	s := tuned(experiments.Production(budget))
 	slacks := []float64{0, 0.5, 1.0, 1.5, 2.0}
 	var (
 		rows []experiments.AugmentRow
@@ -232,7 +250,7 @@ func augmentCSV(budget time.Duration, canFail, newLAGs bool) ([]string, error) {
 }
 
 func pathCSV(budget time.Duration, ce bool, w func(int) float64, v experiments.DemandVariant) ([]string, error) {
-	s := experiments.Production(budget)
+	s := tuned(experiments.Production(budget))
 	return pathCSVWith(s, ce, w, v)
 }
 

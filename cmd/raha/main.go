@@ -17,10 +17,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -32,16 +34,20 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels the in-flight search; the solver stops promptly and
+	// the subcommand reports the best scenario found so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "probe":
 		err = probe(os.Args[2:])
 	case "analyze":
-		err = analyze(os.Args[2:])
+		err = analyze(ctx, os.Args[2:])
 	case "augment":
 		err = augmentCmd(os.Args[2:])
 	case "alert":
-		err = alert(os.Args[2:])
+		err = alert(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -103,6 +109,7 @@ type commonFlags struct {
 	ce        *bool
 	budget    *time.Duration
 	seed      *int64
+	workers   *int
 }
 
 func newCommon(name string) *commonFlags {
@@ -119,6 +126,7 @@ func newCommon(name string) *commonFlags {
 		ce:        fs.Bool("ce", false, "enforce connectivity (at least one path up per demand)"),
 		budget:    fs.Duration("budget", 30*time.Second, "solver time budget"),
 		seed:      fs.Int64("seed", 1, "seed for the gravity demand model"),
+		workers:   fs.Int("workers", 0, "branch-and-bound worker goroutines (0 = all cores, 1 = serial)"),
 	}
 }
 
@@ -159,21 +167,21 @@ func probe(args []string) error {
 	return nil
 }
 
-func analyze(args []string) error {
+func analyze(ctx context.Context, args []string) error {
 	c := newCommon("analyze")
 	c.fs.Parse(args)
 	top, dps, _, env, err := c.setup()
 	if err != nil {
 		return err
 	}
-	res, err := raha.Analyze(raha.Config{
+	res, err := raha.AnalyzeContext(ctx, raha.Config{
 		Topo:                 top,
 		Demands:              dps,
 		Envelope:             env,
 		ProbThreshold:        *c.threshold,
 		MaxFailures:          *c.maxFail,
 		ConnectivityEnforced: *c.ce,
-		Solver:               raha.SolverParams{TimeLimit: *c.budget},
+		Solver:               raha.SolverParams{TimeLimit: *c.budget, Workers: *c.workers},
 	})
 	if err != nil {
 		return err
@@ -184,14 +192,20 @@ func analyze(args []string) error {
 
 func printResult(top *raha.Topology, dps []raha.DemandPaths, res *raha.Result) {
 	fmt.Printf("status:      %v (%d nodes explored in %v)\n", res.Status, res.Nodes, res.Runtime.Round(time.Millisecond))
-	fmt.Printf("healthy:     %.1f\n", res.Healthy.Objective)
-	fmt.Printf("failed:      %.1f\n", res.Failed.Objective)
-	fmt.Printf("degradation: %.1f (%.3f × mean LAG capacity)\n", res.Degradation, res.Degradation/top.MeanLAGCapacity())
-	if res.Scenario != nil {
-		names := res.Scenario.FailedLinkNames(top)
-		fmt.Printf("failed links (%d): %s\n", len(names), strings.Join(names, ", "))
-		fmt.Printf("scenario probability: %.3e\n", expSafe(res.Scenario.LogProb(top)))
+	// An interrupted or timed-out search may stop before any scenario was
+	// found; there is nothing to report beyond the status.
+	if res.Scenario == nil {
+		fmt.Println("no degradation scenario found before the search stopped; raise -budget or let it run longer")
+		return
 	}
+	if res.Healthy != nil && res.Failed != nil {
+		fmt.Printf("healthy:     %.1f\n", res.Healthy.Objective)
+		fmt.Printf("failed:      %.1f\n", res.Failed.Objective)
+	}
+	fmt.Printf("degradation: %.1f (%.3f × mean LAG capacity)\n", res.Degradation, res.Degradation/top.MeanLAGCapacity())
+	names := res.Scenario.FailedLinkNames(top)
+	fmt.Printf("failed links (%d): %s\n", len(names), strings.Join(names, ", "))
+	fmt.Printf("scenario probability: %.3e\n", expSafe(res.Scenario.LogProb(top)))
 	fmt.Println("worst-case demands:")
 	for k, d := range res.Demands {
 		fmt.Printf("  %s -> %s: %.1f\n", top.Name(dps[k].Src), top.Name(dps[k].Dst), d)
@@ -227,7 +241,7 @@ func augmentCmd(args []string) error {
 		ProbThreshold:        *c.threshold,
 		MaxFailures:          *c.maxFail,
 		ConnectivityEnforced: *c.ce,
-		Solver:               raha.SolverParams{TimeLimit: *c.budget},
+		Solver:               raha.SolverParams{TimeLimit: *c.budget, Workers: *c.workers},
 		NewCapacityCanFail:   *canFail,
 	}
 	if *newLAGs {
@@ -270,7 +284,7 @@ func candidateLAGs(top *raha.Topology, n int) [][2]raha.Node {
 	return out
 }
 
-func alert(args []string) error {
+func alert(ctx context.Context, args []string) error {
 	c := newCommon("alert")
 	tolerance := c.fs.Float64("tolerance", 0.5, "alert when degradation exceeds this multiple of mean LAG capacity")
 	c.fs.Parse(args)
@@ -278,7 +292,7 @@ func alert(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := raha.Alert(raha.AlertConfig{
+	rep, err := raha.AlertContext(ctx, raha.AlertConfig{
 		Topo:                 top,
 		Demands:              dps,
 		Peak:                 base.Scale(1.5),
@@ -288,6 +302,7 @@ func alert(args []string) error {
 		ConnectivityEnforced: *c.ce,
 		Phase1Budget:         *c.budget,
 		Phase2Budget:         *c.budget,
+		Workers:              *c.workers,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,94 @@
+// Package conc provides the bounded-parallelism fan-out primitive the
+// analysis layers share: metaopt runs independent cluster-pair solves
+// through it, and the experiments package fans its figure sweeps out with
+// it. It is errgroup-shaped but stdlib-only (channels + WaitGroup), per the
+// repository's no-dependency rule.
+package conc
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count knob: values < 1 select
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) with at most workers
+// concurrent calls and returns the first error. After an error (or a parent
+// cancellation) the remaining indices are skipped and the context passed to
+// in-flight calls is cancelled. workers < 1 selects GOMAXPROCS(0);
+// workers == 1 degenerates to a plain serial loop, so callers get identical
+// results at any width as long as their iterations are independent.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	idx := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain remaining indices after cancellation
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	// Surface a parent cancellation; our own cancel only fires with an
+	// error, which was returned above.
+	return ctx.Err()
+}

@@ -1,0 +1,113 @@
+package conc
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var hit [50]int32
+		err := ForEach(context.Background(), len(hit), workers, func(_ context.Context, i int) error {
+			atomic.AddInt32(&hit[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	err := ForEach(context.Background(), 24, workers, func(_ context.Context, i int) error {
+		n := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent calls, limit %d", peak, workers)
+	}
+}
+
+func TestForEachReturnsFirstErrorAndStops(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := ForEach(context.Background(), 1000, 2, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := atomic.LoadInt32(&ran); n == 1000 {
+		t.Fatal("error did not short-circuit the remaining work")
+	}
+}
+
+func TestForEachHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForEach(ctx, 1000, 2, func(ctx context.Context, i int) error {
+		if atomic.AddInt32(&ran, 1) == 4 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&ran); n == 1000 {
+		t.Fatal("cancellation did not short-circuit the remaining work")
+	}
+}
+
+func TestForEachEmptyAndLeaks(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		_ = ForEach(context.Background(), 8, 4, func(context.Context, int) error { return nil })
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("Workers must pass positive values through")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("Workers must default non-positive values to GOMAXPROCS")
+	}
+}

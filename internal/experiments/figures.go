@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
+	"raha/internal/conc"
 	"raha/internal/demand"
 	"raha/internal/metaopt"
 	"raha/internal/milp"
@@ -145,14 +147,23 @@ func Figure5(s *Setup, variant DemandVariant, thresholds []float64, ks []int, ce
 	// Sweep thresholds from strict to loose, warm-starting each budget's
 	// search with the previous threshold's solution (its scenario stays
 	// feasible as the threshold relaxes), so the reported curve is monotone
-	// even when the solver budget truncates the search.
+	// even when the solver budget truncates the search. Each failure
+	// budget's chain is independent of the others, so within one threshold
+	// the per-k solves fan out across s.Parallel workers.
 	prev := make(map[int]*metaopt.Result)
 	for _, th := range thresholds {
-		for _, k := range ks {
-			res, err := s.analyze(dps, env, th, k, ce, prev[k])
-			if err != nil {
-				return nil, err
-			}
+		th := th
+		step := make([]*metaopt.Result, len(ks))
+		err := conc.ForEach(context.Background(), len(ks), s.parallel(), func(_ context.Context, i int) error {
+			res, err := s.analyze(dps, env, th, ks[i], ce, prev[ks[i]])
+			step[i] = res
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range ks {
+			res := step[i]
 			if res.Scenario != nil {
 				prev[k] = res
 			}
@@ -189,22 +200,28 @@ func Figure7(s *Setup, slacks []float64, ks []int, threshold float64) ([]SlackRo
 	var rows []SlackRow
 	prev := make(map[int]*metaopt.Result) // per failure budget
 	for _, slack := range slacks {
-		for _, k := range ks {
+		slack := slack
+		step := make([]*metaopt.Result, len(ks))
+		err := conc.ForEach(context.Background(), len(ks), s.parallel(), func(_ context.Context, i int) error {
 			cfg := metaopt.Config{
 				Topo: s.Topo, Demands: dps, Envelope: demand.UpTo(s.Base, slack),
-				ProbThreshold: threshold, MaxFailures: k, QuantBits: s.QuantBits,
-				Solver: milp.Params{TimeLimit: s.Budget},
+				ProbThreshold: threshold, MaxFailures: ks[i], QuantBits: s.QuantBits,
+				Solver: milp.Params{TimeLimit: s.Budget, Workers: s.Workers},
 			}
-			if p := prev[k]; p != nil {
+			if p := prev[ks[i]]; p != nil {
 				cfg.WarmStartScenario = p.Scenario
 				cfg.WarmStartDemands = p.Demands
 			}
 			res, err := metaopt.Analyze(cfg)
-			if err != nil {
-				return nil, err
-			}
-			prev[k] = res
-			rows = append(rows, SlackRow{Slack: slack, MaxFailures: k, Degradation: res.Degradation / s.Norm, Runtime: res.Runtime})
+			step[i] = res
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range ks {
+			prev[k] = step[i]
+			rows = append(rows, SlackRow{Slack: slack, MaxFailures: k, Degradation: step[i].Degradation / s.Norm, Runtime: step[i].Runtime})
 		}
 	}
 	return rows, nil
@@ -229,23 +246,37 @@ func Figure8(s *Setup, clusters int, thresholds []float64, ks []int) ([]ClusterR
 		return nil, err
 	}
 	env := demand.UpTo(s.Base, maxFactor-1).Cap(s.Norm / 2)
-	var rows []ClusterRow
+	// Every (threshold, k) cell is independent: the whole grid fans out.
+	type cell struct {
+		th float64
+		k  int
+	}
+	var grid []cell
 	for _, th := range thresholds {
 		for _, k := range ks {
-			res, err := metaopt.AnalyzeClustered(metaopt.ClusterConfig{
-				Config: metaopt.Config{
-					Topo: s.Topo, Demands: dps, Envelope: env,
-					ProbThreshold: th, MaxFailures: k,
-					QuantBits: s.QuantBits,
-					Solver:    milp.Params{TimeLimit: s.Budget},
-				},
-				Clusters: clusters,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, ClusterRow{Clusters: clusters, Threshold: th, MaxFailures: k, Degradation: res.Degradation / s.Norm, Runtime: res.Runtime})
+			grid = append(grid, cell{th, k})
 		}
+	}
+	rows := make([]ClusterRow, len(grid))
+	err = conc.ForEach(context.Background(), len(grid), s.parallel(), func(_ context.Context, i int) error {
+		c := grid[i]
+		res, err := metaopt.AnalyzeClustered(metaopt.ClusterConfig{
+			Config: metaopt.Config{
+				Topo: s.Topo, Demands: dps, Envelope: env,
+				ProbThreshold: c.th, MaxFailures: c.k,
+				QuantBits: s.QuantBits,
+				Solver:    milp.Params{TimeLimit: s.Budget, Workers: s.Workers},
+			},
+			Clusters: clusters,
+		})
+		if err != nil {
+			return err
+		}
+		rows[i] = ClusterRow{Clusters: clusters, Threshold: c.th, MaxFailures: c.k, Degradation: res.Degradation / s.Norm, Runtime: res.Runtime}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -258,6 +289,9 @@ func Figure9(s *Setup, clusterCounts []int, threshold float64, k int) ([]Cluster
 		return nil, err
 	}
 	env := demand.UpTo(s.Base, maxFactor-1)
+	// The outer loop stays serial so each row's wall-clock runtime is
+	// meaningful; the independent cluster-pair solves inside each
+	// AnalyzeClustered run fan out across s.Parallel instead.
 	var rows []ClusterRow
 	for _, n := range clusterCounts {
 		start := time.Now()
@@ -266,9 +300,10 @@ func Figure9(s *Setup, clusterCounts []int, threshold float64, k int) ([]Cluster
 				Topo: s.Topo, Demands: dps, Envelope: env,
 				ProbThreshold: threshold, MaxFailures: k,
 				QuantBits: s.QuantBits,
-				Solver:    milp.Params{TimeLimit: s.Budget},
+				Solver:    milp.Params{TimeLimit: s.Budget, Workers: s.Workers},
 			},
 			Clusters: n,
+			Parallel: s.parallel(),
 		})
 		if err != nil {
 			return nil, err
@@ -294,38 +329,62 @@ type RuntimeRow struct {
 func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, threshold float64) ([]RuntimeRow, error) {
 	env := demand.UpTo(s.Base, maxFactor-1)
 	var rows []RuntimeRow
-	for _, np := range primaries {
+
+	// Every point of each factor sweep is an independent analysis; each
+	// factor fans out across s.Parallel while the factor groups stay in the
+	// paper's order.
+	prim := make([]RuntimeRow, len(primaries))
+	err := conc.ForEach(context.Background(), len(primaries), s.parallel(), func(_ context.Context, i int) error {
 		sub := *s
-		sub.Primary = np
+		sub.Primary = primaries[i]
 		start := time.Now()
 		dps, err := sub.Paths()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sub.analyze(dps, env, threshold, 0, false, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, RuntimeRow{Factor: "primary-paths", Value: float64(np), Runtime: time.Since(start), Degradation: res.Degradation / s.Norm})
+		prim[i] = RuntimeRow{Factor: "primary-paths", Value: float64(primaries[i]), Runtime: time.Since(start), Degradation: res.Degradation / s.Norm}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	rows = append(rows, prim...)
+
 	dps, err := s.Paths()
 	if err != nil {
 		return nil, err
 	}
-	for _, th := range thresholds {
-		res, err := s.analyze(dps, env, th, 0, false, nil)
+	ths := make([]RuntimeRow, len(thresholds))
+	err = conc.ForEach(context.Background(), len(thresholds), s.parallel(), func(_ context.Context, i int) error {
+		res, err := s.analyze(dps, env, thresholds[i], 0, false, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, RuntimeRow{Factor: "threshold", Value: th, Runtime: res.Runtime, Degradation: res.Degradation / s.Norm})
+		ths[i] = RuntimeRow{Factor: "threshold", Value: thresholds[i], Runtime: res.Runtime, Degradation: res.Degradation / s.Norm}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, k := range ks {
-		res, err := s.analyze(dps, env, threshold, k, false, nil)
+	rows = append(rows, ths...)
+
+	kr := make([]RuntimeRow, len(ks))
+	err = conc.ForEach(context.Background(), len(ks), s.parallel(), func(_ context.Context, i int) error {
+		res, err := s.analyze(dps, env, threshold, ks[i], false, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, RuntimeRow{Factor: "max-failures", Value: float64(k), Runtime: res.Runtime, Degradation: res.Degradation / s.Norm})
+		kr[i] = RuntimeRow{Factor: "max-failures", Value: float64(ks[i]), Runtime: res.Runtime, Degradation: res.Degradation / s.Norm}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	rows = append(rows, kr...)
 	return rows, nil
 }
 
@@ -333,20 +392,24 @@ func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, thresho
 // path computation (the paper's dominant cost at high backup counts).
 func Figure14(s *Setup, backups []int, threshold float64) ([]RuntimeRow, error) {
 	env := demand.UpTo(s.Base, maxFactor-1)
-	var rows []RuntimeRow
-	for _, nb := range backups {
+	rows := make([]RuntimeRow, len(backups))
+	err := conc.ForEach(context.Background(), len(backups), s.parallel(), func(_ context.Context, i int) error {
 		sub := *s
-		sub.Backup = nb
+		sub.Backup = backups[i]
 		start := time.Now()
 		dps, err := sub.Paths()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sub.analyze(dps, env, threshold, 0, false, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, RuntimeRow{Factor: "backup-paths", Value: float64(nb), Runtime: time.Since(start), Degradation: res.Degradation / s.Norm})
+		rows[i] = RuntimeRow{Factor: "backup-paths", Value: float64(backups[i]), Runtime: time.Since(start), Degradation: res.Degradation / s.Norm}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -366,36 +429,44 @@ type PathRow struct {
 // maximum demand; Figure 13 uses a spread-out weighted path selection.
 func Figure12(s *Setup, primaries, backups []int, ks []int, threshold float64, ce bool, variant DemandVariant) ([]PathRow, error) {
 	env := s.envelope(variant)
-	var rows []PathRow
+
+	// Flatten the (path-count, k) grid: every cell is an independent
+	// analysis, so the whole sweep fans out across s.Parallel with each cell
+	// writing its own row slot. Path sets are computed per cell — cheap next
+	// to the solves — which keeps the cells fully independent.
+	type cell struct {
+		primary, backup, k int
+	}
+	var grid []cell
 	for _, np := range primaries {
-		sub := *s
-		sub.Primary = np
-		dps, err := sub.Paths()
-		if err != nil {
-			return nil, err
-		}
 		for _, k := range ks {
-			res, err := sub.analyze(dps, env, threshold, k, ce, nil)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PathRow{Primaries: np, Backups: sub.Backup, MaxFailures: k, Degradation: res.Degradation / s.Norm})
+			grid = append(grid, cell{primary: np, backup: s.Backup, k: k})
 		}
 	}
 	for _, nb := range backups {
+		for _, k := range ks {
+			grid = append(grid, cell{primary: s.Primary, backup: nb, k: k})
+		}
+	}
+	rows := make([]PathRow, len(grid))
+	err := conc.ForEach(context.Background(), len(grid), s.parallel(), func(_ context.Context, i int) error {
+		c := grid[i]
 		sub := *s
-		sub.Backup = nb
+		sub.Primary = c.primary
+		sub.Backup = c.backup
 		dps, err := sub.Paths()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, k := range ks {
-			res, err := sub.analyze(dps, env, threshold, k, ce, nil)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PathRow{Primaries: sub.Primary, Backups: nb, MaxFailures: k, Degradation: res.Degradation / s.Norm})
+		res, err := sub.analyze(dps, env, threshold, c.k, ce, nil)
+		if err != nil {
+			return err
 		}
+		rows[i] = PathRow{Primaries: c.primary, Backups: c.backup, MaxFailures: c.k, Degradation: res.Degradation / s.Norm}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

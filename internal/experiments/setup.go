@@ -41,6 +41,29 @@ type Setup struct {
 
 	// QuantBits for variable-demand analyses.
 	QuantBits int
+
+	// Workers is forwarded to the branch-and-bound backend for every solve
+	// of the sweep (milp.Params.Workers); 0 uses all cores.
+	Workers int
+
+	// Parallel bounds how many independent analyses of a sweep run
+	// concurrently (the fan-out inside Figure5/7/8/10/12/14 and the
+	// cluster-pair fan-out of Figure9). 0 or 1 keeps sweeps serial — the
+	// safe default, since each analysis already parallelizes its own
+	// branch-and-bound across Workers. Row order is identical at any
+	// setting, and so are values for solves that prove optimality;
+	// analyses stopped by a wall-clock Budget return timing-dependent
+	// incumbents (as with any anytime solver), and concurrent analyses
+	// competing for cores reach the limit with less work done.
+	Parallel int
+}
+
+// parallel is the sweep fan-out width; the zero value means serial.
+func (s *Setup) parallel() int {
+	if s.Parallel < 1 {
+		return 1
+	}
+	return s.Parallel
 }
 
 // Paths computes the tunnel sets for the current path policy.
@@ -155,7 +178,7 @@ func (s *Setup) analyze(dps []paths.DemandPaths, env demand.Envelope, threshold 
 		MaxFailures:          k,
 		ConnectivityEnforced: ce,
 		QuantBits:            s.QuantBits,
-		Solver:               milp.Params{TimeLimit: s.Budget},
+		Solver:               milp.Params{TimeLimit: s.Budget, Workers: s.Workers},
 	}
 	if prev != nil && prev.Scenario != nil {
 		cfg.WarmStartScenario = prev.Scenario

@@ -39,6 +39,7 @@
 package metaopt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -198,6 +199,14 @@ func (c *Config) mluDualBound() float64 {
 // — if possibly non-maximal — degradation scenario, verified by re-solving
 // both networks.
 func Analyze(cfg Config) (*Result, error) {
+	return AnalyzeContext(context.Background(), cfg)
+}
+
+// AnalyzeContext is Analyze under a context: cancelling ctx stops the
+// branch-and-bound search promptly and returns the best scenario found so
+// far (Status Feasible), or Status Unknown with no scenario when nothing
+// was found yet — the same semantics as the solver's time limit.
+func AnalyzeContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -208,11 +217,11 @@ func Analyze(cfg Config) (*Result, error) {
 	)
 	switch cfg.Objective {
 	case TotalFlow:
-		res, err = analyzeTotalFlow(&cfg)
+		res, err = analyzeTotalFlow(ctx, &cfg)
 	case MLU:
-		res, err = analyzeMLU(&cfg)
+		res, err = analyzeMLU(ctx, &cfg)
 	case MaxMin:
-		res, err = analyzeMaxMin(&cfg)
+		res, err = analyzeMaxMin(ctx, &cfg)
 	default:
 		return nil, fmt.Errorf("metaopt: unknown objective %d", cfg.Objective)
 	}
@@ -430,7 +439,7 @@ func buildWarmStartHint(m *milp.Model, cfg *Config, enc *failures.Encoding, dv *
 // the envelope (its top and midpoint) to obtain strong warm starts for the
 // variable search. Each returned scenario is paired with the level it was
 // found at.
-func hintScenarios(cfg *Config) []struct {
+func hintScenarios(ctx context.Context, cfg *Config) []struct {
 	Scenario *failures.Scenario
 	Level    float64
 } {
@@ -451,18 +460,18 @@ func hintScenarios(cfg *Config) []struct {
 			lo[k] = cfg.Envelope.Lo[k] + level*(cfg.Envelope.Hi[k]-cfg.Envelope.Lo[k])
 		}
 		sub.Envelope = demand.Envelope{Pairs: cfg.Envelope.Pairs, Lo: lo, Hi: lo}
-		sub.Solver = milp.Params{TimeLimit: budget, MIPGap: 0.05}
+		sub.Solver = milp.Params{TimeLimit: budget, MIPGap: 0.05, Workers: cfg.Solver.Workers}
 		var (
 			res *Result
 			err error
 		)
 		switch cfg.Objective {
 		case TotalFlow:
-			res, err = analyzeTotalFlow(&sub)
+			res, err = analyzeTotalFlow(ctx, &sub)
 		case MLU:
-			res, err = analyzeMLU(&sub)
+			res, err = analyzeMLU(ctx, &sub)
 		case MaxMin:
-			res, err = analyzeMaxMin(&sub)
+			res, err = analyzeMaxMin(ctx, &sub)
 		}
 		if err != nil || res == nil || res.Scenario == nil {
 			continue

@@ -1,0 +1,59 @@
+package metaopt
+
+import (
+	"testing"
+
+	"raha/internal/demand"
+	"raha/internal/milp"
+	"raha/internal/paths"
+	"raha/internal/topology"
+)
+
+// benchConfig builds a Figure-5-style variable-demand analysis on the given
+// topology, sized so the MILP has a non-trivial tree to search.
+func benchConfig(b *testing.B, top *topology.Topology, seed int64, workers int) Config {
+	b.Helper()
+	pairs := demand.TopPairs(top, 6, seed)
+	dps, err := paths.Compute(top, pairs, 2, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := demand.Gravity(top, pairs, top.MeanLAGCapacity(), seed)
+	return Config{
+		Topo:        top,
+		Demands:     dps,
+		Envelope:    demand.UpTo(base, 0.5),
+		QuantBits:   2,
+		MaxFailures: 2,
+		Solver:      milp.Params{Workers: workers},
+	}
+}
+
+// benchAnalyze runs the analysis b.N times and reports branch-and-bound
+// throughput, the figure that shows what the worker pool buys: compare
+// nodes/sec between the /serial and /parallel variants.
+func benchAnalyze(b *testing.B, top *topology.Topology, seed int64, workers int) {
+	cfg := benchConfig(b, top, seed, workers)
+	nodes := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Analyze(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes += res.Nodes
+	}
+	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/solve")
+}
+
+func BenchmarkAnalyzeB4Serial(b *testing.B)   { benchAnalyze(b, topology.B4(), 4, 1) }
+func BenchmarkAnalyzeB4Parallel(b *testing.B) { benchAnalyze(b, topology.B4(), 4, 0) }
+
+func BenchmarkAnalyzeUninettSerial(b *testing.B) {
+	benchAnalyze(b, topology.Uninett2010(), 2010, 1)
+}
+
+func BenchmarkAnalyzeUninettParallel(b *testing.B) {
+	benchAnalyze(b, topology.Uninett2010(), 2010, 0)
+}

@@ -1,9 +1,11 @@
 package metaopt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"raha/internal/conc"
 	"raha/internal/demand"
 	"raha/internal/topology"
 )
@@ -16,14 +18,37 @@ import (
 type ClusterConfig struct {
 	Config
 	Clusters int // number of node clusters; values < 2 run Analyze directly
+
+	// Parallel bounds how many cluster-pair solves run concurrently within
+	// a wave (see AnalyzeClustered); 0 or 1 runs them serially. The pair
+	// solves of a wave are independent — each one sees the demand values
+	// pinned at the start of its wave — so the result does not depend on
+	// Parallel, except that solves stopped by a wall-clock TimeLimit
+	// return timing-dependent incumbents and get less CPU when competing
+	// for cores.
+	Parallel int
 }
 
 // AnalyzeClustered runs Algorithm 1. The solver time budget of cfg.Solver
 // is split evenly across the cluster-pair solves and the final fixed-demand
 // solve, matching the paper's Figure 9 experiment protocol.
+//
+// The cluster-pair solves proceed in two waves — intra-cluster pairs first,
+// then cross-cluster pairs, as in the paper — and every solve in a wave
+// pins the demands of all other pairs to the values recorded at the start
+// of that wave. The solves within a wave are therefore independent and run
+// with up to cfg.Parallel of them concurrent; their demand updates merge in
+// deterministic pair order before the next wave starts, so objectives are
+// identical at any parallelism level.
 func AnalyzeClustered(cfg ClusterConfig) (*Result, error) {
+	return AnalyzeClusteredContext(context.Background(), cfg)
+}
+
+// AnalyzeClusteredContext is AnalyzeClustered under a context; cancellation
+// propagates into every cluster-pair solve (see AnalyzeContext).
+func AnalyzeClusteredContext(ctx context.Context, cfg ClusterConfig) (*Result, error) {
 	if cfg.Clusters < 2 {
-		return Analyze(cfg.Config)
+		return AnalyzeContext(ctx, cfg.Config)
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -56,45 +81,71 @@ func AnalyzeClustered(cfg ClusterConfig) (*Result, error) {
 	// Current demand values, initialized to zero (Algorithm 1, line 3).
 	current := make([]float64, len(cfg.Demands))
 
-	// Iterate cluster pairs: first intra-cluster (Ci == Cj), then
-	// cross-cluster, in deterministic order.
-	var keys [][2]int
+	// Wave 1: intra-cluster pairs. Wave 2: cross-cluster pairs. Both in
+	// deterministic order.
+	var intra, cross [][2]int
 	for ci := range clusters {
-		keys = append(keys, [2]int{ci, ci})
+		intra = append(intra, [2]int{ci, ci})
 	}
 	for ci := range clusters {
 		for cj := range clusters {
 			if ci != cj {
-				keys = append(keys, [2]int{ci, cj})
+				cross = append(cross, [2]int{ci, cj})
 			}
 		}
 	}
 
-	for _, key := range keys {
-		ks := group[key]
-		if len(ks) == 0 {
+	for _, wave := range [][][2]int{intra, cross} {
+		// Keys of this wave that actually carry demands.
+		var keys [][2]int
+		for _, key := range wave {
+			if len(group[key]) > 0 {
+				keys = append(keys, key)
+			}
+		}
+		if len(keys) == 0 {
 			continue
 		}
-		// Envelope: demands of this pair keep their original range; all
-		// others are pinned to their current values.
-		env := demand.Envelope{
-			Pairs: cfg.Envelope.Pairs,
-			Lo:    append([]float64(nil), current...),
-			Hi:    append([]float64(nil), current...),
-		}
-		for _, k := range ks {
-			env.Lo[k] = cfg.Envelope.Lo[k]
-			env.Hi[k] = cfg.Envelope.Hi[k]
-		}
-		sub := cfg.Config
-		sub.Envelope = env
-		sub.Solver = per
-		res, err := Analyze(sub)
+
+		// Snapshot of the pinned demands at wave start: every solve of the
+		// wave reads it, none writes it, so the solves are independent.
+		snapshot := append([]float64(nil), current...)
+		results := make([]*Result, len(keys)) // indexed writes: one disjoint slot per solve
+		err := conc.ForEach(ctx, len(keys), cfg.Parallel, func(ctx context.Context, i int) error {
+			key := keys[i]
+			// Envelope: demands of this pair keep their original range; all
+			// others are pinned to their wave-start values.
+			env := demand.Envelope{
+				Pairs: cfg.Envelope.Pairs,
+				Lo:    append([]float64(nil), snapshot...),
+				Hi:    append([]float64(nil), snapshot...),
+			}
+			for _, k := range group[key] {
+				env.Lo[k] = cfg.Envelope.Lo[k]
+				env.Hi[k] = cfg.Envelope.Hi[k]
+			}
+			sub := cfg.Config
+			sub.Envelope = env
+			sub.Solver = per
+			res, err := AnalyzeContext(ctx, sub)
+			if err != nil {
+				return fmt.Errorf("metaopt: cluster pair %v: %w", key, err)
+			}
+			results[i] = res
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("metaopt: cluster pair %v: %w", key, err)
+			return nil, err
 		}
-		if res.Demands != nil {
-			for _, k := range ks {
+
+		// Merge the wave's demand updates in pair order (deterministic
+		// regardless of completion order).
+		for i, key := range keys {
+			res := results[i]
+			if res == nil || res.Demands == nil {
+				continue
+			}
+			for _, k := range group[key] {
 				current[k] = res.Demands[k]
 			}
 		}
@@ -109,7 +160,7 @@ func AnalyzeClustered(cfg ClusterConfig) (*Result, error) {
 		Hi:    append([]float64(nil), current...),
 	}
 	final.Solver = per
-	return Analyze(final)
+	return AnalyzeContext(ctx, final)
 }
 
 // PartitionNodes splits the topology's nodes into n balanced, connected-ish

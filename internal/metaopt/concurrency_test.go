@@ -1,0 +1,126 @@
+package metaopt
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"raha/internal/demand"
+	"raha/internal/milp"
+)
+
+// TestAnalyzeClusteredParallelMatchesSerial: the wave-snapshot scheme pins
+// every solve's inputs at wave start, so the clustered result must be
+// bit-identical at any Parallel width. Run under -race this also exercises
+// the fan-out plus the parallel branch-and-bound underneath it.
+func TestAnalyzeClusteredParallelMatchesSerial(t *testing.T) {
+	top, dps := tiny()
+	base := demand.Matrix{
+		{Src: dps[0].Src, Dst: dps[0].Dst, Volume: 12},
+		{Src: dps[1].Src, Dst: dps[1].Dst, Volume: 10},
+	}
+	cfg := ClusterConfig{
+		Config: Config{
+			Topo: top, Demands: dps, Envelope: demand.Around(base, 0.5),
+			QuantBits: 2, MaxFailures: 2,
+		},
+		Clusters: 2,
+	}
+	serial, err := AnalyzeClustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := cfg
+	par.Parallel = 4
+	par.Solver = milp.Params{Workers: 2}
+	got, err := AnalyzeClustered(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degradation != serial.Degradation {
+		t.Fatalf("parallel clustered %g != serial %g", got.Degradation, serial.Degradation)
+	}
+	if got.Status != serial.Status {
+		t.Fatalf("status %v != %v", got.Status, serial.Status)
+	}
+}
+
+// TestAnalyzeContextCancellation: a cancelled analysis must stop promptly
+// and surface either the best scenario so far or a clean non-optimal status
+// — never an error, matching the solver's timeout semantics.
+func TestAnalyzeContextCancellation(t *testing.T) {
+	top, dps := tiny()
+	base := demand.Matrix{
+		{Src: dps[0].Src, Dst: dps[0].Dst, Volume: 12},
+		{Src: dps[1].Src, Dst: dps[1].Dst, Volume: 10},
+	}
+	cfg := Config{
+		Topo: top, Demands: dps, Envelope: demand.Around(base, 0.5),
+		QuantBits: 4, MaxFailures: 3,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := AnalyzeContext(ctx, cfg)
+	elapsed := time.Since(start)
+	cancel()
+	if err != nil {
+		t.Fatalf("AnalyzeContext: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled analysis took %v", elapsed)
+	}
+	switch res.Status {
+	case milp.Optimal, milp.Feasible, milp.Unknown:
+	default:
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+// TestAnalyzeContextBackgroundMatchesAnalyze: the context entry point with a
+// background context is the plain API.
+func TestAnalyzeContextBackgroundMatchesAnalyze(t *testing.T) {
+	top, dps := tiny()
+	base := demand.Matrix{
+		{Src: dps[0].Src, Dst: dps[0].Dst, Volume: 12},
+		{Src: dps[1].Src, Dst: dps[1].Dst, Volume: 10},
+	}
+	cfg := Config{
+		Topo: top, Demands: dps, Envelope: demand.Around(base, 0.5),
+		QuantBits: 2, MaxFailures: 2,
+	}
+	a := analyzeOK(t, cfg)
+	b, err := AnalyzeContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Status != milp.Optimal || b.Degradation != a.Degradation {
+		t.Fatalf("AnalyzeContext %v/%g != Analyze optimal/%g", b.Status, b.Degradation, a.Degradation)
+	}
+}
+
+// TestAnalyzeWithParallelSolverMatchesSerial: the analyzer's verified
+// degradation must not depend on the solver's worker count.
+func TestAnalyzeWithParallelSolverMatchesSerial(t *testing.T) {
+	top, dps := tiny()
+	base := demand.Matrix{
+		{Src: dps[0].Src, Dst: dps[0].Dst, Volume: 12},
+		{Src: dps[1].Src, Dst: dps[1].Dst, Volume: 10},
+	}
+	mk := func(workers int) Config {
+		return Config{
+			Topo: top, Demands: dps, Envelope: demand.Around(base, 0.5),
+			QuantBits: 2, MaxFailures: 2,
+			Solver: milp.Params{Workers: workers},
+		}
+	}
+	serial := analyzeOK(t, mk(1))
+	par := analyzeOK(t, mk(8))
+	if diff := serial.Degradation - par.Degradation; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("workers=8 degradation %g != workers=1 %g", par.Degradation, serial.Degradation)
+	}
+}

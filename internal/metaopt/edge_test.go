@@ -55,10 +55,14 @@ func TestTimeLimitReturnsVerifiedIncumbent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	budget := 500 * time.Millisecond
+	if raceEnabled {
+		budget *= 10 // race instrumentation slows the LP kernel ~10x
+	}
 	res, err := Analyze(Config{
 		Topo: top, Demands: dps, Envelope: demand.UpTo(base, 0.5),
 		ProbThreshold: 1e-5, QuantBits: 3,
-		Solver: milp.Params{TimeLimit: 500 * time.Millisecond},
+		Solver: milp.Params{TimeLimit: budget},
 	})
 	if err != nil {
 		t.Fatal(err)

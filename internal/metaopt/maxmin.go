@@ -1,6 +1,7 @@
 package metaopt
 
 import (
+	"context"
 	"fmt"
 
 	"raha/internal/failures"
@@ -33,7 +34,7 @@ import (
 // Clipping can only raise the dual minimum, i.e. overestimate the failed
 // network's utility — an underestimate of the degradation, conservative
 // for alerting.
-func analyzeMaxMin(cfg *Config) (*Result, error) {
+func analyzeMaxMin(ctx context.Context, cfg *Config) (*Result, error) {
 	m := milp.NewModel()
 	enc := failures.Encode(m, cfg.Topo, cfg.Demands)
 	if err := addScenarioConstraints(cfg, m, enc); err != nil {
@@ -69,7 +70,7 @@ func analyzeMaxMin(cfg *Config) (*Result, error) {
 	params := cfg.Solver
 	if cfg.Mode == Gap {
 		if !cfg.Envelope.IsFixed() {
-			for _, h := range hintScenarios(cfg) {
+			for _, h := range hintScenarios(ctx, cfg) {
 				params.Hints = append(params.Hints, buildHint(m, cfg, enc, dv, h.Scenario, h.Level))
 			}
 		}
@@ -77,7 +78,7 @@ func analyzeMaxMin(cfg *Config) (*Result, error) {
 			params.Hints = append(params.Hints, h)
 		}
 	}
-	mres, err := m.Solve(params)
+	mres, err := m.SolveContext(ctx, params)
 	if err != nil {
 		return nil, err
 	}

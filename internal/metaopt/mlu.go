@@ -1,6 +1,7 @@
 package metaopt
 
 import (
+	"context"
 	"fmt"
 
 	"raha/internal/failures"
@@ -27,7 +28,7 @@ import (
 // Unlike the total-flow dual, these duals have no natural [0,1] box; they
 // are clipped to the configurable MLUDualBound. Too small a bound
 // underestimates the failed MLU (conservative for alerting).
-func analyzeMLU(cfg *Config) (*Result, error) {
+func analyzeMLU(ctx context.Context, cfg *Config) (*Result, error) {
 	m := milp.NewModel()
 	enc := failures.Encode(m, cfg.Topo, cfg.Demands)
 	if err := addScenarioConstraints(cfg, m, enc); err != nil {
@@ -61,7 +62,7 @@ func analyzeMLU(cfg *Config) (*Result, error) {
 	params := cfg.Solver
 	if cfg.Mode == Gap {
 		if !cfg.Envelope.IsFixed() {
-			for _, h := range hintScenarios(cfg) {
+			for _, h := range hintScenarios(ctx, cfg) {
 				params.Hints = append(params.Hints, buildHint(m, cfg, enc, dv, h.Scenario, h.Level))
 			}
 		}
@@ -69,7 +70,7 @@ func analyzeMLU(cfg *Config) (*Result, error) {
 			params.Hints = append(params.Hints, h)
 		}
 	}
-	mres, err := m.Solve(params)
+	mres, err := m.SolveContext(ctx, params)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package metaopt
+
+// raceEnabled lets time-budgeted tests widen their budgets: race
+// instrumentation slows LP solves by roughly an order of magnitude.
+const raceEnabled = true

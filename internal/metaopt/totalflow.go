@@ -1,6 +1,7 @@
 package metaopt
 
 import (
+	"context"
 	"fmt"
 
 	"raha/internal/failures"
@@ -10,7 +11,7 @@ import (
 
 // analyzeTotalFlow builds and solves the single-level MILP for the
 // total-demand-met objective (Eq. 2).
-func analyzeTotalFlow(cfg *Config) (*Result, error) {
+func analyzeTotalFlow(ctx context.Context, cfg *Config) (*Result, error) {
 	m := milp.NewModel()
 	enc := failures.Encode(m, cfg.Topo, cfg.Demands)
 	if err := addScenarioConstraints(cfg, m, enc); err != nil {
@@ -62,7 +63,7 @@ func analyzeTotalFlow(cfg *Config) (*Result, error) {
 	params := cfg.Solver
 	if cfg.Mode == Gap {
 		if !cfg.Envelope.IsFixed() {
-			for _, h := range hintScenarios(cfg) {
+			for _, h := range hintScenarios(ctx, cfg) {
 				params.Hints = append(params.Hints, buildHint(m, cfg, enc, dv, h.Scenario, h.Level))
 			}
 		}
@@ -70,7 +71,7 @@ func analyzeTotalFlow(cfg *Config) (*Result, error) {
 			params.Hints = append(params.Hints, h)
 		}
 	}
-	mres, err := m.Solve(params)
+	mres, err := m.SolveContext(ctx, params)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,12 @@
 package milp
 
 import (
+	"container/heap"
+	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"raha/internal/lp"
@@ -11,9 +15,9 @@ import (
 // Status reports the outcome of a MILP solve.
 type Status int8
 
-// Solve outcomes. Feasible means a limit (time, nodes, gap) stopped the
-// search with an incumbent in hand — the behaviour the paper relies on when
-// it runs Gurobi with its timeout feature.
+// Solve outcomes. Feasible means a limit (time, nodes, gap, cancellation)
+// stopped the search with an incumbent in hand — the behaviour the paper
+// relies on when it runs Gurobi with its timeout feature.
 const (
 	Optimal Status = iota
 	Feasible
@@ -43,12 +47,27 @@ type Params struct {
 	MIPGap    float64       // relative gap at which to stop; 0 = prove optimality
 	IntTol    float64       // integrality tolerance; 0 = 1e-6
 
+	// Workers is the number of concurrent branch-and-bound workers. Each
+	// worker claims nodes from a shared best-bound queue and runs its own LP
+	// solves (package lp is re-entrant: every solve builds a private
+	// tableau). 0 defaults to runtime.GOMAXPROCS(0); 1 is the serial search.
+	// The optimal objective value does not depend on Workers; node counts
+	// and which of several equally-good solutions is returned may.
+	Workers int
+
 	// Hints are warm-start candidates: full-length value vectors whose
 	// integer entries are fixed (rounded, clamped to bounds) and whose
 	// continuous entries are re-optimized by LP. Feasible hints become
 	// incumbents before the search starts — the analogue of a MIP start in
 	// a commercial solver. NaN entries on integer variables skip the hint.
 	Hints [][]float64
+}
+
+func (p *Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result is the outcome of a MILP solve.
@@ -61,10 +80,16 @@ type Result struct {
 	Runtime   time.Duration
 }
 
-// Gap returns the relative optimality gap of the result.
+// Gap returns the relative optimality gap of the result. Without an
+// incumbent (or without a finite dual bound) there is no meaningful gap and
+// it is +Inf.
 func (r *Result) Gap() float64 {
 	if r.Status == Optimal {
 		return 0
+	}
+	if math.IsInf(r.Objective, 0) || math.IsNaN(r.Objective) ||
+		math.IsInf(r.Bound, 0) || math.IsNaN(r.Bound) {
+		return math.Inf(1)
 	}
 	d := math.Abs(r.Objective)
 	if d < 1 {
@@ -73,209 +98,439 @@ func (r *Result) Gap() float64 {
 	return math.Abs(r.Bound-r.Objective) / d
 }
 
+// node is one open subproblem of the search tree.
 type node struct {
 	lo, hi []float64
 	relax  float64 // bound inherited from the parent (model sense)
+	seq    int     // creation order; 0 is the root
 }
 
-// Solve runs branch and bound on the model.
+// nodeHeap orders open nodes best-bound-first (ties: most recently created,
+// which approximates the serial solver's depth-first diving).
+type nodeHeap struct {
+	nodes    []*node
+	maximize bool
+}
+
+func (h *nodeHeap) Len() int { return len(h.nodes) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := h.nodes[i], h.nodes[j]
+	if a.relax != b.relax {
+		if h.maximize {
+			return a.relax > b.relax
+		}
+		return a.relax < b.relax
+	}
+	return a.seq > b.seq
+}
+func (h *nodeHeap) Swap(i, j int)      { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
+func (h *nodeHeap) Push(x interface{}) { h.nodes = append(h.nodes, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.nodes
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	h.nodes = old[:n-1]
+	return x
+}
+
+// search is the shared state of a (possibly parallel) branch-and-bound run.
+// All mutable fields are guarded by mu; workers claim nodes under the lock,
+// solve LPs outside it, and publish children/incumbents back under it.
+type search struct {
+	m        *Model
+	p        Params
+	intVars  []Var
+	maximize bool
+	objConst float64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	open     nodeHeap
+	working  []float64 // per-worker relax of the claimed node; NaN when idle
+	inflight int       // workers currently processing a node
+	nextSeq  int
+
+	nodes         int
+	haveIncumbent bool
+	incObj        float64
+	incX          []float64
+	dualBound     float64 // last published global bound (model sense)
+	haveBound     bool
+
+	clean     bool // no node was abandoned due to LP iteration limits
+	stop      bool // a limit, the gap target, or cancellation ended the search
+	unbounded bool
+	err       error
+}
+
+// toObj maps the solver's internal minimized value back to model sense. The
+// objective's constant term is not part of the LP and re-enters here.
+func (s *search) toObj(v float64) float64 {
+	if s.maximize {
+		return -v + s.objConst
+	}
+	return v + s.objConst
+}
+
+// better reports a strictly better than b in model sense.
+func (s *search) better(a, b float64) bool {
+	if s.maximize {
+		return a > b
+	}
+	return a < b
+}
+
+// solveLP solves the relaxation under the given bounds. It holds no locks:
+// lp.Solve builds a private tableau per call, so concurrent workers never
+// share solver scratch.
+func (s *search) solveLP(lo, hi []float64) (*lp.Solution, error) {
+	return lp.Solve(s.m.toLP(lo, hi), nil)
+}
+
+// fractional returns the most fractional integer variable, or -1.
+func (s *search) fractional(x []float64) Var {
+	best := Var(-1)
+	bestDist := s.p.IntTol
+	for _, v := range s.intVars {
+		f := x[v] - math.Floor(x[v])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			bestDist = dist
+			best = v
+		}
+	}
+	// Prefer the variable closest to 0.5; bestDist tracks the max.
+	return best
+}
+
+// offerIncumbent installs (obj, x) as the incumbent if it improves on the
+// current one.
+func (s *search) offerIncumbent(obj float64, x []float64) {
+	s.mu.Lock()
+	if !s.haveIncumbent || s.better(obj, s.incObj) {
+		s.haveIncumbent = true
+		s.incObj = obj
+		s.incX = x
+	}
+	s.mu.Unlock()
+}
+
+// tryRound fixes integers to rounded values and re-solves; a feasible
+// result becomes an incumbent candidate.
+func (s *search) tryRound(nlo, nhi, x []float64) {
+	lo := append([]float64(nil), nlo...)
+	hi := append([]float64(nil), nhi...)
+	for _, v := range s.intVars {
+		r := math.Round(x[v])
+		if r < lo[v] {
+			r = lo[v]
+		}
+		if r > hi[v] {
+			r = hi[v]
+		}
+		lo[v], hi[v] = r, r
+	}
+	sol, err := s.solveLP(lo, hi)
+	if err != nil || sol.Status != lp.Optimal {
+		return
+	}
+	s.offerIncumbent(s.toObj(sol.Objective), sol.X)
+}
+
+// fail records the first worker error and wakes everyone up.
+func (s *search) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// halt sets the stop flag (limit / gap / cancellation) and wakes everyone.
+// Safe to call from outside a worker.
+func (s *search) halt() {
+	s.mu.Lock()
+	s.stop = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// globalBoundLocked returns the best dual bound over open and in-flight
+// nodes, including extra (the node just popped). Callers hold mu.
+func (s *search) globalBoundLocked(extra float64) float64 {
+	bound := extra
+	if len(s.open.nodes) > 0 {
+		if r := s.open.nodes[0].relax; s.better(r, bound) {
+			bound = r
+		}
+	}
+	for _, w := range s.working {
+		if !math.IsNaN(w) && s.better(w, bound) {
+			bound = w
+		}
+	}
+	return bound
+}
+
+const heurEvery = 64
+
+// worker claims nodes from the shared queue until the tree is exhausted, a
+// limit fires, or an error occurs.
+func (s *search) worker(id int) {
+	for {
+		s.mu.Lock()
+		for !s.stop && s.err == nil && len(s.open.nodes) == 0 && s.inflight > 0 {
+			s.cond.Wait()
+		}
+		if s.stop || s.err != nil || len(s.open.nodes) == 0 {
+			// Stopped, failed, or exhausted (no open nodes and nobody who
+			// could produce more).
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		if s.p.NodeLimit > 0 && s.nodes >= s.p.NodeLimit {
+			s.stop = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+
+		n := heap.Pop(&s.open).(*node)
+
+		// Prune by inherited bound (does not count as an explored node).
+		if s.haveIncumbent && !s.better(n.relax, s.incObj) {
+			s.mu.Unlock()
+			continue
+		}
+
+		// Publish the global dual bound and test the gap target. The popped
+		// node is best-bound among open nodes, so the bound is it vs the
+		// in-flight nodes.
+		if s.haveIncumbent {
+			bound := s.globalBoundLocked(n.relax)
+			s.dualBound, s.haveBound = bound, true
+			if s.p.MIPGap > 0 && gapMet(s.incObj, bound, s.p.MIPGap) {
+				s.stop = true
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+		}
+
+		s.nodes++
+		claimNo := s.nodes
+		s.working[id] = n.relax
+		s.inflight++
+		s.mu.Unlock()
+
+		children := s.process(n, claimNo)
+
+		s.mu.Lock()
+		for _, c := range children {
+			c.seq = s.nextSeq
+			s.nextSeq++
+			heap.Push(&s.open, c)
+		}
+		s.working[id] = math.NaN()
+		s.inflight--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// process solves one node's relaxation and returns its children (nil when
+// the node is fathomed). It runs without holding the search lock.
+func (s *search) process(n *node, claimNo int) []*node {
+	sol, err := s.solveLP(n.lo, n.hi)
+	if err != nil {
+		s.fail(fmt.Errorf("milp: node relaxation: %w", err))
+		return nil
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return nil
+	case lp.Unbounded:
+		if n.seq == 0 {
+			// Unbounded root relaxation: the MILP itself is unbounded.
+			s.mu.Lock()
+			s.unbounded = true
+			s.stop = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+		return nil
+	case lp.IterLimit:
+		s.mu.Lock()
+		s.clean = false
+		s.mu.Unlock()
+		return nil
+	}
+
+	obj := s.toObj(sol.Objective)
+
+	s.mu.Lock()
+	pruned := s.haveIncumbent && !s.better(obj, s.incObj)
+	s.mu.Unlock()
+	if pruned {
+		return nil
+	}
+
+	v := s.fractional(sol.X)
+	if v < 0 {
+		// Integral: new incumbent.
+		s.offerIncumbent(obj, sol.X)
+		return nil
+	}
+
+	if claimNo == 1 || claimNo%heurEvery == 0 {
+		s.tryRound(n.lo, n.hi, sol.X)
+	}
+
+	// Branch: child bounds inherit the node's LP bound. Order the rounded
+	// direction first so ties in the best-bound queue dive toward it.
+	xf := sol.X[v]
+	down := &node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj}
+	up := &node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj}
+	down.hi[v] = math.Floor(xf)
+	up.lo[v] = math.Ceil(xf)
+	if xf-math.Floor(xf) < 0.5 {
+		return []*node{up, down} // explore down first (pushed later → newer seq)
+	}
+	return []*node{down, up}
+}
+
+// Solve runs branch and bound on the model. It is equivalent to
+// SolveContext with a background context.
 func (m *Model) Solve(p Params) (*Result, error) {
+	return m.SolveContext(context.Background(), p)
+}
+
+// SolveContext runs branch and bound on the model under ctx. Cancelling the
+// context (or exceeding Params.TimeLimit) stops the search promptly and
+// returns the incumbent with Status Feasible — the paper's
+// Gurobi-timeout-with-incumbent semantics — or Unknown when no incumbent was
+// found. The model must not be mutated while a solve is running; concurrent
+// SolveContext calls on the same model are safe.
+func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 	start := time.Now()
 	if p.IntTol == 0 {
 		p.IntTol = 1e-6
 	}
-	intVars := make([]Var, 0, len(m.vtype))
-	for v, t := range m.vtype {
-		if t != Continuous {
-			intVars = append(intVars, Var(v))
-		}
+	workers := p.workers()
+
+	if p.TimeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.TimeLimit)
+		defer cancel()
 	}
 
-	maximize := m.sense == Maximize
-	// toObj maps the solver's internal minimized value back to model sense.
-	// The objective's constant term is not part of the LP and re-enters
-	// here.
-	objConst := m.obj.Const
-	toObj := func(v float64) float64 {
-		if maximize {
-			return -v + objConst
+	s := &search{
+		m:        m,
+		p:        p,
+		maximize: m.sense == Maximize,
+		objConst: m.obj.Const,
+		working:  make([]float64, workers),
+		clean:    true,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.open.maximize = s.maximize
+	for i := range s.working {
+		s.working[i] = math.NaN()
+	}
+	for v, t := range m.vtype {
+		if t != Continuous {
+			s.intVars = append(s.intVars, Var(v))
 		}
-		return v + objConst
 	}
 
 	inf := math.Inf(1)
-	root := node{lo: append([]float64(nil), m.lo...), hi: append([]float64(nil), m.hi...), relax: toObj(-inf)}
-
-	res := &Result{Status: Unknown, Objective: toObj(inf), Bound: toObj(-inf)}
-	var haveIncumbent bool
-	clean := true // no node was abandoned due to LP iteration limits
-
-	better := func(a, b float64) bool { // a strictly better than b in model sense
-		if maximize {
-			return a > b
-		}
-		return a < b
+	s.incObj = s.toObj(inf)
+	s.dualBound = s.toObj(-inf)
+	root := &node{
+		lo:    append([]float64(nil), m.lo...),
+		hi:    append([]float64(nil), m.hi...),
+		relax: s.toObj(-inf),
+		seq:   0,
 	}
+	s.nextSeq = 1
 
-	// solveLP solves the relaxation under the node's bounds.
-	solveLP := func(lo, hi []float64) (*lp.Solution, error) {
-		return lp.Solve(m.toLP(lo, hi), nil)
-	}
-
-	// fractional returns the most fractional integer variable, or -1.
-	fractional := func(x []float64) Var {
-		best := Var(-1)
-		bestDist := p.IntTol
-		for _, v := range intVars {
-			f := x[v] - math.Floor(x[v])
-			dist := math.Min(f, 1-f)
-			if dist > bestDist {
-				bestDist = dist
-				best = v
-			}
-		}
-		// Prefer the variable closest to 0.5; bestDist tracks the max.
-		return best
-	}
-
-	// tryRound fixes integers to rounded values and re-solves; a feasible
-	// result becomes an incumbent candidate.
-	tryRound := func(n *node, x []float64) {
-		lo := append([]float64(nil), n.lo...)
-		hi := append([]float64(nil), n.hi...)
-		for _, v := range intVars {
-			r := math.Round(x[v])
-			if r < lo[v] {
-				r = lo[v]
-			}
-			if r > hi[v] {
-				r = hi[v]
-			}
-			lo[v], hi[v] = r, r
-		}
-		sol, err := solveLP(lo, hi)
-		if err != nil || sol.Status != lp.Optimal {
-			return
-		}
-		obj := toObj(sol.Objective)
-		if !haveIncumbent || better(obj, res.Objective) {
-			haveIncumbent = true
-			res.Objective = obj
-			res.X = sol.X
-		}
-	}
-
-	// Warm starts: fix integers to each hint, LP the rest.
+	// Warm starts: fix integers to each hint, LP the rest. Runs before the
+	// workers so every worker prunes against the hint incumbents.
 	for _, h := range p.Hints {
 		if len(h) != len(m.lo) {
 			continue
 		}
 		usable := true
-		for _, v := range intVars {
+		for _, v := range s.intVars {
 			if math.IsNaN(h[v]) {
 				usable = false
 				break
 			}
 		}
 		if usable {
-			tryRound(&root, h)
+			s.tryRound(root.lo, root.hi, h)
 		}
 	}
 
-	stack := []node{root}
-	const heurEvery = 64
+	heap.Push(&s.open, root)
 
-	for len(stack) > 0 {
-		if p.TimeLimit > 0 && time.Since(start) > p.TimeLimit {
-			break
-		}
-		if p.NodeLimit > 0 && res.Nodes >= p.NodeLimit {
-			break
-		}
-
-		// Global bound = best over open nodes (their inherited bounds);
-		// the initial value is the worst possible in model sense.
-		bound := toObj(inf)
-		for i := range stack {
-			if better(stack[i].relax, bound) {
-				bound = stack[i].relax
-			}
-		}
-		if haveIncumbent {
-			res.Bound = bound
-			if p.MIPGap > 0 && gapMet(res.Objective, bound, p.MIPGap) {
-				break
-			}
-		}
-
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-
-		// Prune by inherited bound.
-		if haveIncumbent && !better(n.relax, res.Objective) {
-			continue
-		}
-
-		res.Nodes++
-		sol, err := solveLP(n.lo, n.hi)
-		if err != nil {
-			return nil, fmt.Errorf("milp: node relaxation: %w", err)
-		}
-		switch sol.Status {
-		case lp.Infeasible:
-			continue
-		case lp.Unbounded:
-			if res.Nodes == 1 {
-				res.Status = Unbounded
-				res.Runtime = time.Since(start)
-				return res, nil
-			}
-			continue
-		case lp.IterLimit:
-			clean = false
-			continue
-		}
-
-		obj := toObj(sol.Objective)
-		if haveIncumbent && !better(obj, res.Objective) {
-			continue
-		}
-
-		v := fractional(sol.X)
-		if v < 0 {
-			// Integral: new incumbent.
-			haveIncumbent = true
-			res.Objective = obj
-			res.X = sol.X
-			continue
-		}
-
-		if res.Nodes == 1 || res.Nodes%heurEvery == 0 {
-			tryRound(&n, sol.X)
-		}
-
-		// Branch: child bounds inherit the node's LP bound. Push the
-		// "away" child first so the rounded direction is explored next.
-		xf := sol.X[v]
-		down := node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj}
-		up := node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj}
-		down.hi[v] = math.Floor(xf)
-		up.lo[v] = math.Ceil(xf)
-		if xf-math.Floor(xf) < 0.5 {
-			stack = append(stack, up, down) // explore down first
-		} else {
-			stack = append(stack, down, up)
-		}
+	// A context that is already dead halts the search before any node is
+	// claimed instead of racing the watcher goroutine's first wake-up.
+	if ctx.Err() != nil {
+		s.halt()
 	}
 
-	res.Runtime = time.Since(start)
+	// Cancellation watcher: translates ctx expiry into a search halt and
+	// wakes blocked workers. Torn down before Solve returns so cancelled
+	// solves leak no goroutines.
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		select {
+		case <-ctx.Done():
+			s.halt()
+		case <-watchDone:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s.worker(id)
+		}(w)
+	}
+	wg.Wait()
+	close(watchDone)
+	watchWG.Wait()
+
+	if s.err != nil {
+		return nil, s.err
+	}
+
+	res := &Result{
+		Objective: s.incObj,
+		Bound:     s.dualBound,
+		X:         s.incX,
+		Nodes:     s.nodes,
+		Runtime:   time.Since(start),
+	}
+	exhausted := len(s.open.nodes) == 0 && !s.stop
 	switch {
-	case len(stack) == 0 && haveIncumbent && clean:
+	case s.unbounded:
+		res.Status = Unbounded
+	case exhausted && s.haveIncumbent && s.clean:
 		res.Status = Optimal
 		res.Bound = res.Objective
-	case len(stack) == 0 && !haveIncumbent && clean:
+	case exhausted && !s.haveIncumbent && s.clean:
 		res.Status = Infeasible
-	case haveIncumbent:
+	case s.haveIncumbent:
 		res.Status = Feasible
 	default:
 		res.Status = Unknown

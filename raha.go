@@ -32,6 +32,8 @@
 package raha
 
 import (
+	"context"
+
 	"raha/internal/augment"
 	"raha/internal/demand"
 	"raha/internal/failures"
@@ -170,12 +172,26 @@ type SolveStatus = milp.Status
 // Analyze finds the failure scenario and demands that maximize degradation.
 func Analyze(cfg Config) (*Result, error) { return metaopt.Analyze(cfg) }
 
+// AnalyzeContext is Analyze under a context: cancellation (or a deadline)
+// stops the branch-and-bound search promptly, and the result carries the
+// best scenario found so far with Status Feasible (Unknown when nothing was
+// found yet) — the same semantics as a solver timeout.
+func AnalyzeContext(ctx context.Context, cfg Config) (*Result, error) {
+	return metaopt.AnalyzeContext(ctx, cfg)
+}
+
 // ClusterConfig parameterizes the Algorithm 1 clustering scheme.
 type ClusterConfig = metaopt.ClusterConfig
 
 // AnalyzeClustered runs Algorithm 1: approximate the worst demand cluster
 // pair by cluster pair, then search failures at that fixed demand.
 func AnalyzeClustered(cfg ClusterConfig) (*Result, error) { return metaopt.AnalyzeClustered(cfg) }
+
+// AnalyzeClusteredContext is AnalyzeClustered under a context; up to
+// cfg.Parallel cluster-pair solves run concurrently.
+func AnalyzeClusteredContext(ctx context.Context, cfg ClusterConfig) (*Result, error) {
+	return metaopt.AnalyzeClusteredContext(ctx, cfg)
+}
 
 // Scenario is a concrete failure assignment with the paper's fail-over
 // semantics.
