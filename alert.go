@@ -38,6 +38,11 @@ type AlertConfig struct {
 	// Workers bounds the branch-and-bound parallelism of each phase's
 	// solve; 0 uses all cores.
 	Workers int
+
+	// Tracer and OnProgress flow into both phases' solver params (see
+	// SolverParams); either may be nil.
+	Tracer     Tracer
+	OnProgress func(SolveProgress)
 }
 
 // AlertReport is the outcome of an alerting run.
@@ -88,7 +93,10 @@ func AlertContext(ctx context.Context, cfg AlertConfig) (*AlertReport, error) {
 		Envelope:             Fixed(cfg.Peak),
 		ProbThreshold:        cfg.ProbThreshold,
 		ConnectivityEnforced: cfg.ConnectivityEnforced,
-		Solver:               SolverParams{TimeLimit: cfg.Phase1Budget, Workers: cfg.Workers},
+		Solver: SolverParams{
+			TimeLimit: cfg.Phase1Budget, Workers: cfg.Workers,
+			Tracer: cfg.Tracer, OnProgress: cfg.OnProgress,
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("raha: alert phase 1: %w", err)
@@ -113,7 +121,10 @@ func AlertContext(ctx context.Context, cfg AlertConfig) (*AlertReport, error) {
 		ProbThreshold:        cfg.ProbThreshold,
 		ConnectivityEnforced: cfg.ConnectivityEnforced,
 		QuantBits:            cfg.QuantBits,
-		Solver:               SolverParams{TimeLimit: cfg.Phase2Budget, Workers: cfg.Workers},
+		Solver: SolverParams{
+			TimeLimit: cfg.Phase2Budget, Workers: cfg.Workers,
+			Tracer: cfg.Tracer, OnProgress: cfg.OnProgress,
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("raha: alert phase 2: %w", err)

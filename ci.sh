@@ -1,8 +1,9 @@
 #!/bin/sh
-# ci.sh — the repository's verification gate: vet, build, then the full test
-# suite under the race detector (the branch-and-bound worker pool and the
-# sweep fan-outs are concurrent code; plain `go test` would not exercise
-# their synchronization).
+# ci.sh — the repository's verification gate: format check, vet, build, the
+# full test suite under the race detector (the branch-and-bound worker pool
+# and the sweep fan-outs are concurrent code; plain `go test` would not
+# exercise their synchronization), then one benchmark pass whose output is
+# kept per commit so regressions can be diffed.
 #
 # Extra arguments pass through to `go test`, e.g.:
 #
@@ -10,6 +11,21 @@
 #	./ci.sh -run TestRandom # one test across all packages
 set -eu
 cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
 go test -race "$@" ./...
+
+# One iteration of every internal benchmark (allocation counts and a solver
+# smoke signal, not statistically stable timings), recorded per commit. The
+# repo-root benchmarks are full paper-scale sweeps and run only on demand.
+bench_out="BENCH_$(git rev-parse --short HEAD).json"
+go test -json -run '^$' -bench . -benchmem -count=1 -benchtime 1x ./internal/... >"$bench_out"
+echo "benchmarks -> $bench_out"

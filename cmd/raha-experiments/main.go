@@ -16,20 +16,27 @@ import (
 	"time"
 
 	"raha/internal/experiments"
+	"raha/internal/obs"
 	"raha/internal/topology"
 )
 
-// Solver and sweep parallelism, set once from flags in main and applied to
-// every Setup by tuned.
+// Solver and sweep parallelism plus the observability hooks, set once from
+// flags in main and applied to every Setup by tuned.
 var (
 	solverWorkers int
 	sweepParallel int
+	tracer        obs.Tracer
+	log           *obs.Logger
+	prog          *obs.ProgressLine // non-nil only while a sweep runs with -progress
 )
 
-// tuned applies the global parallelism flags to a freshly built Setup.
+// tuned applies the global parallelism flags and observability hooks to a
+// freshly built Setup.
 func tuned(s *experiments.Setup) *experiments.Setup {
 	s.Workers = solverWorkers
 	s.Parallel = sweepParallel
+	s.Tracer = tracer
+	s.OnProgress = func(p experiments.SweepProgress) { prog.Update(p.String()) }
 	return s
 }
 
@@ -39,9 +46,50 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
 	workers := flag.Int("workers", 0, "branch-and-bound worker goroutines per solve (0 = all cores, 1 = serial)")
 	parallel := flag.Int("parallel", 0, "concurrent analyses per sweep (0 or 1 = serial)")
+	quiet := flag.Bool("q", false, "quiet: print errors only")
+	verbose := flag.Bool("v", false, "verbose: per-sweep diagnostics (overrides -q)")
+	progress := flag.Bool("progress", obs.IsTerminal(os.Stderr), "live per-figure progress line with ETA on stderr")
+	metricsAddr := flag.String("metrics-addr", "", "serve live solver counters (expvar) and pprof on this address")
+	tracePath := flag.String("trace", "", "write a JSONL event trace of every sweep to this file")
 	flag.Parse()
 	solverWorkers = *workers
 	sweepParallel = *parallel
+
+	level := obs.Normal
+	if *quiet {
+		level = obs.Quiet
+	}
+	if *verbose {
+		level = obs.Verbose
+	}
+	log = obs.NewLogger(os.Stderr, level)
+	// The per-experiment summary lines are the command's progress report;
+	// they stay on stdout but honor -q.
+	sum := obs.NewLogger(os.Stdout, level)
+
+	var jsonl *obs.JSONLTracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(fmt.Errorf("-trace: %w", err))
+		}
+		defer func() {
+			if err := jsonl.Err(); err != nil {
+				fail(fmt.Errorf("-trace: %w", err))
+			}
+			f.Close()
+		}()
+		jsonl = obs.NewJSONLTracer(f)
+		tracer = jsonl
+	}
+	if *metricsAddr != "" {
+		srv, addr, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fail(fmt.Errorf("-metrics-addr: %w", err))
+		}
+		defer srv.Close()
+		log.Infof("metrics: http://%s/debug/vars  profiles: http://%s/debug/pprof/", addr, addr)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fail(err)
@@ -199,8 +247,14 @@ func main() {
 		if !run(g.name) {
 			continue
 		}
+		log.Debugf("%s: starting", g.name)
+		if *progress {
+			prog = obs.NewProgressLine(os.Stderr)
+		}
 		start := time.Now()
 		lines, err := g.fn()
+		prog.Done() // clear the live line before the summary (nil-safe)
+		prog = nil
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", g.name, err))
 		}
@@ -208,7 +262,7 @@ func main() {
 		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 			fail(err)
 		}
-		fmt.Printf("%-14s %4d rows  %-10v -> %s\n", g.name, len(lines)-1, time.Since(start).Round(time.Millisecond), path)
+		sum.Infof("%-14s %4d rows  %-10v -> %s", g.name, len(lines)-1, time.Since(start).Round(time.Millisecond), path)
 	}
 }
 

@@ -110,6 +110,7 @@ type commonFlags struct {
 	budget    *time.Duration
 	seed      *int64
 	workers   *int
+	obs       *obsFlags
 }
 
 func newCommon(name string) *commonFlags {
@@ -127,6 +128,18 @@ func newCommon(name string) *commonFlags {
 		budget:    fs.Duration("budget", 30*time.Second, "solver time budget"),
 		seed:      fs.Int64("seed", 1, "seed for the gravity demand model"),
 		workers:   fs.Int("workers", 0, "branch-and-bound worker goroutines (0 = all cores, 1 = serial)"),
+		obs:       newObsFlags(fs),
+	}
+}
+
+// solver assembles the solver params from the flags and the run's
+// observability bundle.
+func (c *commonFlags) solver(o *runObs) raha.SolverParams {
+	return raha.SolverParams{
+		TimeLimit:  *c.budget,
+		Workers:    *c.workers,
+		Tracer:     o.tracer(),
+		OnProgress: o.solveProgress(),
 	}
 }
 
@@ -170,10 +183,17 @@ func probe(args []string) error {
 func analyze(ctx context.Context, args []string) error {
 	c := newCommon("analyze")
 	c.fs.Parse(args)
-	top, dps, _, env, err := c.setup()
+	o, err := c.obs.start()
 	if err != nil {
 		return err
 	}
+	top, dps, _, env, err := c.setup()
+	if err != nil {
+		o.close()
+		return err
+	}
+	o.log.Infof("analyzing %s: %d demands, %d LAGs, threshold %.0e, budget %v",
+		*c.topology, len(dps), top.NumLAGs(), *c.threshold, *c.budget)
 	res, err := raha.AnalyzeContext(ctx, raha.Config{
 		Topo:                 top,
 		Demands:              dps,
@@ -181,17 +201,49 @@ func analyze(ctx context.Context, args []string) error {
 		ProbThreshold:        *c.threshold,
 		MaxFailures:          *c.maxFail,
 		ConnectivityEnforced: *c.ce,
-		Solver:               raha.SolverParams{TimeLimit: *c.budget, Workers: *c.workers},
+		Solver:               c.solver(o),
 	})
+	if cerr := o.close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
-	printResult(top, dps, res)
+	printResult(ctx, o, *c.budget, top, dps, res)
 	return nil
 }
 
-func printResult(top *raha.Topology, dps []raha.DemandPaths, res *raha.Result) {
-	fmt.Printf("status:      %v (%d nodes explored in %v)\n", res.Status, res.Nodes, res.Runtime.Round(time.Millisecond))
+// stopReason explains why a solve ended short of proven optimality.
+func stopReason(ctx context.Context, budget time.Duration, res *raha.Result) string {
+	switch res.Status {
+	case raha.StatusOptimal, raha.StatusInfeasible, raha.StatusUnbounded:
+		return "" // the search ran to completion
+	}
+	if ctx.Err() != nil {
+		return "cancelled"
+	}
+	if budget > 0 && res.Runtime >= budget {
+		return "time limit"
+	}
+	return "stopped early"
+}
+
+func printResult(ctx context.Context, o *runObs, budget time.Duration, top *raha.Topology, dps []raha.DemandPaths, res *raha.Result) {
+	status := fmt.Sprintf("%v", res.Status)
+	if why := stopReason(ctx, budget, res); why != "" {
+		status += " (" + why + ")"
+	}
+	fmt.Printf("status:      %s — %d nodes explored in %v\n", status, res.Nodes, res.Runtime.Round(time.Millisecond))
+	if g := res.Gap; !math.IsInf(g, 0) && !math.IsNaN(g) && res.Status != raha.StatusOptimal {
+		fmt.Printf("gap:         %.2f%% (best bound %.2f)\n", 100*g, res.Bound)
+	}
+	if o != nil {
+		st := res.Stats
+		o.log.Debugf("solver stats: %d LP solves (%d iterations, %d degenerate pivots), prunes: %d infeasible / %d bound / %d iterlimit, %d integral, %d branched, %d incumbents, peak open %d",
+			st.LPSolves, st.LPIterations, st.DegeneratePivots,
+			st.PrunedInfeasible, st.PrunedBound, st.PrunedIterLimit,
+			st.Integral, st.NodesBranched, st.IncumbentUpdates, st.MaxOpen)
+	}
 	// An interrupted or timed-out search may stop before any scenario was
 	// found; there is nothing to report beyond the status.
 	if res.Scenario == nil {
@@ -221,12 +273,21 @@ func expSafe(logp float64) float64 {
 	return math.Exp(logp)
 }
 
-func augmentCmd(args []string) error {
+func augmentCmd(args []string) (err error) {
 	c := newCommon("augment")
 	newLAGs := c.fs.Bool("new-lags", false, "add new LAGs (Appendix C) instead of augmenting existing ones")
 	candidates := c.fs.Int("candidates", 8, "candidate new-LAG count (with -new-lags)")
 	canFail := c.fs.Bool("can-fail", false, "added capacity can itself fail")
 	c.fs.Parse(args)
+	o, err := c.obs.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := o.close(); err == nil {
+			err = cerr
+		}
+	}()
 	top, _, base, env, err := c.setup()
 	if err != nil {
 		return err
@@ -241,9 +302,10 @@ func augmentCmd(args []string) error {
 		ProbThreshold:        *c.threshold,
 		MaxFailures:          *c.maxFail,
 		ConnectivityEnforced: *c.ce,
-		Solver:               raha.SolverParams{TimeLimit: *c.budget, Workers: *c.workers},
+		Solver:               c.solver(o),
 		NewCapacityCanFail:   *canFail,
 	}
+	o.log.Infof("augmenting %s until no probable failure degrades it (threshold %.0e)", *c.topology, *c.threshold)
 	if *newLAGs {
 		res, err := raha.AugmentNewLAGs(cfg, candidateLAGs(top, *candidates))
 		if err != nil {
@@ -284,14 +346,25 @@ func candidateLAGs(top *raha.Topology, n int) [][2]raha.Node {
 	return out
 }
 
-func alert(ctx context.Context, args []string) error {
+func alert(ctx context.Context, args []string) (err error) {
 	c := newCommon("alert")
 	tolerance := c.fs.Float64("tolerance", 0.5, "alert when degradation exceeds this multiple of mean LAG capacity")
 	c.fs.Parse(args)
+	o, err := c.obs.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := o.close(); err == nil {
+			err = cerr
+		}
+	}()
 	top, dps, base, env, err := c.setup()
 	if err != nil {
 		return err
 	}
+	o.log.Infof("alert check on %s: phase 1 at fixed peak demand, phase 2 over the envelope (tolerance %.2f)",
+		*c.topology, *tolerance)
 	rep, err := raha.AlertContext(ctx, raha.AlertConfig{
 		Topo:                 top,
 		Demands:              dps,
@@ -303,9 +376,23 @@ func alert(ctx context.Context, args []string) error {
 		Phase1Budget:         *c.budget,
 		Phase2Budget:         *c.budget,
 		Workers:              *c.workers,
+		Tracer:               o.tracer(),
+		OnProgress:           o.solveProgress(),
 	})
 	if err != nil {
 		return err
+	}
+	for phase, res := range []*raha.Result{rep.Phase1, rep.Phase2} {
+		phase++
+		if res == nil {
+			continue
+		}
+		why := stopReason(ctx, *c.budget, res)
+		if why == "" {
+			why = "complete"
+		}
+		o.log.Infof("phase %d: %v (%s), %d nodes in %v, degradation %.1f",
+			phase, res.Status, why, res.Nodes, res.Runtime.Round(time.Millisecond), res.Degradation)
 	}
 	if rep.Raised {
 		fmt.Printf("ALERT (phase %d): worst degradation %.3f × mean LAG capacity exceeds tolerance %.3f\n",

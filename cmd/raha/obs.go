@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"raha"
+	"raha/internal/obs"
+)
+
+// obsFlags are the observability flags every subcommand shares.
+type obsFlags struct {
+	quiet       *bool
+	verbose     *bool
+	progress    *bool
+	metricsAddr *string
+	tracePath   *string
+}
+
+func newObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		quiet:       fs.Bool("q", false, "quiet: print errors and results only"),
+		verbose:     fs.Bool("v", false, "verbose: per-step diagnostics (overrides -q)"),
+		progress:    fs.Bool("progress", obs.IsTerminal(os.Stderr), "live solver progress line on stderr (default: on when stderr is a terminal)"),
+		metricsAddr: fs.String("metrics-addr", "", "serve live solver counters (expvar) and pprof on this address, e.g. localhost:6060"),
+		tracePath:   fs.String("trace", "", "write a JSONL event trace of the solve to this file"),
+	}
+}
+
+// runObs materializes the flags for one run: a leveled logger, an optional
+// JSONL tracer, an optional live progress line, and an optional metrics
+// listener. Close flushes and tears all of them down.
+type runObs struct {
+	log      *obs.Logger
+	jsonl    *raha.JSONLTracer // nil without -trace
+	traceF   *os.File
+	progress *obs.ProgressLine // nil without -progress
+	metrics  *http.Server
+}
+
+func (f *obsFlags) start() (*runObs, error) {
+	level := obs.Normal
+	if *f.quiet {
+		level = obs.Quiet
+	}
+	if *f.verbose {
+		level = obs.Verbose
+	}
+	o := &runObs{log: obs.NewLogger(os.Stderr, level)}
+
+	if *f.tracePath != "" {
+		file, err := os.Create(*f.tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		o.traceF = file
+		o.jsonl = raha.NewJSONLTracer(file)
+		o.log.Debugf("tracing to %s", *f.tracePath)
+	}
+	if *f.progress {
+		o.progress = obs.NewProgressLine(os.Stderr)
+	}
+	if *f.metricsAddr != "" {
+		srv, addr, err := raha.ServeMetrics(*f.metricsAddr)
+		if err != nil {
+			o.close()
+			return nil, fmt.Errorf("-metrics-addr: %w", err)
+		}
+		o.metrics = srv
+		o.log.Infof("metrics: http://%s/debug/vars  profiles: http://%s/debug/pprof/", addr, addr)
+	}
+	return o, nil
+}
+
+// tracer returns the Tracer to hand to solver params (nil when disabled).
+func (o *runObs) tracer() raha.Tracer {
+	if o.jsonl == nil {
+		return nil // a typed-nil *JSONLTracer would defeat the fast path
+	}
+	return o.jsonl
+}
+
+// solveProgress returns an OnProgress callback feeding the live line, or
+// nil when -progress is off.
+func (o *runObs) solveProgress() func(raha.SolveProgress) {
+	if o.progress == nil {
+		return nil
+	}
+	return func(p raha.SolveProgress) { o.progress.Update(p.String()) }
+}
+
+// close tears the bundle down; trace write errors surface here.
+func (o *runObs) close() error {
+	o.progress.Done()
+	var err error
+	if o.traceF != nil {
+		err = o.jsonl.Err()
+		if cerr := o.traceF.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			err = fmt.Errorf("-trace: %w", err)
+		}
+	}
+	if o.metrics != nil {
+		o.metrics.Close()
+	}
+	return err
+}

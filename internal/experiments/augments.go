@@ -3,7 +3,6 @@ package experiments
 import (
 	"raha/internal/augment"
 	"raha/internal/demand"
-	"raha/internal/milp"
 	"raha/internal/topology"
 )
 
@@ -31,7 +30,7 @@ func Figure11(s *Setup, slacks []float64, threshold float64, canFail bool) ([]Au
 			Weight:             s.Weight,
 			ProbThreshold:      threshold,
 			QuantBits:          s.QuantBits,
-			Solver:             milp.Params{TimeLimit: s.Budget},
+			Solver:             s.solver(),
 			NewCapacityCanFail: canFail,
 			MaxSteps:           8,
 		})
@@ -81,7 +80,7 @@ func Figure18(s *Setup, slacks []float64, threshold float64, maxCandidates int) 
 			Weight:        s.Weight,
 			ProbThreshold: threshold,
 			QuantBits:     s.QuantBits,
-			Solver:        milp.Params{TimeLimit: s.Budget},
+			Solver:        s.solver(),
 			MaxSteps:      8,
 		}, candidates)
 		row := AugmentRow{Slack: slack}

@@ -86,10 +86,12 @@ func Figure3(s *Setup, slacks []float64, threshold float64) ([]Fig3Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	tk := s.sweep("figure3", 1+2*len(slacks))
 	avgRes, err := s.analyze(dps, demand.Fixed(s.Base), threshold, 0, false, nil)
 	if err != nil {
 		return nil, err
 	}
+	tk.step()
 	rows := make([]Fig3Row, 0, len(slacks))
 	var prev *metaopt.Result
 	for _, slack := range slacks {
@@ -97,10 +99,11 @@ func Figure3(s *Setup, slacks []float64, threshold float64) ([]Fig3Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		tk.step()
 		cfg := metaopt.Config{
 			Topo: s.Topo, Demands: dps, Envelope: demand.UpTo(s.Base, slack),
 			ProbThreshold: threshold, QuantBits: s.QuantBits,
-			Solver: milp.Params{TimeLimit: s.Budget},
+			Solver: s.solver(),
 		}
 		// Seed with the previous (narrower-envelope) solution so the curve
 		// is monotone by construction even under tight solver budgets.
@@ -112,6 +115,7 @@ func Figure3(s *Setup, slacks []float64, threshold float64) ([]Fig3Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		tk.step()
 		prev = rahaRes
 		rows = append(rows, Fig3Row{
 			Slack: slack,
@@ -144,6 +148,7 @@ func Figure5(s *Setup, variant DemandVariant, thresholds []float64, ks []int, ce
 	}
 	env := s.envelope(variant)
 	var rows []DegRow
+	tk := s.sweep("figure5", len(thresholds)*len(ks))
 	// Sweep thresholds from strict to loose, warm-starting each budget's
 	// search with the previous threshold's solution (its scenario stays
 	// feasible as the threshold relaxes), so the reported curve is monotone
@@ -157,6 +162,9 @@ func Figure5(s *Setup, variant DemandVariant, thresholds []float64, ks []int, ce
 		err := conc.ForEach(context.Background(), len(ks), s.parallel(), func(_ context.Context, i int) error {
 			res, err := s.analyze(dps, env, th, ks[i], ce, prev[ks[i]])
 			step[i] = res
+			if err == nil {
+				tk.step()
+			}
 			return err
 		})
 		if err != nil {
@@ -198,6 +206,7 @@ func Figure7(s *Setup, slacks []float64, ks []int, threshold float64) ([]SlackRo
 		return nil, err
 	}
 	var rows []SlackRow
+	tk := s.sweep("figure7", len(slacks)*len(ks))
 	prev := make(map[int]*metaopt.Result) // per failure budget
 	for _, slack := range slacks {
 		slack := slack
@@ -206,7 +215,7 @@ func Figure7(s *Setup, slacks []float64, ks []int, threshold float64) ([]SlackRo
 			cfg := metaopt.Config{
 				Topo: s.Topo, Demands: dps, Envelope: demand.UpTo(s.Base, slack),
 				ProbThreshold: threshold, MaxFailures: ks[i], QuantBits: s.QuantBits,
-				Solver: milp.Params{TimeLimit: s.Budget, Workers: s.Workers},
+				Solver: s.solver(),
 			}
 			if p := prev[ks[i]]; p != nil {
 				cfg.WarmStartScenario = p.Scenario
@@ -214,6 +223,9 @@ func Figure7(s *Setup, slacks []float64, ks []int, threshold float64) ([]SlackRo
 			}
 			res, err := metaopt.Analyze(cfg)
 			step[i] = res
+			if err == nil {
+				tk.step()
+			}
 			return err
 		})
 		if err != nil {
@@ -258,6 +270,7 @@ func Figure8(s *Setup, clusters int, thresholds []float64, ks []int) ([]ClusterR
 		}
 	}
 	rows := make([]ClusterRow, len(grid))
+	tk := s.sweep("figure8", len(grid))
 	err = conc.ForEach(context.Background(), len(grid), s.parallel(), func(_ context.Context, i int) error {
 		c := grid[i]
 		res, err := metaopt.AnalyzeClustered(metaopt.ClusterConfig{
@@ -265,7 +278,7 @@ func Figure8(s *Setup, clusters int, thresholds []float64, ks []int) ([]ClusterR
 				Topo: s.Topo, Demands: dps, Envelope: env,
 				ProbThreshold: c.th, MaxFailures: c.k,
 				QuantBits: s.QuantBits,
-				Solver:    milp.Params{TimeLimit: s.Budget, Workers: s.Workers},
+				Solver:    s.solver(),
 			},
 			Clusters: clusters,
 		})
@@ -273,6 +286,7 @@ func Figure8(s *Setup, clusters int, thresholds []float64, ks []int) ([]ClusterR
 			return err
 		}
 		rows[i] = ClusterRow{Clusters: clusters, Threshold: c.th, MaxFailures: c.k, Degradation: res.Degradation / s.Norm, Runtime: res.Runtime}
+		tk.step()
 		return nil
 	})
 	if err != nil {
@@ -293,6 +307,7 @@ func Figure9(s *Setup, clusterCounts []int, threshold float64, k int) ([]Cluster
 	// meaningful; the independent cluster-pair solves inside each
 	// AnalyzeClustered run fan out across s.Parallel instead.
 	var rows []ClusterRow
+	tk := s.sweep("figure9", len(clusterCounts))
 	for _, n := range clusterCounts {
 		start := time.Now()
 		res, err := metaopt.AnalyzeClustered(metaopt.ClusterConfig{
@@ -300,7 +315,7 @@ func Figure9(s *Setup, clusterCounts []int, threshold float64, k int) ([]Cluster
 				Topo: s.Topo, Demands: dps, Envelope: env,
 				ProbThreshold: threshold, MaxFailures: k,
 				QuantBits: s.QuantBits,
-				Solver:    milp.Params{TimeLimit: s.Budget, Workers: s.Workers},
+				Solver:    s.solver(),
 			},
 			Clusters: n,
 			Parallel: s.parallel(),
@@ -309,6 +324,7 @@ func Figure9(s *Setup, clusterCounts []int, threshold float64, k int) ([]Cluster
 			return nil, err
 		}
 		rows = append(rows, ClusterRow{Clusters: n, Threshold: threshold, MaxFailures: k, Degradation: res.Degradation / s.Norm, Runtime: time.Since(start)})
+		tk.step()
 	}
 	return rows, nil
 }
@@ -329,6 +345,7 @@ type RuntimeRow struct {
 func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, threshold float64) ([]RuntimeRow, error) {
 	env := demand.UpTo(s.Base, maxFactor-1)
 	var rows []RuntimeRow
+	tk := s.sweep("figure10", len(primaries)+len(thresholds)+len(ks))
 
 	// Every point of each factor sweep is an independent analysis; each
 	// factor fans out across s.Parallel while the factor groups stay in the
@@ -347,6 +364,7 @@ func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, thresho
 			return err
 		}
 		prim[i] = RuntimeRow{Factor: "primary-paths", Value: float64(primaries[i]), Runtime: time.Since(start), Degradation: res.Degradation / s.Norm}
+		tk.step()
 		return nil
 	})
 	if err != nil {
@@ -365,6 +383,7 @@ func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, thresho
 			return err
 		}
 		ths[i] = RuntimeRow{Factor: "threshold", Value: thresholds[i], Runtime: res.Runtime, Degradation: res.Degradation / s.Norm}
+		tk.step()
 		return nil
 	})
 	if err != nil {
@@ -379,6 +398,7 @@ func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, thresho
 			return err
 		}
 		kr[i] = RuntimeRow{Factor: "max-failures", Value: float64(ks[i]), Runtime: res.Runtime, Degradation: res.Degradation / s.Norm}
+		tk.step()
 		return nil
 	})
 	if err != nil {
@@ -393,6 +413,7 @@ func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, thresho
 func Figure14(s *Setup, backups []int, threshold float64) ([]RuntimeRow, error) {
 	env := demand.UpTo(s.Base, maxFactor-1)
 	rows := make([]RuntimeRow, len(backups))
+	tk := s.sweep("figure14", len(backups))
 	err := conc.ForEach(context.Background(), len(backups), s.parallel(), func(_ context.Context, i int) error {
 		sub := *s
 		sub.Backup = backups[i]
@@ -406,6 +427,7 @@ func Figure14(s *Setup, backups []int, threshold float64) ([]RuntimeRow, error) 
 			return err
 		}
 		rows[i] = RuntimeRow{Factor: "backup-paths", Value: float64(backups[i]), Runtime: time.Since(start), Degradation: res.Degradation / s.Norm}
+		tk.step()
 		return nil
 	})
 	if err != nil {
@@ -449,6 +471,7 @@ func Figure12(s *Setup, primaries, backups []int, ks []int, threshold float64, c
 		}
 	}
 	rows := make([]PathRow, len(grid))
+	tk := s.sweep("figure12", len(grid))
 	err := conc.ForEach(context.Background(), len(grid), s.parallel(), func(_ context.Context, i int) error {
 		c := grid[i]
 		sub := *s
@@ -463,6 +486,7 @@ func Figure12(s *Setup, primaries, backups []int, ks []int, threshold float64, c
 			return err
 		}
 		rows[i] = PathRow{Primaries: c.primary, Backups: c.backup, MaxFailures: c.k, Degradation: res.Degradation / s.Norm}
+		tk.step()
 		return nil
 	})
 	if err != nil {
@@ -503,6 +527,7 @@ func Figure16(s *Setup, timeouts []time.Duration, threshold float64, k int) ([]T
 	}
 	env := demand.UpTo(s.Base, maxFactor-1)
 	var rows []TimeoutRow
+	tk := s.sweep("figure16", len(timeouts))
 	for _, to := range timeouts {
 		sub := *s
 		sub.Budget = to
@@ -511,6 +536,7 @@ func Figure16(s *Setup, timeouts []time.Duration, threshold float64, k int) ([]T
 			return nil, err
 		}
 		rows = append(rows, TimeoutRow{Timeout: to, Runtime: res.Runtime, Degradation: res.Degradation / s.Norm, Status: res.Status})
+		tk.step()
 	}
 	return rows, nil
 }
@@ -535,6 +561,7 @@ func MLUSlack(s *Setup, slacks []float64, threshold float64) ([]MLURow, error) {
 	// MLU model can route every demand in full.
 	base := s.Base
 	var rows []MLURow
+	tk := s.sweep("mlu-slack", len(slacks))
 	for _, slack := range slacks {
 		res, err := metaopt.Analyze(metaopt.Config{
 			Topo: s.Topo, Demands: dps,
@@ -543,12 +570,13 @@ func MLUSlack(s *Setup, slacks []float64, threshold float64) ([]MLURow, error) {
 			ProbThreshold:        threshold,
 			ConnectivityEnforced: true,
 			QuantBits:            s.QuantBits,
-			Solver:               milp.Params{TimeLimit: s.Budget},
+			Solver:               s.solver(),
 		})
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, MLURow{Slack: slack, Degradation: res.Degradation, Runtime: res.Runtime})
+		tk.step()
 	}
 	return rows, nil
 }
@@ -562,6 +590,7 @@ func FixedRuntime(s *Setup, repeats int, thresholds []float64) ([]RuntimeRow, er
 	}
 	env := demand.Fixed(s.Base)
 	var rows []RuntimeRow
+	tk := s.sweep("fixed-runtime", repeats*len(thresholds))
 	for r := 0; r < repeats; r++ {
 		for _, th := range thresholds {
 			res, err := s.analyze(dps, env, th, 0, false, nil)
@@ -569,6 +598,7 @@ func FixedRuntime(s *Setup, repeats int, thresholds []float64) ([]RuntimeRow, er
 				return nil, err
 			}
 			rows = append(rows, RuntimeRow{Factor: "fixed-demand", Value: th, Runtime: res.Runtime, Degradation: res.Degradation / s.Norm})
+			tk.step()
 		}
 	}
 	return rows, nil

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"raha/internal/obs"
+)
+
+// TestSweepProgressAndTrace runs a tiny Figure 16 sweep with a tracer and a
+// progress callback attached and checks the acceptance criteria for -trace
+// at the sweep layer: parseable JSONL, sweep_start/sweep_point accounting,
+// and one progress update per analysis.
+func TestSweepProgressAndTrace(t *testing.T) {
+	s := Production(2 * time.Second)
+	s.Workers = 2
+
+	var buf bytes.Buffer
+	s.Tracer = obs.NewJSONLTracer(&buf)
+	var mu sync.Mutex
+	var updates []SweepProgress
+	s.OnProgress = func(p SweepProgress) {
+		mu.Lock()
+		updates = append(updates, p)
+		mu.Unlock()
+	}
+
+	timeouts := []time.Duration{time.Second, 2 * time.Second}
+	rows, err := Figure16(s, timeouts, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(timeouts) {
+		t.Fatalf("%d rows, want %d", len(rows), len(timeouts))
+	}
+
+	if len(updates) != len(timeouts) {
+		t.Fatalf("%d progress updates, want %d", len(updates), len(timeouts))
+	}
+	last := updates[len(updates)-1]
+	if last.Done != last.Total || last.Total != len(timeouts) {
+		t.Fatalf("final update %d/%d, want %d/%d", last.Done, last.Total, len(timeouts), len(timeouts))
+	}
+	if last.Figure != "figure16" {
+		t.Fatalf("figure label %q", last.Figure)
+	}
+	if !strings.Contains(last.String(), "figure16 2/2") {
+		t.Fatalf("progress line %q", last.String())
+	}
+
+	// The trace must hold valid JSONL spanning all three layers, with the
+	// sweep's own events bracketing the solver events.
+	layers := map[string]int{}
+	points := 0
+	starts := 0
+	for i, ln := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		layers[e.Layer]++
+		switch {
+		case e.Layer == "experiments" && e.Ev == "sweep_start":
+			starts++
+			if int(e.Fields["solves"].(float64)) != len(timeouts) {
+				t.Fatalf("sweep_start solves %v", e.Fields["solves"])
+			}
+		case e.Layer == "experiments" && e.Ev == "sweep_point":
+			points++
+		}
+	}
+	if starts != 1 || points != len(timeouts) {
+		t.Fatalf("sweep events: %d starts, %d points", starts, points)
+	}
+	for _, layer := range []string{"experiments", "metaopt", "milp"} {
+		if layers[layer] == 0 {
+			t.Fatalf("no %q events in the trace (saw %v)", layer, layers)
+		}
+	}
+}

@@ -20,7 +20,7 @@ import (
 
 	"raha/internal/demand"
 	"raha/internal/metaopt"
-	"raha/internal/milp"
+	"raha/internal/obs"
 	"raha/internal/paths"
 	"raha/internal/topology"
 )
@@ -56,6 +56,17 @@ type Setup struct {
 	// incumbents (as with any anytime solver), and concurrent analyses
 	// competing for cores reach the limit with less work done.
 	Parallel int
+
+	// Tracer, when non-nil, receives the sweep's event stream: the
+	// figure-level sweep_start/sweep_point events plus everything the
+	// metaopt and milp layers below emit (see internal/obs).
+	Tracer obs.Tracer
+
+	// OnProgress, when non-nil, is called after every completed analysis
+	// of a sweep with the running count and an ETA — the CLI's live
+	// per-figure progress line. Called from sweep worker goroutines; must
+	// be safe for concurrent use.
+	OnProgress func(SweepProgress)
 }
 
 // parallel is the sweep fan-out width; the zero value means serial.
@@ -178,7 +189,7 @@ func (s *Setup) analyze(dps []paths.DemandPaths, env demand.Envelope, threshold 
 		MaxFailures:          k,
 		ConnectivityEnforced: ce,
 		QuantBits:            s.QuantBits,
-		Solver:               milp.Params{TimeLimit: s.Budget, Workers: s.Workers},
+		Solver:               s.solver(),
 	}
 	if prev != nil && prev.Scenario != nil {
 		cfg.WarmStartScenario = prev.Scenario

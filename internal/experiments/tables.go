@@ -5,7 +5,6 @@ import (
 
 	"raha/internal/demand"
 	"raha/internal/metaopt"
-	"raha/internal/milp"
 )
 
 // TableRow is one grid cell of Tables 3 and 4: a (threshold, backup count,
@@ -70,7 +69,7 @@ func Table4(s *Setup, clusters int, thresholds []float64, ks []int) ([]TableRow,
 					Topo: s.Topo, Demands: dps, Envelope: env,
 					ProbThreshold: th, MaxFailures: k,
 					QuantBits: s.QuantBits,
-					Solver:    milp.Params{TimeLimit: s.Budget},
+					Solver:    s.solver(),
 				},
 				Clusters: clusters,
 			})

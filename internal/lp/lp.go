@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"raha/internal/obs"
 )
 
 // Rel is the relation of a linear constraint row.
@@ -113,6 +115,12 @@ type Solution struct {
 	Objective float64   // c·x at the returned point (valid when Optimal)
 	X         []float64 // structural variable values
 	Iters     int       // simplex iterations used across both phases
+
+	// Solve telemetry (see internal/obs; the same figures feed the
+	// process-wide lp.* counters).
+	Phase1Iters      int // iterations spent finding a feasible basis
+	DegeneratePivots int // pivots whose ratio-test step was below tolerance
+	BlandPivots      int // pivots taken under Bland's anti-cycling rule
 }
 
 // Options tunes the solver.
@@ -133,6 +141,39 @@ const (
 // ErrBadBounds is returned when a lower bound is -Inf or exceeds the upper
 // bound beyond tolerance.
 var ErrBadBounds = errors.New("lp: invalid variable bounds")
+
+// Process-wide solver counters (obs.Default, exported through expvar as
+// raha.lp.*). Resolved once so the per-solve cost is a handful of atomic
+// adds — noise next to even a single simplex pivot.
+var (
+	cSolves    = obs.Default.Counter("lp.solves")
+	cIters     = obs.Default.Counter("lp.iterations")
+	cPhase1    = obs.Default.Counter("lp.phase1_iterations")
+	cDegen     = obs.Default.Counter("lp.degenerate_pivots")
+	cBland     = obs.Default.Counter("lp.bland_pivots")
+	cInfeas    = obs.Default.Counter("lp.infeasible")
+	cUnbounded = obs.Default.Counter("lp.unbounded")
+	cIterLimit = obs.Default.Counter("lp.iteration_limit")
+)
+
+// record folds one solve's telemetry into the process-wide counters and
+// returns sol for tail-call convenience.
+func record(sol *Solution) *Solution {
+	cSolves.Inc()
+	cIters.Add(int64(sol.Iters))
+	cPhase1.Add(int64(sol.Phase1Iters))
+	cDegen.Add(int64(sol.DegeneratePivots))
+	cBland.Add(int64(sol.BlandPivots))
+	switch sol.Status {
+	case Infeasible:
+		cInfeas.Inc()
+	case Unbounded:
+		cUnbounded.Inc()
+	case IterLimit:
+		cIterLimit.Inc()
+	}
+	return sol
+}
 
 // variable status within the simplex.
 type vstat int8
@@ -158,6 +199,17 @@ type tableau struct {
 	brow  []int     // row of a basic variable, -1 otherwise
 	iters int
 	cap   int // iteration cap
+
+	degenPivots int // cumulative near-zero-step pivots (both phases)
+	blandPivots int // cumulative pivots priced under Bland's rule
+}
+
+// telemetry copies the tableau's pivot accounting into a solution.
+func (t *tableau) telemetry(sol *Solution, phase1Iters int) *Solution {
+	sol.Phase1Iters = phase1Iters
+	sol.DegeneratePivots = t.degenPivots
+	sol.BlandPivots = t.blandPivots
+	return sol
 }
 
 // Solve runs the two-phase bounded simplex on p.
@@ -174,13 +226,15 @@ func Solve(p *Problem, opt *Options) (*Solution, error) {
 	}
 
 	// Phase 1: minimize the sum of artificial variables.
+	phase1Iters := 0
 	if nArt > 0 {
 		st := t.run()
+		phase1Iters = t.iters
 		if st == IterLimit {
-			return &Solution{Status: IterLimit, X: t.structX(p), Iters: t.iters}, nil
+			return record(t.telemetry(&Solution{Status: IterLimit, X: t.structX(p), Iters: t.iters}, phase1Iters)), nil
 		}
 		if t.phaseObjective() > 1e-6 {
-			return &Solution{Status: Infeasible, X: t.structX(p), Iters: t.iters}, nil
+			return record(t.telemetry(&Solution{Status: Infeasible, X: t.structX(p), Iters: t.iters}, phase1Iters)), nil
 		}
 		t.pinArtificials(p)
 	}
@@ -188,11 +242,11 @@ func Solve(p *Problem, opt *Options) (*Solution, error) {
 	// Phase 2: minimize the real objective.
 	t.setCost(p)
 	st := t.run()
-	sol := &Solution{Status: st, X: t.structX(p), Iters: t.iters}
+	sol := t.telemetry(&Solution{Status: st, X: t.structX(p), Iters: t.iters}, phase1Iters)
 	if st == Optimal {
 		sol.Objective = dot(p.Cost, sol.X)
 	}
-	return sol, nil
+	return record(sol), nil
 }
 
 func validate(p *Problem) error {
@@ -395,12 +449,16 @@ func (t *tableau) run() Status {
 			return Optimal
 		}
 		t.iters++
+		if bland {
+			t.blandPivots++
+		}
 		step, st := t.step(q, dir)
 		if st == Unbounded {
 			return Unbounded
 		}
 		if step < feasTol {
 			degenerate++
+			t.degenPivots++
 		} else {
 			degenerate = 0
 		}

@@ -1,0 +1,85 @@
+package lp
+
+import (
+	"testing"
+
+	"raha/internal/obs"
+)
+
+// TestSolveTelemetry checks the per-solve pivot accounting and the
+// process-wide counters the solve feeds.
+func TestSolveTelemetry(t *testing.T) {
+	before := obs.Default.Snapshot()
+
+	// max x+y s.t. x+y <= 4, x <= 3, y <= 3 (as a minimization).
+	p := NewProblem(2)
+	p.Cost = []float64{-1, -1}
+	p.Hi = []float64{3, 3}
+	p.AddRow([]int{0, 1}, []float64{1, 1}, LE, 4)
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.Iters <= 0 {
+		t.Fatalf("Iters = %d, want > 0", sol.Iters)
+	}
+	if sol.Phase1Iters > sol.Iters {
+		t.Fatalf("Phase1Iters %d > Iters %d", sol.Phase1Iters, sol.Iters)
+	}
+	if sol.DegeneratePivots < 0 || sol.DegeneratePivots > sol.Iters {
+		t.Fatalf("DegeneratePivots = %d of %d", sol.DegeneratePivots, sol.Iters)
+	}
+	if sol.BlandPivots > sol.Iters {
+		t.Fatalf("BlandPivots = %d of %d", sol.BlandPivots, sol.Iters)
+	}
+
+	after := obs.Default.Snapshot()
+	if after["lp.solves"] != before["lp.solves"]+1 {
+		t.Fatalf("lp.solves %d -> %d", before["lp.solves"], after["lp.solves"])
+	}
+	if after["lp.iterations"] != before["lp.iterations"]+int64(sol.Iters) {
+		t.Fatalf("lp.iterations advanced by %d, want %d",
+			after["lp.iterations"]-before["lp.iterations"], sol.Iters)
+	}
+}
+
+// TestSolveTelemetryPhase1 forces a phase-1 start (an EQ row needs an
+// artificial) and checks the phase split is recorded.
+func TestSolveTelemetryPhase1(t *testing.T) {
+	p := NewProblem(2)
+	p.Cost = []float64{1, 2}
+	p.Hi = []float64{10, 10}
+	p.AddRow([]int{0, 1}, []float64{1, 1}, EQ, 5)
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if sol.Phase1Iters <= 0 {
+		t.Fatalf("Phase1Iters = %d, want > 0 (EQ row needs an artificial)", sol.Phase1Iters)
+	}
+}
+
+// TestSolveTelemetryStatusCounters checks the outcome counters advance.
+func TestSolveTelemetryStatusCounters(t *testing.T) {
+	before := obs.Default.Snapshot()
+	p := NewProblem(1)
+	p.Hi = []float64{1}
+	p.AddRow([]int{0}, []float64{1}, GE, 5) // x >= 5 with x <= 1
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+	after := obs.Default.Snapshot()
+	if after["lp.infeasible"] != before["lp.infeasible"]+1 {
+		t.Fatal("lp.infeasible did not advance")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"raha/internal/demand"
 	"raha/internal/failures"
 	"raha/internal/milp"
+	"raha/internal/obs"
 	"raha/internal/paths"
 	"raha/internal/te"
 	"raha/internal/topology"
@@ -70,6 +71,18 @@ const (
 	MaxMin
 )
 
+func (o Objective) String() string {
+	switch o {
+	case TotalFlow:
+		return "totalflow"
+	case MLU:
+		return "mlu"
+	case MaxMin:
+		return "maxmin"
+	}
+	return fmt.Sprintf("objective(%d)", int(o))
+}
+
 // Mode selects what the adversary optimizes.
 type Mode int8
 
@@ -83,6 +96,16 @@ const (
 	// which chases trivially small demands.
 	FailedOnly
 )
+
+func (m Mode) String() string {
+	switch m {
+	case Gap:
+		return "gap"
+	case FailedOnly:
+		return "failedonly"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
 
 // Config parameterizes an analysis run.
 type Config struct {
@@ -157,6 +180,23 @@ type Result struct {
 
 	Runtime time.Duration
 	Nodes   int // branch-and-bound nodes explored
+
+	// Bound and Gap report the MILP's dual bound and relative optimality
+	// gap — how far from provably-worst the returned scenario might be
+	// when a limit stopped the search (Gap is 0 on Optimal, +Inf with no
+	// incumbent).
+	Bound float64
+	Gap   float64
+
+	// Stats is the branch-and-bound accounting of the main MILP solve
+	// (hint solves excluded; they report under their own solves).
+	Stats milp.Stats
+
+	// Time split of the analysis: warm-start hint solves (the cheap
+	// fixed-demand relaxations), the exact MILP, and the LP verification.
+	HintRuntime   time.Duration
+	SolveRuntime  time.Duration
+	VerifyRuntime time.Duration
 }
 
 // ErrNaiveFailoverNeedsFixedDemand is returned when NaiveFailover is set
@@ -211,6 +251,15 @@ func AnalyzeContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
+	if tr := cfg.Solver.Tracer; tr != nil {
+		tr.Emit("metaopt", "analysis_start", obs.F{
+			"objective": cfg.Objective.String(),
+			"mode":      cfg.Mode.String(),
+			"demands":   len(cfg.Demands),
+			"lags":      cfg.Topo.NumLAGs(),
+			"fixed":     cfg.Envelope.IsFixed(),
+		})
+	}
 	var (
 		res *Result
 		err error
@@ -229,6 +278,75 @@ func AnalyzeContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.Runtime = time.Since(start)
+	if tr := cfg.Solver.Tracer; tr != nil {
+		f := obs.F{
+			"status":    res.Status.String(),
+			"nodes":     res.Nodes,
+			"runtime_s": res.Runtime.Seconds(),
+			"hint_s":    res.HintRuntime.Seconds(),
+			"solve_s":   res.SolveRuntime.Seconds(),
+			"verify_s":  res.VerifyRuntime.Seconds(),
+		}
+		if res.Scenario != nil {
+			f["degradation"] = res.Degradation
+		}
+		tr.Emit("metaopt", "analysis_end", f)
+	}
+	return res, nil
+}
+
+// solveModel runs the shared tail of every objective's analyze function:
+// warm-start hints, the MILP solve, solution extraction, and LP
+// verification. The time split (hints vs. exact solve vs. verification)
+// lands in the Result.
+func solveModel(ctx context.Context, cfg *Config, m *milp.Model, enc *failures.Encoding, dv *demandVars) (*Result, error) {
+	params := cfg.Solver
+	var hintDur time.Duration
+	if cfg.Mode == Gap {
+		if !cfg.Envelope.IsFixed() {
+			hintStart := time.Now()
+			for _, h := range hintScenarios(ctx, cfg) {
+				params.Hints = append(params.Hints, buildHint(m, cfg, enc, dv, h.Scenario, h.Level))
+			}
+			hintDur = time.Since(hintStart)
+		}
+		if h := buildWarmStartHint(m, cfg, enc, dv); h != nil {
+			params.Hints = append(params.Hints, h)
+		}
+	}
+	mres, err := m.SolveContext(ctx, params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Status:       mres.Status,
+		Nodes:        mres.Nodes,
+		Bound:        mres.Bound,
+		Gap:          mres.Gap(),
+		Stats:        mres.Stats,
+		HintRuntime:  hintDur,
+		SolveRuntime: mres.Runtime,
+	}
+	if mres.X == nil {
+		return res, nil
+	}
+	res.ModelObjective = mres.Objective
+	res.Scenario = enc.ScenarioFromSolution(mres.X)
+	res.Demands = make([]float64, len(cfg.Demands))
+	for k := range cfg.Demands {
+		res.Demands[k] = dv.value(k, mres.X)
+	}
+	vStart := time.Now()
+	if err := verify(cfg, res); err != nil {
+		return nil, err
+	}
+	res.VerifyRuntime = time.Since(vStart)
+	if tr := cfg.Solver.Tracer; tr != nil {
+		tr.Emit("metaopt", "verify", obs.F{
+			"degradation": res.Degradation,
+			"runtime_s":   res.VerifyRuntime.Seconds(),
+		})
+	}
 	return res, nil
 }
 
@@ -460,7 +578,15 @@ func hintScenarios(ctx context.Context, cfg *Config) []struct {
 			lo[k] = cfg.Envelope.Lo[k] + level*(cfg.Envelope.Hi[k]-cfg.Envelope.Lo[k])
 		}
 		sub.Envelope = demand.Envelope{Pairs: cfg.Envelope.Pairs, Lo: lo, Hi: lo}
-		sub.Solver = milp.Params{TimeLimit: budget, MIPGap: 0.05, Workers: cfg.Solver.Workers}
+		// The hint solves inherit the caller's tracer, so the trace shows
+		// the cheap fixed-demand relaxations nested inside the main solve.
+		sub.Solver = milp.Params{
+			TimeLimit: budget,
+			MIPGap:    0.05,
+			Workers:   cfg.Solver.Workers,
+			Tracer:    cfg.Solver.Tracer,
+		}
+		hintStart := time.Now()
 		var (
 			res *Result
 			err error
@@ -472,6 +598,13 @@ func hintScenarios(ctx context.Context, cfg *Config) []struct {
 			res, err = analyzeMLU(ctx, &sub)
 		case MaxMin:
 			res, err = analyzeMaxMin(ctx, &sub)
+		}
+		if tr := cfg.Solver.Tracer; tr != nil {
+			tr.Emit("metaopt", "hint", obs.F{
+				"level":     level,
+				"found":     err == nil && res != nil && res.Scenario != nil,
+				"runtime_s": time.Since(hintStart).Seconds(),
+			})
 		}
 		if err != nil || res == nil || res.Scenario == nil {
 			continue

@@ -7,6 +7,7 @@ import (
 
 	"raha/internal/conc"
 	"raha/internal/demand"
+	"raha/internal/obs"
 	"raha/internal/topology"
 )
 
@@ -130,6 +131,17 @@ func AnalyzeClusteredContext(ctx context.Context, cfg ClusterConfig) (*Result, e
 			res, err := AnalyzeContext(ctx, sub)
 			if err != nil {
 				return fmt.Errorf("metaopt: cluster pair %v: %w", key, err)
+			}
+			if tr := cfg.Solver.Tracer; tr != nil {
+				tr.Emit("metaopt", "cluster_pair", obs.F{
+					"src_cluster": key[0],
+					"dst_cluster": key[1],
+					"demands":     len(group[key]),
+					"status":      res.Status.String(),
+					"nodes":       res.Nodes,
+					"runtime_s":   res.Runtime.Seconds(),
+					"degradation": res.Degradation,
+				})
 			}
 			results[i] = res
 			return nil

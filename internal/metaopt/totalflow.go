@@ -60,35 +60,7 @@ func analyzeTotalFlow(ctx context.Context, cfg *Config) (*Result, error) {
 	obj.AddExpr(-1, dualObj)
 	m.SetObjective(obj, milp.Maximize)
 
-	params := cfg.Solver
-	if cfg.Mode == Gap {
-		if !cfg.Envelope.IsFixed() {
-			for _, h := range hintScenarios(ctx, cfg) {
-				params.Hints = append(params.Hints, buildHint(m, cfg, enc, dv, h.Scenario, h.Level))
-			}
-		}
-		if h := buildWarmStartHint(m, cfg, enc, dv); h != nil {
-			params.Hints = append(params.Hints, h)
-		}
-	}
-	mres, err := m.SolveContext(ctx, params)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Status: mres.Status, Nodes: mres.Nodes}
-	if mres.X == nil {
-		return res, nil
-	}
-	res.ModelObjective = mres.Objective
-	res.Scenario = enc.ScenarioFromSolution(mres.X)
-	res.Demands = make([]float64, len(cfg.Demands))
-	for k := range cfg.Demands {
-		res.Demands[k] = dv.value(k, mres.X)
-	}
-	if err := verify(cfg, res); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return solveModel(ctx, cfg, m, enc, dv)
 }
 
 // buildHealthyTotalFlow folds the healthy network's primal into the outer

@@ -7,9 +7,20 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"raha/internal/lp"
+	"raha/internal/obs"
+)
+
+// Process-wide solver counters (obs.Default, exported through expvar as
+// raha.milp.*). Nodes and incumbents tick live so /debug/vars shows a
+// running search move.
+var (
+	cSolves     = obs.Default.Counter("milp.solves")
+	cNodes      = obs.Default.Counter("milp.nodes")
+	cIncumbents = obs.Default.Counter("milp.incumbents")
 )
 
 // Status reports the outcome of a MILP solve.
@@ -61,6 +72,23 @@ type Params struct {
 	// incumbents before the search starts — the analogue of a MIP start in
 	// a commercial solver. NaN entries on integer variables skip the hint.
 	Hints [][]float64
+
+	// Tracer, when non-nil, receives the solve's event stream
+	// (solve_start, node, incumbent, worker_sample, solve_end — see
+	// internal/obs and DESIGN.md §7). A nil Tracer is the fast path:
+	// every emit site is behind a nil check, so tracing disabled costs
+	// one predictable branch per site.
+	Tracer obs.Tracer
+
+	// OnProgress, when non-nil, is called roughly every ProgressEvery
+	// from a sampler goroutine with a live snapshot of the search — the
+	// CLIs' -progress line. The callback runs outside the search lock
+	// and must be fast and safe for concurrent use with the solve.
+	OnProgress func(Progress)
+
+	// ProgressEvery is the sampler period for OnProgress and the
+	// worker_sample trace events; 0 defaults to 250ms.
+	ProgressEvery time.Duration
 }
 
 func (p *Params) workers() int {
@@ -78,6 +106,7 @@ type Result struct {
 	X         []float64
 	Nodes     int
 	Runtime   time.Duration
+	Stats     Stats // solve accounting (LP work, prune reasons, incumbents)
 }
 
 // Gap returns the relative optimality gap of the result. Without an
@@ -87,15 +116,7 @@ func (r *Result) Gap() float64 {
 	if r.Status == Optimal {
 		return 0
 	}
-	if math.IsInf(r.Objective, 0) || math.IsNaN(r.Objective) ||
-		math.IsInf(r.Bound, 0) || math.IsNaN(r.Bound) {
-		return math.Inf(1)
-	}
-	d := math.Abs(r.Objective)
-	if d < 1 {
-		d = 1
-	}
-	return math.Abs(r.Bound-r.Objective) / d
+	return relGap(r.Objective, r.Bound)
 }
 
 // node is one open subproblem of the search tree.
@@ -143,6 +164,12 @@ type search struct {
 	intVars  []Var
 	maximize bool
 	objConst float64
+	start    time.Time
+	tracer   obs.Tracer // copy of p.Tracer; nil disables all emit sites
+
+	// stats fields are updated atomically by workers (MaxOpen under mu);
+	// Result gets a quiescent copy after the pool drains.
+	stats Stats
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -185,7 +212,23 @@ func (s *search) better(a, b float64) bool {
 // lp.Solve builds a private tableau per call, so concurrent workers never
 // share solver scratch.
 func (s *search) solveLP(lo, hi []float64) (*lp.Solution, error) {
-	return lp.Solve(s.m.toLP(lo, hi), nil)
+	sol, err := lp.Solve(s.m.toLP(lo, hi), nil)
+	if sol != nil {
+		atomic.AddInt64(&s.stats.LPSolves, 1)
+		atomic.AddInt64(&s.stats.LPIterations, int64(sol.Iters))
+		atomic.AddInt64(&s.stats.DegeneratePivots, int64(sol.DegeneratePivots))
+		atomic.AddInt64(&s.stats.BlandPivots, int64(sol.BlandPivots))
+	}
+	return sol, err
+}
+
+// addFinite stores v under key only when it is finite: json.Marshal
+// rejects ±Inf, and a missing key reads naturally as "no value yet"
+// (no incumbent, no bound) in the trace.
+func addFinite(f obs.F, key string, v float64) {
+	if !math.IsInf(v, 0) && !math.IsNaN(v) {
+		f[key] = v
+	}
 }
 
 // fractional returns the most fractional integer variable, or -1.
@@ -205,13 +248,25 @@ func (s *search) fractional(x []float64) Var {
 }
 
 // offerIncumbent installs (obj, x) as the incumbent if it improves on the
-// current one.
+// current one. The incumbent trace event is emitted while still holding
+// the search lock so the JSONL timeline is monotone even when two workers
+// improve the incumbent back to back (lock order is s.mu → tracer's own
+// mutex; nothing acquires them in reverse).
 func (s *search) offerIncumbent(obj float64, x []float64) {
 	s.mu.Lock()
 	if !s.haveIncumbent || s.better(obj, s.incObj) {
 		s.haveIncumbent = true
 		s.incObj = obj
 		s.incX = x
+		atomic.AddInt64(&s.stats.IncumbentUpdates, 1)
+		cIncumbents.Inc()
+		if s.tracer != nil {
+			f := obs.F{"obj": obj, "nodes": s.nodes}
+			if s.haveBound {
+				addFinite(f, "bound", s.dualBound)
+			}
+			s.tracer.Emit("milp", "incumbent", f)
+		}
 	}
 	s.mu.Unlock()
 }
@@ -219,6 +274,7 @@ func (s *search) offerIncumbent(obj float64, x []float64) {
 // tryRound fixes integers to rounded values and re-solves; a feasible
 // result becomes an incumbent candidate.
 func (s *search) tryRound(nlo, nhi, x []float64) {
+	atomic.AddInt64(&s.stats.HeuristicSolves, 1)
 	lo := append([]float64(nil), nlo...)
 	hi := append([]float64(nil), nhi...)
 	for _, v := range s.intVars {
@@ -276,6 +332,52 @@ func (s *search) globalBoundLocked(extra float64) float64 {
 
 const heurEvery = 64
 
+// sample takes one live snapshot of the search (for OnProgress and the
+// worker_sample trace event). The snapshot is assembled under the search
+// lock; the callback and the emit happen outside it.
+func (s *search) sample(workers int) {
+	s.mu.Lock()
+	pr := Progress{
+		Elapsed:       time.Since(s.start),
+		Nodes:         s.nodes,
+		Open:          len(s.open.nodes),
+		Inflight:      s.inflight,
+		Workers:       workers,
+		Incumbents:    atomic.LoadInt64(&s.stats.IncumbentUpdates),
+		HaveIncumbent: s.haveIncumbent,
+		Incumbent:     s.incObj,
+		Bound:         s.globalBoundLocked(s.toObj(math.Inf(1))),
+	}
+	s.mu.Unlock()
+
+	pr.Gap = math.Inf(1)
+	if pr.HaveIncumbent {
+		pr.Gap = relGap(pr.Incumbent, pr.Bound)
+	}
+	if secs := pr.Elapsed.Seconds(); secs > 0 {
+		pr.NodesPerSec = float64(pr.Nodes) / secs
+	}
+
+	if s.p.OnProgress != nil {
+		s.p.OnProgress(pr)
+	}
+	if s.tracer != nil {
+		f := obs.F{
+			"nodes":    pr.Nodes,
+			"open":     pr.Open,
+			"inflight": pr.Inflight,
+			"workers":  workers,
+		}
+		addFinite(f, "nodes_per_sec", pr.NodesPerSec)
+		if pr.HaveIncumbent {
+			addFinite(f, "incumbent", pr.Incumbent)
+		}
+		addFinite(f, "bound", pr.Bound)
+		addFinite(f, "gap", pr.Gap)
+		s.tracer.Emit("milp", "worker_sample", f)
+	}
+}
+
 // worker claims nodes from the shared queue until the tree is exhausted, a
 // limit fires, or an error occurs.
 func (s *search) worker(id int) {
@@ -303,6 +405,7 @@ func (s *search) worker(id int) {
 		// Prune by inherited bound (does not count as an explored node).
 		if s.haveIncumbent && !s.better(n.relax, s.incObj) {
 			s.mu.Unlock()
+			atomic.AddInt64(&s.stats.PrePruned, 1)
 			continue
 		}
 
@@ -325,6 +428,7 @@ func (s *search) worker(id int) {
 		s.working[id] = n.relax
 		s.inflight++
 		s.mu.Unlock()
+		cNodes.Inc()
 
 		children := s.process(n, claimNo)
 
@@ -334,6 +438,9 @@ func (s *search) worker(id int) {
 			s.nextSeq++
 			heap.Push(&s.open, c)
 		}
+		if depth := int64(len(s.open.nodes)); depth > s.stats.MaxOpen {
+			s.stats.MaxOpen = depth // guarded by mu, not atomics
+		}
 		s.working[id] = math.NaN()
 		s.inflight--
 		s.cond.Broadcast()
@@ -341,8 +448,22 @@ func (s *search) worker(id int) {
 	}
 }
 
+// emitNode reports how one processed node ended. The reason strings match
+// the Stats prune counters: infeasible, unbounded, iterlimit, bound,
+// integral, branched.
+func (s *search) emitNode(claimNo int, reason string, obj float64) {
+	if s.tracer == nil {
+		return
+	}
+	f := obs.F{"node": claimNo, "reason": reason}
+	addFinite(f, "obj", obj)
+	s.tracer.Emit("milp", "node", f)
+}
+
 // process solves one node's relaxation and returns its children (nil when
-// the node is fathomed). It runs without holding the search lock.
+// the node is fathomed). It runs without holding the search lock. Every
+// node ends in exactly one Stats outcome counter — the invariant the
+// stats regression test checks.
 func (s *search) process(n *node, claimNo int) []*node {
 	sol, err := s.solveLP(n.lo, n.hi)
 	if err != nil {
@@ -351,6 +472,8 @@ func (s *search) process(n *node, claimNo int) []*node {
 	}
 	switch sol.Status {
 	case lp.Infeasible:
+		atomic.AddInt64(&s.stats.PrunedInfeasible, 1)
+		s.emitNode(claimNo, "infeasible", math.NaN())
 		return nil
 	case lp.Unbounded:
 		if n.seq == 0 {
@@ -361,11 +484,15 @@ func (s *search) process(n *node, claimNo int) []*node {
 			s.cond.Broadcast()
 			s.mu.Unlock()
 		}
+		atomic.AddInt64(&s.stats.UnboundedNodes, 1)
+		s.emitNode(claimNo, "unbounded", math.NaN())
 		return nil
 	case lp.IterLimit:
 		s.mu.Lock()
 		s.clean = false
 		s.mu.Unlock()
+		atomic.AddInt64(&s.stats.PrunedIterLimit, 1)
+		s.emitNode(claimNo, "iterlimit", math.NaN())
 		return nil
 	}
 
@@ -375,12 +502,16 @@ func (s *search) process(n *node, claimNo int) []*node {
 	pruned := s.haveIncumbent && !s.better(obj, s.incObj)
 	s.mu.Unlock()
 	if pruned {
+		atomic.AddInt64(&s.stats.PrunedBound, 1)
+		s.emitNode(claimNo, "bound", obj)
 		return nil
 	}
 
 	v := s.fractional(sol.X)
 	if v < 0 {
 		// Integral: new incumbent.
+		atomic.AddInt64(&s.stats.Integral, 1)
+		s.emitNode(claimNo, "integral", obj)
 		s.offerIncumbent(obj, sol.X)
 		return nil
 	}
@@ -388,6 +519,9 @@ func (s *search) process(n *node, claimNo int) []*node {
 	if claimNo == 1 || claimNo%heurEvery == 0 {
 		s.tryRound(n.lo, n.hi, sol.X)
 	}
+
+	atomic.AddInt64(&s.stats.NodesBranched, 1)
+	s.emitNode(claimNo, "branched", obj)
 
 	// Branch: child bounds inherit the node's LP bound. Order the rounded
 	// direction first so ties in the best-bound queue dive toward it.
@@ -432,9 +566,12 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		p:        p,
 		maximize: m.sense == Maximize,
 		objConst: m.obj.Const,
+		start:    start,
+		tracer:   p.Tracer,
 		working:  make([]float64, workers),
 		clean:    true,
 	}
+	cSolves.Inc()
 	s.cond = sync.NewCond(&s.mu)
 	s.open.maximize = s.maximize
 	for i := range s.working {
@@ -457,6 +594,16 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 	}
 	s.nextSeq = 1
 
+	if s.tracer != nil {
+		s.tracer.Emit("milp", "solve_start", obs.F{
+			"vars":     m.NumVars(),
+			"cons":     m.NumConstraints(),
+			"int_vars": len(s.intVars),
+			"workers":  workers,
+			"hints":    len(p.Hints),
+		})
+	}
+
 	// Warm starts: fix integers to each hint, LP the rest. Runs before the
 	// workers so every worker prunes against the hint incumbents.
 	for _, h := range p.Hints {
@@ -476,6 +623,7 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 	}
 
 	heap.Push(&s.open, root)
+	s.stats.MaxOpen = 1
 
 	// A context that is already dead halts the search before any node is
 	// claimed instead of racing the watcher goroutine's first wake-up.
@@ -498,6 +646,32 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		}
 	}()
 
+	// Progress sampler: periodic snapshots for OnProgress and the
+	// worker_sample trace stream. Torn down before solve_end is emitted so
+	// solve_end is always the trace's final event.
+	sampleDone := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	if s.p.OnProgress != nil || s.tracer != nil {
+		every := p.ProgressEvery
+		if every <= 0 {
+			every = 250 * time.Millisecond
+		}
+		sampleWG.Add(1)
+		go func() {
+			defer sampleWG.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-sampleDone:
+					return
+				case <-tick.C:
+					s.sample(workers)
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -509,6 +683,8 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 	wg.Wait()
 	close(watchDone)
 	watchWG.Wait()
+	close(sampleDone)
+	sampleWG.Wait()
 
 	if s.err != nil {
 		return nil, s.err
@@ -520,6 +696,7 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		X:         s.incX,
 		Nodes:     s.nodes,
 		Runtime:   time.Since(start),
+		Stats:     s.stats, // workers have exited; plain copy is quiescent
 	}
 	exhausted := len(s.open.nodes) == 0 && !s.stop
 	switch {
@@ -535,13 +712,25 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 	default:
 		res.Status = Unknown
 	}
+
+	if s.tracer != nil {
+		f := obs.F{
+			"status":     res.Status.String(),
+			"nodes":      res.Nodes,
+			"runtime_s":  res.Runtime.Seconds(),
+			"lp_solves":  res.Stats.LPSolves,
+			"lp_iters":   res.Stats.LPIterations,
+			"incumbents": res.Stats.IncumbentUpdates,
+			"max_open":   res.Stats.MaxOpen,
+		}
+		addFinite(f, "obj", res.Objective)
+		addFinite(f, "bound", res.Bound)
+		addFinite(f, "gap", res.Gap())
+		s.tracer.Emit("milp", "solve_end", f)
+	}
 	return res, nil
 }
 
 func gapMet(incumbent, bound, gap float64) bool {
-	d := math.Abs(incumbent)
-	if d < 1 {
-		d = 1
-	}
-	return math.Abs(bound-incumbent)/d <= gap
+	return relGap(incumbent, bound) <= gap
 }

@@ -1,0 +1,286 @@
+package milp
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"raha/internal/obs"
+)
+
+// statsOutcomes sums the six mutually-exclusive node outcomes.
+func statsOutcomes(st Stats) int64 {
+	return st.NodesBranched + st.PrunedInfeasible + st.PrunedBound +
+		st.PrunedIterLimit + st.Integral + st.UnboundedNodes
+}
+
+// TestStatsNodeAccounting is the stats regression test: on a fixed seed
+// corpus, every explored node must land in exactly one outcome counter, at
+// Workers 1 and at Workers 4.
+func TestStatsNodeAccounting(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rng := rand.New(rand.NewSource(2025))
+		for i := 0; i < 40; i++ {
+			inst := genMILP(rng)
+			res, err := inst.m.Solve(Params{Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d inst=%d: %v", workers, i, err)
+			}
+			st := res.Stats
+			if got := statsOutcomes(st); got != int64(res.Nodes) {
+				t.Fatalf("workers=%d inst=%d: outcome sum %d != Nodes %d (%+v)",
+					workers, i, got, res.Nodes, st)
+			}
+			if st.LPSolves < int64(res.Nodes) {
+				t.Fatalf("workers=%d inst=%d: LPSolves %d < Nodes %d",
+					workers, i, st.LPSolves, res.Nodes)
+			}
+			if st.LPIterations < 0 || st.DegeneratePivots > st.LPIterations {
+				t.Fatalf("workers=%d inst=%d: pivot accounting %+v", workers, i, st)
+			}
+			if res.Status == Optimal && st.IncumbentUpdates == 0 {
+				t.Fatalf("workers=%d inst=%d: optimal with no incumbent updates", workers, i)
+			}
+			if res.Status == Infeasible && st.IncumbentUpdates != 0 {
+				t.Fatalf("workers=%d inst=%d: infeasible with incumbent updates", workers, i)
+			}
+		}
+	}
+}
+
+// knapsack builds a deterministic maximization knapsack whose LP relaxation
+// is fractional, forcing a real branch-and-bound tree with several
+// incumbent improvements.
+func knapsack(n int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel()
+	var obj, wt Expr
+	for i := 0; i < n; i++ {
+		v := m.BinaryVar("x")
+		obj.Add(float64(1+rng.Intn(40)), v)
+		wt.Add(float64(1+rng.Intn(20)), v)
+	}
+	m.SetObjective(obj, Maximize)
+	m.Add(wt, LE, float64(5*n), "cap")
+	return m
+}
+
+// TestSolveTraceJSONL checks the -trace acceptance criteria at the solver
+// layer: the event stream starts with solve_start, ends with solve_end,
+// has one node event per explored node, a monotone incumbent timeline, and
+// a final record matching the returned Result.
+func TestSolveTraceJSONL(t *testing.T) {
+	m := knapsack(16, 11)
+	var buf bytes.Buffer
+	tr := obs.NewJSONLTracer(&buf)
+	res, err := m.Solve(Params{Workers: 4, Tracer: tr, ProgressEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	var events []obs.Event
+	for i, ln := range lines {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d is not JSON (%v): %q", i, err, ln)
+		}
+		if e.Layer != "milp" {
+			t.Fatalf("line %d: layer %q", i, e.Layer)
+		}
+		events = append(events, e)
+	}
+	if events[0].Ev != "solve_start" {
+		t.Fatalf("first event %q, want solve_start", events[0].Ev)
+	}
+	last := events[len(events)-1]
+	if last.Ev != "solve_end" {
+		t.Fatalf("last event %q, want solve_end", last.Ev)
+	}
+
+	nodeEvents := 0
+	incumbents := []float64(nil)
+	prevT := -1.0
+	for _, e := range events {
+		if e.T < prevT {
+			t.Fatalf("timestamps went backwards: %v after %v", e.T, prevT)
+		}
+		prevT = e.T
+		switch e.Ev {
+		case "node":
+			nodeEvents++
+		case "incumbent":
+			incumbents = append(incumbents, e.Fields["obj"].(float64))
+		}
+	}
+	if nodeEvents != res.Nodes {
+		t.Fatalf("%d node events, Result.Nodes = %d", nodeEvents, res.Nodes)
+	}
+	if len(incumbents) == 0 {
+		t.Fatal("no incumbent events on an optimal solve")
+	}
+	if int64(len(incumbents)) != res.Stats.IncumbentUpdates {
+		t.Fatalf("%d incumbent events, Stats.IncumbentUpdates = %d",
+			len(incumbents), res.Stats.IncumbentUpdates)
+	}
+	for i := 1; i < len(incumbents); i++ {
+		if incumbents[i] <= incumbents[i-1] { // maximization: strictly improving
+			t.Fatalf("incumbent timeline not monotone: %v", incumbents)
+		}
+	}
+	if got := incumbents[len(incumbents)-1]; math.Abs(got-res.Objective) > 1e-9 {
+		t.Fatalf("final incumbent event %v != Result.Objective %v", got, res.Objective)
+	}
+
+	// solve_end mirrors the Result.
+	f := last.Fields
+	if f["status"].(string) != res.Status.String() {
+		t.Fatalf("solve_end status %v != %v", f["status"], res.Status)
+	}
+	if int(f["nodes"].(float64)) != res.Nodes {
+		t.Fatalf("solve_end nodes %v != %d", f["nodes"], res.Nodes)
+	}
+	if math.Abs(f["obj"].(float64)-res.Objective) > 1e-9 {
+		t.Fatalf("solve_end obj %v != %v", f["obj"], res.Objective)
+	}
+	if math.Abs(f["bound"].(float64)-res.Bound) > 1e-9 {
+		t.Fatalf("solve_end bound %v != %v", f["bound"], res.Bound)
+	}
+}
+
+// TestTraceConcurrentWorkers runs a parallel solve under -race with all
+// workers emitting into one JSONL tracer and checks no line is torn.
+func TestTraceConcurrentWorkers(t *testing.T) {
+	m := knapsack(18, 3)
+	var buf bytes.Buffer
+	tr := obs.NewJSONLTracer(&buf)
+	if _, err := m.Solve(Params{Workers: 8, Tracer: tr, ProgressEvery: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ln := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if !json.Valid([]byte(ln)) {
+			t.Fatalf("line %d torn by concurrent emit: %q", i, ln)
+		}
+	}
+}
+
+// TestOnProgress checks the sampler delivers plausible snapshots and that
+// the Gurobi-style String renders without panicking on partial data.
+func TestOnProgress(t *testing.T) {
+	m := knapsack(18, 5)
+	got := make(chan Progress, 1024)
+	_, err := m.Solve(Params{
+		Workers:       2,
+		ProgressEvery: time.Millisecond,
+		OnProgress: func(p Progress) {
+			select {
+			case got <- p:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(got)
+	n := 0
+	for p := range got {
+		n++
+		if p.Workers != 2 || p.Nodes < 0 || p.Open < 0 {
+			t.Fatalf("bad snapshot %+v", p)
+		}
+		if p.String() == "" {
+			t.Fatal("empty progress line")
+		}
+	}
+	if n == 0 {
+		t.Skip("solve finished before the first sampler tick")
+	}
+}
+
+// emitGuard is the disabled-tracing fast path in isolation: the one branch
+// each emit site pays when Params.Tracer is nil. //go:noinline keeps the
+// compiler from deleting the loop in the overhead test below.
+//
+//go:noinline
+func emitGuard(tr obs.Tracer) int {
+	if tr != nil {
+		return 1
+	}
+	return 0
+}
+
+// TestNilTracerOverhead is the benchmark-guarded regression test for the
+// nil-tracer fast path: the cost of the nil checks a node pays must be
+// under 2% of the time the node spends in its LP relaxation. Measured
+// directly (guard cost × guards per node vs. per-node solve time) rather
+// than by comparing two full solves, which would drown the signal in
+// scheduler noise.
+func TestNilTracerOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	m := knapsack(18, 7)
+	res, err := m.Solve(Params{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes == 0 {
+		t.Fatal("no nodes explored")
+	}
+	perNode := res.Runtime.Seconds() / float64(res.Nodes)
+
+	const iters = 50_000_000
+	start := time.Now()
+	sink := 0
+	for i := 0; i < iters; i++ {
+		sink += emitGuard(nil)
+	}
+	guard := time.Since(start).Seconds() / iters
+	if sink != 0 {
+		t.Fatal("guard fired on nil tracer")
+	}
+
+	// A node touches at most a handful of emit sites (claim, outcome,
+	// incumbent, heuristic) — call it 8 to be safe.
+	const guardsPerNode = 8
+	overhead := guardsPerNode * guard / perNode
+	t.Logf("per-node %.3gs, guard %.3gns, overhead %.4f%%", perNode, guard*1e9, overhead*100)
+	if overhead > 0.02 {
+		t.Fatalf("nil-tracer guard overhead %.2f%% exceeds 2%% budget", overhead*100)
+	}
+}
+
+// BenchmarkSolveNilTracer and BenchmarkSolveJSONLTracer bracket the cost of
+// tracing on the same instance, for the ci.sh bench artifact.
+func BenchmarkSolveNilTracer(b *testing.B) {
+	m := knapsack(14, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(Params{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveJSONLTracer(b *testing.B) {
+	m := knapsack(14, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		tr := obs.NewJSONLTracer(&buf)
+		if _, err := m.Solve(Params{Workers: 1, Tracer: tr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Stats aggregates the work one branch-and-bound solve performed — the
+// accounting a commercial solver prints in its log. Workers update the
+// int64 fields atomically during the search; the struct in Result is a
+// quiescent copy taken after every worker has exited.
+//
+// Every node counted by Result.Nodes ends in exactly one of the six
+// outcomes, so
+//
+//	Nodes == NodesBranched + PrunedInfeasible + PrunedBound +
+//	         PrunedIterLimit + Integral + UnboundedNodes
+//
+// holds on any clean solve (the stats regression test asserts it at
+// Workers 1 and 4).
+type Stats struct {
+	LPSolves         int64 // LP relaxations solved (nodes, heuristics, hints)
+	LPIterations     int64 // simplex iterations across those solves
+	DegeneratePivots int64 // near-zero-step pivots inside those solves
+	BlandPivots      int64 // pivots priced under Bland's anti-cycling rule
+
+	NodesBranched    int64 // processed nodes that produced two children
+	PrunedInfeasible int64 // node relaxation infeasible
+	PrunedBound      int64 // relaxation no better than the incumbent
+	PrunedIterLimit  int64 // relaxation hit the LP iteration cap
+	Integral         int64 // relaxation integral — an incumbent candidate
+	UnboundedNodes   int64 // relaxation unbounded
+
+	PrePruned        int64 // popped nodes discarded on the inherited parent bound (not in Result.Nodes)
+	IncumbentUpdates int64 // times the incumbent improved
+	HeuristicSolves  int64 // rounding-heuristic LPs (includes warm-start hints)
+	MaxOpen          int64 // high-water mark of the open-node queue
+}
+
+// Progress is a point-in-time snapshot of a running solve, delivered to
+// Params.OnProgress by the sampler goroutine. Incumbent and Bound are in
+// model sense; Gap is +Inf before the first incumbent.
+type Progress struct {
+	Elapsed       time.Duration
+	Nodes         int
+	Open          int // open-node queue depth
+	Inflight      int // workers currently processing a node
+	Workers       int
+	Incumbents    int64 // incumbent updates so far
+	HaveIncumbent bool
+	Incumbent     float64
+	Bound         float64
+	Gap           float64
+	NodesPerSec   float64
+}
+
+// String renders the snapshot as a Gurobi-style log line, e.g.
+//
+//	nodes 10409 (3741/s)  open 812  workers 8/8  incumbent 1180.0  bound 1192.4  gap 1.1%
+func (p Progress) String() string {
+	inc := "-"
+	if p.HaveIncumbent {
+		inc = fmt.Sprintf("%.1f", p.Incumbent)
+	}
+	bound := "-"
+	if !math.IsInf(p.Bound, 0) && !math.IsNaN(p.Bound) {
+		bound = fmt.Sprintf("%.1f", p.Bound)
+	}
+	gap := "-"
+	if !math.IsInf(p.Gap, 0) && !math.IsNaN(p.Gap) {
+		gap = fmt.Sprintf("%.1f%%", 100*p.Gap)
+	}
+	return fmt.Sprintf("nodes %d (%.0f/s)  open %d  workers %d/%d  incumbent %s  bound %s  gap %s",
+		p.Nodes, p.NodesPerSec, p.Open, p.Inflight, p.Workers, inc, bound, gap)
+}
+
+// relGap is the relative optimality gap between an incumbent and a dual
+// bound, +Inf when either is not finite.
+func relGap(incumbent, bound float64) float64 {
+	if math.IsInf(incumbent, 0) || math.IsNaN(incumbent) ||
+		math.IsInf(bound, 0) || math.IsNaN(bound) {
+		return math.Inf(1)
+	}
+	d := math.Abs(incumbent)
+	if d < 1 {
+		d = 1
+	}
+	return math.Abs(bound-incumbent) / d
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Level selects how chatty a Logger is.
+type Level int8
+
+// Logger levels: Quiet prints errors only, Normal adds run diagnostics,
+// Verbose adds per-step detail.
+const (
+	Quiet Level = iota - 1
+	Normal
+	Verbose
+)
+
+// Logger is a minimal leveled logger for the CLIs. A nil *Logger is valid
+// and discards everything, so library code can hold one unconditionally.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+}
+
+// NewLogger returns a logger writing to w at the given level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// Level reports the logger's level (Quiet for a nil logger).
+func (l *Logger) Level() Level {
+	if l == nil {
+		return Quiet
+	}
+	return l.level
+}
+
+func (l *Logger) printf(min Level, format string, args ...any) {
+	if l == nil || l.level < min {
+		return
+	}
+	l.mu.Lock()
+	fmt.Fprintf(l.w, format+"\n", args...)
+	l.mu.Unlock()
+}
+
+// Errorf always prints (even at Quiet).
+func (l *Logger) Errorf(format string, args ...any) { l.printf(Quiet, format, args...) }
+
+// Infof prints at Normal and above.
+func (l *Logger) Infof(format string, args ...any) { l.printf(Normal, format, args...) }
+
+// Debugf prints at Verbose only.
+func (l *Logger) Debugf(format string, args ...any) { l.printf(Verbose, format, args...) }

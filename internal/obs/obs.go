@@ -1,0 +1,130 @@
+// Package obs is the repository's zero-dependency observability layer: the
+// solve-telemetry discipline a commercial solver's log provides for free,
+// rebuilt for the from-scratch stack. It has three sinks:
+//
+//   - Registry: named atomic counters, snapshottable as JSON and published
+//     through expvar (curl /debug/vars during a sweep to watch the solver
+//     work). Hot paths hold *Counter pointers, so recording is one atomic
+//     add — no map lookup, no lock.
+//
+//   - Tracer: a structured event stream. The JSONL implementation writes one
+//     JSON object per line, whole lines under a mutex, so concurrent
+//     branch-and-bound workers never interleave partial records. A nil
+//     Tracer is the fast path: every emit site guards with a nil check,
+//     which costs a load and a branch (see the overhead benchmark in
+//     internal/milp).
+//
+//   - Progress/Logger: human sinks for the CLIs — a rewriting progress line
+//     mirroring a Gurobi solve log, and a quiet/normal/verbose logger.
+//
+// Everything here is stdlib-only so the lowest layers (lp, milp) can import
+// it without cycles or new dependencies.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically written int64 metric. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry is a named collection of counters. Counter returns a stable
+// pointer, so a hot loop resolves its counters once (typically in a package
+// var) and pays only the atomic add per event.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Default is the process-wide registry the solver layers record into. It is
+// published through expvar under the key "raha", so any HTTP server with
+// expvar's handler (see Serve) exposes it at /debug/vars.
+var Default = NewRegistry()
+
+func init() {
+	expvar.Publish("raha", expvar.Func(func() any { return Default.Snapshot() }))
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as a single JSON object with sorted keys.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make([]kv, len(keys))
+	for i, k := range keys {
+		ordered[i] = kv{k, snap[k]}
+	}
+	buf := []byte{'{'}
+	for i, e := range ordered {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		name, _ := json.Marshal(e.k)
+		buf = append(buf, name...)
+		buf = append(buf, ':')
+		val, _ := json.Marshal(e.v)
+		buf = append(buf, val...)
+	}
+	buf = append(buf, '}', '\n')
+	_, err := w.Write(buf)
+	return err
+}
+
+type kv struct {
+	k string
+	v int64
+}

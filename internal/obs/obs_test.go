@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("Counter must return a stable pointer")
+	}
+	snap := r.Snapshot()
+	if snap["a.b"] != 42 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*per {
+		t.Fatalf("shared = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if snap["a"] != 1 || snap["b"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Keys must come out sorted so diffs between snapshots are stable.
+	if i, j := strings.Index(buf.String(), `"a"`), strings.Index(buf.String(), `"b"`); i > j {
+		t.Fatalf("keys not sorted: %s", buf.String())
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, Normal)
+	l.Errorf("e")
+	l.Infof("i")
+	l.Debugf("d")
+	if got := buf.String(); got != "e\ni\n" {
+		t.Fatalf("normal log = %q", got)
+	}
+	buf.Reset()
+	NewLogger(&buf, Quiet).Infof("i")
+	if buf.Len() != 0 {
+		t.Fatalf("quiet logger printed %q", buf.String())
+	}
+	var nilLogger *Logger
+	nilLogger.Errorf("must not panic")
+	if nilLogger.Level() != Quiet {
+		t.Fatal("nil logger level")
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressLine(&buf)
+	p.Update("aaaa")
+	p.Update("bb") // shorter: must pad over the leftovers
+	if !strings.Contains(buf.String(), "\rbb  ") {
+		t.Fatalf("no clearing pad in %q", buf.String())
+	}
+	p.Println("kept")
+	if !strings.Contains(buf.String(), "kept\n") {
+		t.Fatalf("Println missing: %q", buf.String())
+	}
+	p.Done()
+	n := buf.Len()
+	p.Update("after done")
+	if buf.Len() != n {
+		t.Fatal("Update after Done must be a no-op")
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// IsTerminal reports whether f is a character device — the default for the
+// CLIs' -progress flags, so redirected runs do not fill logs with carriage
+// returns.
+func IsTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// ProgressLine renders a single self-overwriting status line (the live
+// incumbent/bound/gap display of a solver log). Update rewrites the line in
+// place; Println clears it, prints a permanent line (an incumbent
+// improvement, like Gurobi's H rows), and lets the next Update redraw;
+// Done clears the line for good. All methods are safe for concurrent use.
+type ProgressLine struct {
+	mu      sync.Mutex
+	w       io.Writer
+	lastLen int
+	done    bool
+}
+
+// NewProgressLine returns a progress line writing to w (typically stderr).
+func NewProgressLine(w io.Writer) *ProgressLine {
+	return &ProgressLine{w: w}
+}
+
+// Update redraws the status line.
+func (p *ProgressLine) Update(line string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return
+	}
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	p.lastLen = len(line)
+}
+
+// Println clears the status line and prints a permanent line.
+func (p *ProgressLine) Println(line string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clearLocked()
+	fmt.Fprintln(p.w, line)
+}
+
+// Done clears the status line; further Updates are ignored.
+func (p *ProgressLine) Done() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clearLocked()
+	p.done = true
+}
+
+func (p *ProgressLine) clearLocked() {
+	if p.lastLen > 0 {
+		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.lastLen))
+		p.lastLen = 0
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Serve starts an HTTP server on addr exposing live metrics and profiling
+// for in-flight sweeps:
+//
+//	/debug/vars           — expvar, including the "raha" solver counters
+//	/debug/pprof/...      — net/http/pprof (profile, heap, goroutine, trace)
+//
+// It returns the server (Close to stop) and the bound address, which
+// differs from addr when addr uses port 0. The CLIs wire this behind
+// -metrics-addr; `go tool pprof http://ADDR/debug/pprof/profile` attaches
+// to a running analysis.
+func Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestServeExpvarAndPprof is the acceptance check for -metrics-addr:
+// /debug/vars must return the live solver counters and the pprof index
+// must be mounted (the CPU profile endpoint is the same handler family;
+// fetching a real profile blocks for its duration, so the test settles
+// for the index that links it).
+func TestServeExpvarAndPprof(t *testing.T) {
+	Default.Counter("test.serve").Add(7)
+	srv, addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", resp.StatusCode)
+	}
+	var vars struct {
+		Raha map[string]int64 `json:"raha"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars.Raha["test.serve"] < 7 {
+		t.Fatalf("raha counters missing from expvar: %v", vars.Raha)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/: %d", resp.StatusCode)
+	}
+}

@@ -33,12 +33,15 @@ package raha
 
 import (
 	"context"
+	"io"
+	"net/http"
 
 	"raha/internal/augment"
 	"raha/internal/demand"
 	"raha/internal/failures"
 	"raha/internal/metaopt"
 	"raha/internal/milp"
+	"raha/internal/obs"
 	"raha/internal/paths"
 	"raha/internal/probability"
 	"raha/internal/topology"
@@ -163,11 +166,55 @@ type Config = metaopt.Config
 // Result reports the worst case found.
 type Result = metaopt.Result
 
-// SolverParams forwards limits to the MILP backend (time, nodes, gap).
+// SolverParams forwards limits to the MILP backend (time, nodes, gap) and
+// carries its observability hooks (Tracer, OnProgress).
 type SolverParams = milp.Params
 
 // SolveStatus is the MILP solve outcome.
 type SolveStatus = milp.Status
+
+// Solve statuses. StatusFeasible means a limit (time, nodes, gap, or
+// cancellation) stopped the search with an incumbent in hand.
+const (
+	StatusOptimal    = milp.Optimal
+	StatusFeasible   = milp.Feasible
+	StatusInfeasible = milp.Infeasible
+	StatusUnbounded  = milp.Unbounded
+	StatusUnknown    = milp.Unknown
+)
+
+// SolveStats is the branch-and-bound accounting of a solve: LP work, prune
+// reasons, incumbent updates (Result.Stats).
+type SolveStats = milp.Stats
+
+// SolveProgress is a live snapshot of a running solve, delivered to
+// SolverParams.OnProgress.
+type SolveProgress = milp.Progress
+
+// --- Observability -------------------------------------------------------------
+
+// Tracer receives structured events from every solve layer (lp pivots,
+// milp nodes and incumbents, metaopt analyses, experiment sweeps). Set it
+// on SolverParams.Tracer; a nil Tracer costs nothing.
+type Tracer = obs.Tracer
+
+// TraceEvent is one trace record: a timestamp, the emitting layer, the
+// event name, and a payload.
+type TraceEvent = obs.Event
+
+// JSONLTracer writes events as JSON Lines, safe for concurrent emitters.
+type JSONLTracer = obs.JSONLTracer
+
+// NewJSONLTracer returns a tracer writing one JSON object per event to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
+
+// ServeMetrics starts an HTTP listener exposing the process-wide solver
+// counters on /debug/vars (expvar) and profiles on /debug/pprof/. It
+// returns the server and the bound address (useful with ":0"); shut it
+// down with srv.Close.
+func ServeMetrics(addr string) (srv *http.Server, boundAddr string, err error) {
+	return obs.Serve(addr)
+}
 
 // Analyze finds the failure scenario and demands that maximize degradation.
 func Analyze(cfg Config) (*Result, error) { return metaopt.Analyze(cfg) }
