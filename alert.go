@@ -43,6 +43,10 @@ type AlertConfig struct {
 	// SolverParams); either may be nil.
 	Tracer     Tracer
 	OnProgress func(SolveProgress)
+
+	// Check runs the static model checker before each phase's solve
+	// (SolverParams.Check).
+	Check bool
 }
 
 // AlertReport is the outcome of an alerting run.
@@ -95,7 +99,7 @@ func AlertContext(ctx context.Context, cfg AlertConfig) (*AlertReport, error) {
 		ConnectivityEnforced: cfg.ConnectivityEnforced,
 		Solver: SolverParams{
 			TimeLimit: cfg.Phase1Budget, Workers: cfg.Workers,
-			Tracer: cfg.Tracer, OnProgress: cfg.OnProgress,
+			Tracer: cfg.Tracer, OnProgress: cfg.OnProgress, Check: cfg.Check,
 		},
 	})
 	if err != nil {
@@ -123,7 +127,7 @@ func AlertContext(ctx context.Context, cfg AlertConfig) (*AlertReport, error) {
 		QuantBits:            cfg.QuantBits,
 		Solver: SolverParams{
 			TimeLimit: cfg.Phase2Budget, Workers: cfg.Workers,
-			Tracer: cfg.Tracer, OnProgress: cfg.OnProgress,
+			Tracer: cfg.Tracer, OnProgress: cfg.OnProgress, Check: cfg.Check,
 		},
 	})
 	if err != nil {

@@ -21,7 +21,22 @@ fi
 
 go vet ./...
 go build ./...
+
+# Project-specific linter (cmd/raha-lint): float equality, wall-clock or
+# randomness in solver loops, context placement, mutex copies, unguarded
+# tracer Emits. Runs over the full tree including _test.go files; any
+# finding fails the build (suppressions need a //raha:lint-allow with a
+# reason).
+go run ./cmd/raha-lint ./...
+
 go test -race "$@" ./...
+
+# Static model check over a real paper model: -check runs the
+# internal/modelcheck diagnostic pass before the solve and exits non-zero
+# on any error-severity diagnostic, so a regression in the §5 encodings
+# (NaN Big-M, contradictory bounds, trivially infeasible rows) fails CI
+# even if the solver would have limped through.
+go run ./cmd/raha analyze -topology b4 -check -budget 2s -q -progress=false >/dev/null
 
 # One iteration of every internal benchmark (allocation counts and a solver
 # smoke signal, not statistically stable timings), recorded per commit. The

@@ -25,6 +25,7 @@ import (
 var (
 	solverWorkers int
 	sweepParallel int
+	checkModels   bool
 	tracer        obs.Tracer
 	log           *obs.Logger
 	prog          *obs.ProgressLine // non-nil only while a sweep runs with -progress
@@ -35,6 +36,7 @@ var (
 func tuned(s *experiments.Setup) *experiments.Setup {
 	s.Workers = solverWorkers
 	s.Parallel = sweepParallel
+	s.Check = checkModels
 	s.Tracer = tracer
 	s.OnProgress = func(p experiments.SweepProgress) { prog.Update(p.String()) }
 	return s
@@ -46,6 +48,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
 	workers := flag.Int("workers", 0, "branch-and-bound worker goroutines per solve (0 = all cores, 1 = serial)")
 	parallel := flag.Int("parallel", 0, "concurrent analyses per sweep (0 or 1 = serial)")
+	check := flag.Bool("check", false, "run the static model checker before every solve; error diagnostics abort the sweep")
 	quiet := flag.Bool("q", false, "quiet: print errors only")
 	verbose := flag.Bool("v", false, "verbose: per-sweep diagnostics (overrides -q)")
 	progress := flag.Bool("progress", obs.IsTerminal(os.Stderr), "live per-figure progress line with ETA on stderr")
@@ -54,6 +57,7 @@ func main() {
 	flag.Parse()
 	solverWorkers = *workers
 	sweepParallel = *parallel
+	checkModels = *check
 
 	level := obs.Normal
 	if *quiet {

@@ -1,0 +1,384 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Rule names, as reported and as accepted by //raha:lint-allow directives.
+const (
+	ruleFloatCmp    = "float-cmp"
+	ruleHotLoopTime = "hot-loop-time"
+	ruleCtxFirst    = "ctx-first"
+	ruleMutexValue  = "mutex-value"
+	ruleTracerGuard = "tracer-guard"
+)
+
+// finding is one lint violation.
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.pos.Filename, f.pos.Line, f.pos.Column, f.rule, f.msg)
+}
+
+// solverPkgs are the hot-path packages where wall-clock and randomness are
+// banned inside loops (the determinism and reproducibility contract of the
+// solver stack; see DESIGN.md).
+var solverPkgs = map[string]bool{
+	"raha/internal/lp":   true,
+	"raha/internal/milp": true,
+}
+
+// lintPackage runs every rule over one type-checked package and returns the
+// surviving findings sorted by position.
+func lintPackage(p *pkg) []finding {
+	l := &linter{p: p, allowed: collectAllows(p)}
+	for _, f := range p.Files {
+		l.file(f)
+	}
+	out := l.findings[:0]
+	for _, f := range l.findings {
+		if !l.allowed[allowKey{f.pos.Filename, f.pos.Line, f.rule}] {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].pos, out[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// collectAllows indexes //raha:lint-allow directives. A directive suppresses
+// the named rule on its own line (trailing comment) and on the next line
+// (comment above the offending statement). Anything after the rule name is
+// the required human-readable justification.
+func collectAllows(p *pkg) map[allowKey]bool {
+	allowed := map[allowKey]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//raha:lint-allow ")
+				if !ok {
+					continue
+				}
+				rule, _, _ := strings.Cut(strings.TrimSpace(text), " ")
+				pos := p.Fset.Position(c.Pos())
+				allowed[allowKey{pos.Filename, pos.Line, rule}] = true
+				allowed[allowKey{pos.Filename, pos.Line + 1, rule}] = true
+			}
+		}
+	}
+	return allowed
+}
+
+type linter struct {
+	p        *pkg
+	allowed  map[allowKey]bool
+	findings []finding
+}
+
+func (l *linter) report(pos token.Pos, rule, format string, args ...any) {
+	l.findings = append(l.findings, finding{
+		pos:  l.p.Fset.Position(pos),
+		rule: rule,
+		msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// file walks one file with an explicit ancestor stack so rules can inspect
+// enclosing loops, conditionals, and function declarations.
+func (l *linter) file(f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			l.floatCmp(n)
+		case *ast.CallExpr:
+			l.hotLoopTime(n, stack)
+			l.tracerGuard(n, stack)
+		case *ast.FuncDecl:
+			l.ctxFirst(n.Type, n.Name.Name, n.Pos())
+			l.mutexValue(n.Recv, n.Name.Name, true)
+			l.mutexValue(n.Type.Params, n.Name.Name, false)
+		case *ast.FuncLit:
+			l.ctxFirst(n.Type, "func literal", n.Pos())
+			l.mutexValue(n.Type.Params, "func literal", false)
+		}
+		return true
+	})
+}
+
+// --- float-cmp ---------------------------------------------------------------
+
+// floatCmp flags == and != where both operands are non-constant floats.
+// Comparisons against a constant (x == 0, f != 1) are the solver's sentinel
+// idiom and stay legal; it is the comparison of two computed floats that
+// silently depends on rounding.
+func (l *linter) floatCmp(e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	lt, rt := l.p.Info.Types[e.X], l.p.Info.Types[e.Y]
+	if lt.Value != nil || rt.Value != nil {
+		return // one side is a compile-time constant
+	}
+	if isFloat(lt.Type) && isFloat(rt.Type) {
+		l.report(e.OpPos, ruleFloatCmp,
+			"%s between two non-constant floats; order them or compare against a tolerance", e.Op)
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// --- hot-loop-time -----------------------------------------------------------
+
+// hotLoopTime flags package-level calls into time and math/rand inside any
+// loop of the solver packages. Wall-clock reads in the simplex or
+// branch-and-bound inner loops make runs irreproducible and cost a vDSO
+// call per iteration; deadline checks belong on node boundaries (where the
+// solver already polls) and randomness belongs in the seeded sampler.
+// Functions with "sample" in their name and _test.go files are exempt.
+func (l *linter) hotLoopTime(call *ast.CallExpr, stack []ast.Node) {
+	if !solverPkgs[l.p.Path] {
+		return
+	}
+	if strings.HasSuffix(l.p.Fset.Position(call.Pos()).Filename, "_test.go") {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, ok := l.p.Info.Uses[id].(*types.PkgName); !ok {
+		return // method call or local selector, not a package function
+	}
+	obj, ok := l.p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return // a conversion like time.Duration(x), not a function call
+	}
+	path := obj.Pkg().Path()
+	if path != "time" && path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	inLoop := false
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			inLoop = true
+		case *ast.FuncDecl:
+			if inLoop && !strings.Contains(strings.ToLower(n.Name.Name), "sample") {
+				l.report(call.Pos(), ruleHotLoopTime,
+					"%s.%s inside a loop of %s; hoist it out or move it to the sampler",
+					id.Name, sel.Sel.Name, l.p.Path)
+			}
+			return
+		case *ast.FuncLit:
+			// A closure resets the loop context: the literal may run far
+			// from the loop that encloses its definition. Only loops inside
+			// the literal itself count.
+			if inLoop {
+				l.report(call.Pos(), ruleHotLoopTime,
+					"%s.%s inside a loop of %s; hoist it out or move it to the sampler",
+					id.Name, sel.Sel.Name, l.p.Path)
+			}
+			return
+		}
+	}
+}
+
+// --- ctx-first ---------------------------------------------------------------
+
+// ctxFirst enforces the standard library convention: a context.Context
+// parameter, when present, is the first parameter.
+func (l *linter) ctxFirst(ft *ast.FuncType, name string, pos token.Pos) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if l.isContext(field.Type) && idx > 0 {
+			l.report(field.Type.Pos(), ruleCtxFirst,
+				"%s takes context.Context as parameter %d; context must be the first parameter", name, idx+1)
+			return
+		}
+		idx += n
+	}
+}
+
+func (l *linter) isContext(e ast.Expr) bool {
+	t := l.p.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// --- mutex-value -------------------------------------------------------------
+
+// mutexValue flags receivers and parameters that carry a sync.Mutex,
+// sync.RWMutex, or sync.WaitGroup by value — the copy locks nothing.
+func (l *linter) mutexValue(fields *ast.FieldList, fn string, recv bool) {
+	if fields == nil {
+		return
+	}
+	kind := "parameter"
+	if recv {
+		kind = "receiver"
+	}
+	for _, field := range fields.List {
+		t := l.p.Info.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		if carrier := syncByValue(t, nil); carrier != "" {
+			l.report(field.Type.Pos(), ruleMutexValue,
+				"%s of %s passes %s by value; use a pointer", kind, fn, carrier)
+		}
+	}
+}
+
+// syncByValue reports the sync primitive a non-pointer type would copy, or
+// "" if there is none. Struct fields are searched transitively.
+func syncByValue(t types.Type, seen map[types.Type]bool) string {
+	if n, ok := t.(*types.Named); ok {
+		if pkg := n.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+			switch n.Obj().Name() {
+			case "Mutex", "RWMutex", "WaitGroup":
+				return "sync." + n.Obj().Name()
+			}
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	for i := 0; i < st.NumFields(); i++ {
+		if s := syncByValue(st.Field(i).Type(), seen); s != "" {
+			return s
+		}
+	}
+	return ""
+}
+
+// --- tracer-guard ------------------------------------------------------------
+
+// tracerGuard flags r.Emit(...) where r is an interface value with an Emit
+// method (the obs.Tracer shape) and no nil guard is in sight: neither an
+// enclosing `if r != nil` nor an earlier `if r == nil { return }` in the
+// same function. Tracers are optional everywhere in this codebase — nil is
+// the documented "tracing off" value — so an unguarded Emit is a latent
+// panic on the untraced path.
+func (l *linter) tracerGuard(call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" {
+		return
+	}
+	t := l.p.Info.Types[sel.X].Type
+	if t == nil {
+		return
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok || !hasEmit(iface) {
+		return
+	}
+	recv := types.ExprString(sel.X)
+
+	// An enclosing if (or if-init) whose condition mentions `recv != nil`.
+	var encl ast.Node // innermost enclosing FuncDecl or FuncLit
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			if strings.Contains(types.ExprString(n.Cond), recv+" != nil") {
+				return
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			if encl == nil {
+				encl = n
+			}
+		}
+	}
+	if encl != nil && hasNilReturnGuard(encl, recv, call.Pos()) {
+		return
+	}
+	l.report(call.Pos(), ruleTracerGuard,
+		"%s.Emit without a nil guard; wrap in `if %s != nil` or return early when nil", recv, recv)
+}
+
+func hasEmit(iface *types.Interface) bool {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Emit" {
+			return true
+		}
+	}
+	return false
+}
+
+// hasNilReturnGuard reports whether fn contains, before pos, an
+// `if <recv> == nil` statement whose body returns.
+func hasNilReturnGuard(fn ast.Node, recv string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.End() >= pos || found {
+			return !found
+		}
+		if types.ExprString(ifs.Cond) != recv+" == nil" {
+			return true
+		}
+		for _, s := range ifs.Body.List {
+			if _, ok := s.(*ast.ReturnStmt); ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

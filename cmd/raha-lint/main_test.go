@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// marker is one expected finding, declared in the fixture source as a
+// trailing `// want:<rule>` comment.
+type marker struct {
+	file string
+	line int
+	rule string
+}
+
+func (m marker) String() string { return fmt.Sprintf("%s:%d: [%s]", m.file, m.line, m.rule) }
+
+// collectMarkers scans the fixture package's comments for want markers.
+func collectMarkers(t *testing.T, p *pkg) []marker {
+	t.Helper()
+	var out []marker
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want:")
+				if idx < 0 {
+					continue
+				}
+				rule := strings.Fields(c.Text[idx+len("want:"):])[0]
+				pos := p.Fset.Position(c.Pos())
+				out = append(out, marker{file: pos.Filename, line: pos.Line, rule: rule})
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("fixture declares no want markers")
+	}
+	return out
+}
+
+func loadFixture(t *testing.T) *pkg {
+	t.Helper()
+	pkgs, err := load([]string{"./testdata/src/fixture"})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// compare checks findings against markers one-to-one.
+func compare(t *testing.T, findings []finding, want []marker) {
+	t.Helper()
+	wantSet := map[marker]bool{}
+	for _, m := range want {
+		wantSet[m] = true
+	}
+	for _, f := range findings {
+		m := marker{file: f.pos.Filename, line: f.pos.Line, rule: f.rule}
+		if !wantSet[m] {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		delete(wantSet, m)
+	}
+	for m := range wantSet {
+		t.Errorf("missing finding: %s", m)
+	}
+}
+
+// TestFixture lints the fixture corpus twice: once under its real import
+// path, where the hot-loop-time rule is dormant (it only applies to the
+// solver packages), and once masquerading as internal/milp, where every
+// marker must fire.
+func TestFixture(t *testing.T) {
+	p := loadFixture(t)
+	markers := collectMarkers(t, p)
+
+	t.Run("non-solver package", func(t *testing.T) {
+		var want []marker
+		for _, m := range markers {
+			if m.rule != ruleHotLoopTime {
+				want = append(want, m)
+			}
+		}
+		compare(t, lintPackage(p), want)
+	})
+
+	t.Run("as solver package", func(t *testing.T) {
+		saved := p.Path
+		p.Path = "raha/internal/milp"
+		defer func() { p.Path = saved }()
+		compare(t, lintPackage(p), markers)
+	})
+}
+
+// TestAllowDirective pins the suppression mechanics: the directive covers
+// its own line and the next, for the named rule only.
+func TestAllowDirective(t *testing.T) {
+	p := loadFixture(t)
+	allowed := collectAllows(p)
+	var directive marker
+	for k := range allowed {
+		if k.rule == ruleFloatCmp {
+			directive = marker{file: k.file, line: k.line, rule: k.rule}
+			break
+		}
+	}
+	if directive.file == "" {
+		t.Fatal("fixture's float-cmp allow directive not indexed")
+	}
+	for _, f := range lintPackage(p) {
+		if f.pos.Filename == directive.file && (f.pos.Line == directive.line || f.pos.Line == directive.line+1) {
+			t.Errorf("suppressed line still reported: %s", f)
+		}
+	}
+}
+
+// TestTestFilesAreLinted guards the loader's -test wiring: the package list
+// for a package with _test.go files must include them (the repository's own
+// test files are subject to every rule except hot-loop-time).
+func TestTestFilesAreLinted(t *testing.T) {
+	pkgs, err := load([]string{"raha/internal/milp"})
+	if err != nil {
+		t.Fatalf("loading internal/milp: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	found := false
+	for _, f := range pkgs[0].Files {
+		if strings.HasSuffix(pkgs[0].Fset.Position(f.Pos()).Filename, "_test.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("test variant of internal/milp carries no _test.go files")
+	}
+}

@@ -1,0 +1,82 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// The hot-loop-time rule only fires inside the solver packages
+// (internal/lp, internal/milp). The linter's tests lint this package a
+// second time under a solver package path, so the markers in this file are
+// asserted only on that pass (see TestFixture).
+
+func deadlineInLoop(work []int) int {
+	deadline := time.Now().Add(time.Second) // legal: outside the loop
+	n := 0
+	for _, w := range work {
+		if time.Now().After(deadline) { // want:hot-loop-time
+			break
+		}
+		n += w
+	}
+	return n
+}
+
+func elapsedInLoop(rounds int) time.Duration {
+	start := time.Now() // legal: outside the loop
+	var last time.Duration
+	for i := 0; i < rounds; i++ {
+		last = time.Since(start) // want:hot-loop-time
+	}
+	return last
+}
+
+func randInLoop(n int) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += rand.Float64() // want:hot-loop-time
+	}
+	return s
+}
+
+// resample is exempt by name: randomness belongs in the sampler.
+func resample(n int) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += rand.Float64() // legal: "sample" in the enclosing function name
+	}
+	return s
+}
+
+func closureOverLoop(work []int) func() time.Time {
+	var fns []func() time.Time
+	for range work {
+		fns = append(fns, func() time.Time {
+			return time.Now() // legal: the closure body is not the loop body
+		})
+	}
+	if len(fns) == 0 {
+		return nil
+	}
+	return fns[0]
+}
+
+func loopInClosure(work []int) time.Duration {
+	f := func() time.Duration {
+		start := time.Now() // legal: before the loop
+		var last time.Duration
+		for range work {
+			last = time.Since(start) // want:hot-loop-time
+		}
+		return last
+	}
+	return f()
+}
+
+func conversionInLoop(ns []int64) []time.Duration {
+	out := make([]time.Duration, len(ns))
+	for i, v := range ns {
+		out[i] = time.Duration(v) // legal: a conversion, not a call
+	}
+	return out
+}

@@ -110,6 +110,7 @@ type commonFlags struct {
 	budget    *time.Duration
 	seed      *int64
 	workers   *int
+	check     *bool
 	obs       *obsFlags
 }
 
@@ -128,6 +129,7 @@ func newCommon(name string) *commonFlags {
 		budget:    fs.Duration("budget", 30*time.Second, "solver time budget"),
 		seed:      fs.Int64("seed", 1, "seed for the gravity demand model"),
 		workers:   fs.Int("workers", 0, "branch-and-bound worker goroutines (0 = all cores, 1 = serial)"),
+		check:     fs.Bool("check", false, "run the static model checker before each solve; error diagnostics abort the solve"),
 		obs:       newObsFlags(fs),
 	}
 }
@@ -140,6 +142,7 @@ func (c *commonFlags) solver(o *runObs) raha.SolverParams {
 		Workers:    *c.workers,
 		Tracer:     o.tracer(),
 		OnProgress: o.solveProgress(),
+		Check:      *c.check,
 	}
 }
 
@@ -378,6 +381,7 @@ func alert(ctx context.Context, args []string) (err error) {
 		Workers:              *c.workers,
 		Tracer:               o.tracer(),
 		OnProgress:           o.solveProgress(),
+		Check:                *c.check,
 	})
 	if err != nil {
 		return err

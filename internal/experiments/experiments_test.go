@@ -53,6 +53,7 @@ func TestEnvelopeVariants(t *testing.T) {
 		if max.Hi[k] <= avg.Hi[k] {
 			t.Fatal("max must exceed avg")
 		}
+		//raha:lint-allow float-cmp the variable envelope copies the max matrix verbatim
 		if vr.Hi[k] != max.Hi[k] || vr.Lo[k] != 0 {
 			t.Fatal("variable envelope must span [0, max]")
 		}

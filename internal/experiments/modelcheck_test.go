@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"raha/internal/milp"
+	"raha/internal/obs"
+)
+
+// TestFigureModelsCheckClean runs the paper's B4 and Uninett figure setups
+// through the Params.Check pre-solve gate and asserts every model the
+// analysis builds — main solve and hint relaxations alike — carries zero
+// error-severity diagnostics. The gate's trace stream is the witness: each
+// solve emits one model_check_summary event with its error count.
+func TestFigureModelsCheckClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves two full analyses")
+	}
+	setups := []struct {
+		name  string
+		setup *Setup
+	}{
+		{"b4", B4(2 * time.Second)},
+		{"uninett", Uninett(2 * time.Second)},
+	}
+	for _, tc := range setups {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.setup
+			var buf bytes.Buffer
+			s.Check = true
+			s.Tracer = obs.NewJSONLTracer(&buf)
+			dps, err := s.Paths()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = s.analyze(dps, s.envelope(Variable), 1e-4, 2, false, nil)
+			var cerr *milp.CheckError
+			if errors.As(err, &cerr) {
+				t.Fatalf("figure model failed the check gate:\n%s", cerr.Report)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			summaries := 0
+			for _, ln := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+				var e obs.Event
+				if err := json.Unmarshal([]byte(ln), &e); err != nil {
+					t.Fatalf("bad trace line %q: %v", ln, err)
+				}
+				if e.Ev != "model_check_summary" {
+					continue
+				}
+				summaries++
+				if n := int(e.Fields["errors"].(float64)); n != 0 {
+					t.Fatalf("model_check_summary reports %d error diagnostics", n)
+				}
+			}
+			if summaries == 0 {
+				t.Fatal("no model_check_summary events: the gate never ran")
+			}
+		})
+	}
+}

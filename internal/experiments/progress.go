@@ -90,5 +90,5 @@ func (t *sweepTracker) step() {
 // setup's tracer rides along so solver-layer events land in the same
 // stream as the sweep's own.
 func (s *Setup) solver() milp.Params {
-	return milp.Params{TimeLimit: s.Budget, Workers: s.Workers, Tracer: s.Tracer}
+	return milp.Params{TimeLimit: s.Budget, Workers: s.Workers, Tracer: s.Tracer, Check: s.Check}
 }

@@ -585,6 +585,7 @@ func hintScenarios(ctx context.Context, cfg *Config) []struct {
 			MIPGap:    0.05,
 			Workers:   cfg.Solver.Workers,
 			Tracer:    cfg.Solver.Tracer,
+			Check:     cfg.Solver.Check,
 		}
 		hintStart := time.Now()
 		var (

@@ -96,6 +96,7 @@ func TestAnalyzeClusteredSingleClusterEqualsAnalyze(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := analyzeOK(t, cfg.Config)
+	//raha:lint-allow float-cmp the one-cluster path must be bit-identical to Analyze
 	if a.Degradation != b.Degradation {
 		t.Fatalf("clusters=1 must match Analyze: %g vs %g", a.Degradation, b.Degradation)
 	}

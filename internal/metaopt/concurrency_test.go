@@ -38,6 +38,7 @@ func TestAnalyzeClusteredParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//raha:lint-allow float-cmp parallel solves that prove optimality are bit-identical to serial
 	if got.Degradation != serial.Degradation {
 		t.Fatalf("parallel clustered %g != serial %g", got.Degradation, serial.Degradation)
 	}
@@ -98,6 +99,7 @@ func TestAnalyzeContextBackgroundMatchesAnalyze(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//raha:lint-allow float-cmp a background-context analysis is bit-identical to Analyze
 	if b.Status != milp.Optimal || b.Degradation != a.Degradation {
 		t.Fatalf("AnalyzeContext %v/%g != Analyze optimal/%g", b.Status, b.Degradation, a.Degradation)
 	}

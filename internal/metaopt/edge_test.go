@@ -26,6 +26,7 @@ func TestNaiveGateMapping(t *testing.T) {
 		{4, 0}, // backup 2 has no matching primary
 	}
 	for _, c := range cases {
+		//raha:lint-allow float-cmp the gate copies healthy values verbatim; exact equality expected
 		if got := naiveGate(h, 0, c.j, 2); got != c.want {
 			t.Fatalf("naiveGate(j=%d) = %g, want %g", c.j, got, c.want)
 		}

@@ -89,6 +89,15 @@ type Params struct {
 	// ProgressEvery is the sampler period for OnProgress and the
 	// worker_sample trace events; 0 defaults to 250ms.
 	ProgressEvery time.Duration
+
+	// Check, when set, runs the modelcheck diagnostic pass (see
+	// internal/modelcheck) before the search starts — the stand-in for a
+	// commercial solver's presolve guardrails. Every diagnostic is emitted
+	// through Tracer as a "model_check" event; error-severity diagnostics
+	// (contradictory bounds, trivially infeasible rows, NaN/Inf
+	// coefficients, …) abort the solve with a *CheckError before any node
+	// is explored.
+	Check bool
 }
 
 func (p *Params) workers() int {
@@ -136,11 +145,20 @@ type nodeHeap struct {
 func (h *nodeHeap) Len() int { return len(h.nodes) }
 func (h *nodeHeap) Less(i, j int) bool {
 	a, b := h.nodes[i], h.nodes[j]
-	if a.relax != b.relax {
-		if h.maximize {
-			return a.relax > b.relax
+	if h.maximize {
+		if a.relax > b.relax {
+			return true
 		}
-		return a.relax < b.relax
+		if a.relax < b.relax {
+			return false
+		}
+	} else {
+		if a.relax < b.relax {
+			return true
+		}
+		if a.relax > b.relax {
+			return false
+		}
 	}
 	return a.seq > b.seq
 }
@@ -552,6 +570,11 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 	start := time.Now()
 	if p.IntTol == 0 {
 		p.IntTol = 1e-6
+	}
+	if p.Check {
+		if err := runCheck(m, p.Tracer); err != nil {
+			return nil, err
+		}
 	}
 	workers := p.workers()
 

@@ -1,0 +1,106 @@
+package milp
+
+import (
+	"fmt"
+
+	"raha/internal/modelcheck"
+	"raha/internal/obs"
+)
+
+// Check runs the modelcheck diagnostic pass over the model as it stands
+// (current bounds, constraints, and objective) and returns the report. It
+// is the programmatic form of the Params.Check pre-solve gate; see
+// internal/modelcheck for the diagnostic catalogue.
+func (m *Model) Check() modelcheck.Report {
+	return modelcheck.Check(m.checkModel(), modelcheck.Options{IntTol: 1e-6})
+}
+
+// checkModel adapts the model into the neutral representation the
+// modelcheck pass walks. Term slices are copied (the type differs); bounds
+// and names are read as-is.
+func (m *Model) checkModel() *modelcheck.Model {
+	cm := &modelcheck.Model{
+		Vars: make([]modelcheck.Var, len(m.lo)),
+		Cons: make([]modelcheck.Constraint, len(m.cons)),
+		Obj:  checkTerms(m.obj.Terms),
+	}
+	for i := range m.lo {
+		cm.Vars[i] = modelcheck.Var{
+			Name:    m.names[i],
+			Lo:      m.lo[i],
+			Hi:      m.hi[i],
+			Integer: m.vtype[i] != Continuous,
+		}
+	}
+	for i := range m.cons {
+		c := &m.cons[i]
+		cm.Cons[i] = modelcheck.Constraint{
+			Name:  c.name,
+			Terms: checkTerms(c.expr.Terms),
+			Rel:   modelcheck.Rel(c.rel),
+			RHS:   c.rhs,
+		}
+	}
+	return cm
+}
+
+func checkTerms(terms []Term) []modelcheck.Term {
+	out := make([]modelcheck.Term, len(terms))
+	for i, t := range terms {
+		out[i] = modelcheck.Term{Var: int(t.V), Coef: t.C}
+	}
+	return out
+}
+
+// CheckError is returned by Solve/SolveContext when Params.Check found
+// error-severity diagnostics. Report carries every diagnostic of the run
+// (all severities), so callers can log the full picture.
+type CheckError struct {
+	Report modelcheck.Report
+}
+
+func (e *CheckError) Error() string {
+	errs := e.Report.Filter(modelcheck.Error)
+	if len(errs) == 0 {
+		return "milp: model check failed"
+	}
+	msg := fmt.Sprintf("milp: model check failed: %s", errs[0])
+	if len(errs) > 1 {
+		msg += fmt.Sprintf(" (and %d more error diagnostics)", len(errs)-1)
+	}
+	return msg
+}
+
+// runCheck executes the pre-solve gate: the diagnostic pass, one
+// "model_check" trace event per diagnostic plus a summary event, and a
+// *CheckError when any diagnostic is error-severity.
+func runCheck(m *Model, tracer obs.Tracer) error {
+	rep := m.Check()
+	if tracer != nil {
+		for _, d := range rep {
+			f := obs.F{
+				"id":       d.ID,
+				"severity": d.Severity.String(),
+				"msg":      d.Message,
+			}
+			if d.Var != "" {
+				f["var"] = d.Var
+			}
+			if d.Con != "" {
+				f["con"] = d.Con
+			}
+			tracer.Emit("milp", "model_check", f)
+		}
+		tracer.Emit("milp", "model_check_summary", obs.F{
+			"diags":    len(rep),
+			"errors":   rep.Count(modelcheck.Error),
+			"warnings": rep.Count(modelcheck.Warning),
+			"infos":    rep.Count(modelcheck.Info),
+			"ok":       !rep.HasErrors(),
+		})
+	}
+	if rep.HasErrors() {
+		return &CheckError{Report: rep}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package milp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"raha/internal/modelcheck"
+	"raha/internal/obs"
+)
+
+// cleanModel is a well-formed knapsack-like model that must pass the gate.
+func cleanModel() *Model {
+	m := NewModel()
+	a := m.BinaryVar("a")
+	b := m.BinaryVar("b")
+	obj := NewExpr(T(3, a), T(2, b))
+	m.SetObjective(obj, Maximize)
+	m.Add(NewExpr(T(1, a), T(1, b)), LE, 1, "choose-one")
+	return m
+}
+
+func TestCheckCleanModelSolves(t *testing.T) {
+	m := cleanModel()
+	res, err := m.Solve(Params{Check: true, Workers: 1})
+	if err != nil {
+		t.Fatalf("clean model rejected by gate: %v", err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	wantObj(t, res, 3)
+}
+
+// TestCheckGateRejectsBrokenModels feeds the gate deliberately broken
+// fixtures and asserts each fails before any node is explored.
+func TestCheckGateRejectsBrokenModels(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func() *Model
+		wantID string
+	}{
+		{
+			name: "contradictory bounds",
+			build: func() *Model {
+				m := cleanModel()
+				x := m.ContinuousVar(0, 1, "x")
+				m.Add(NewExpr(T(1, x)), LE, 1, "use-x")
+				m.SetBounds(x, 2, 1) // branch-style tightening gone wrong
+				return m
+			},
+			wantID: modelcheck.BoundContradiction,
+		},
+		{
+			name: "trivially infeasible row",
+			build: func() *Model {
+				m := cleanModel()
+				a := Var(0)
+				// a ∈ [0,1] can never reach 5.
+				m.Add(NewExpr(T(1, a)), GE, 5, "impossible")
+				return m
+			},
+			wantID: modelcheck.TrivialInfeasible,
+		},
+		{
+			name: "NaN coefficient",
+			build: func() *Model {
+				m := cleanModel()
+				m.Add(NewExpr(T(math.NaN(), Var(0))), LE, 1, "poisoned")
+				return m
+			},
+			wantID: modelcheck.NonFinite,
+		},
+		{
+			name: "integer variable with no integer in bounds",
+			build: func() *Model {
+				m := cleanModel()
+				n := m.NewVar(0, 10, Integer, "n")
+				m.Add(NewExpr(T(1, n)), LE, 10, "use-n")
+				m.SetBounds(n, 0.3, 0.7)
+				return m
+			},
+			wantID: modelcheck.IntBounds,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.build()
+			_, err := m.Solve(Params{Check: true, Workers: 1})
+			var cerr *CheckError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("want *CheckError, got %v", err)
+			}
+			found := false
+			for _, d := range cerr.Report {
+				if d.ID == tc.wantID && d.Severity == modelcheck.Error {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("report lacks error-severity %q:\n%s", tc.wantID, cerr.Report)
+			}
+			if !strings.Contains(cerr.Error(), "model check failed") {
+				t.Fatalf("error text: %v", cerr)
+			}
+			// Without the gate the same model must not fail with CheckError
+			// (it may fail differently, or solve garbage — the point of the
+			// gate is catching it first).
+			if _, err := tc.build().Solve(Params{Workers: 1, NodeLimit: 4}); errors.As(err, &cerr) {
+				t.Fatalf("ungated solve returned CheckError: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckDanglingVarReported: a dangling variable is a warning — reported
+// through Check and the trace stream, but not fatal to the gate (the paper
+// models legitimately carry helper variables the objective ignores).
+func TestCheckDanglingVarReported(t *testing.T) {
+	m := cleanModel()
+	m.ContinuousVar(0, 1, "dangling")
+	rep := m.Check()
+	found := false
+	for _, d := range rep {
+		if d.ID == modelcheck.UnusedVar && d.Var == "dangling" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dangling variable not reported:\n%s", rep)
+	}
+	if rep.HasErrors() {
+		t.Fatalf("dangling variable must not be error-severity:\n%s", rep)
+	}
+	if _, err := m.Solve(Params{Check: true, Workers: 1}); err != nil {
+		t.Fatalf("warning-only report blocked the solve: %v", err)
+	}
+}
+
+// TestCheckTraceEvents: diagnostics flow through the tracer as model_check
+// events plus a model_check_summary, before any node event.
+func TestCheckTraceEvents(t *testing.T) {
+	m := cleanModel()
+	m.ContinuousVar(0, 1, "dangling")
+	var buf bytes.Buffer
+	tr := obs.NewJSONLTracer(&buf)
+	if _, err := m.Solve(Params{Check: true, Workers: 1, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	var checks, summaries int
+	sawNode := false
+	for _, ln := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", ln, err)
+		}
+		switch e.Ev {
+		case "model_check":
+			if sawNode {
+				t.Fatal("model_check event after a node event")
+			}
+			checks++
+			if e.Fields["id"].(string) != modelcheck.UnusedVar {
+				t.Fatalf("unexpected diagnostic id %v", e.Fields["id"])
+			}
+			if e.Fields["severity"].(string) != "warning" {
+				t.Fatalf("unexpected severity %v", e.Fields["severity"])
+			}
+			if e.Fields["var"].(string) != "dangling" {
+				t.Fatalf("unexpected var %v", e.Fields["var"])
+			}
+		case "model_check_summary":
+			if sawNode {
+				t.Fatal("summary after a node event")
+			}
+			summaries++
+			if ok := e.Fields["ok"].(bool); !ok {
+				t.Fatal("summary ok=false on a warning-only report")
+			}
+			if int(e.Fields["warnings"].(float64)) != 1 {
+				t.Fatalf("summary warnings = %v, want 1", e.Fields["warnings"])
+			}
+		case "node":
+			sawNode = true
+		}
+	}
+	if checks != 1 || summaries != 1 {
+		t.Fatalf("got %d model_check and %d summary events, want 1 and 1", checks, summaries)
+	}
+}
+
+// TestExprBoundsZeroCoefInfUpper is the regression test for the NaN
+// propagation bug: a term with coefficient 0 on a variable with an infinite
+// upper bound must contribute exactly 0 to the interval, not IEEE
+// 0·(+Inf) = NaN.
+func TestExprBoundsZeroCoefInfUpper(t *testing.T) {
+	m := NewModel()
+	free := m.ContinuousVar(0, math.Inf(1), "free")
+	x := m.ContinuousVar(0, 4, "x")
+	e := NewExpr(T(0, free), T(2, x))
+	e.AddConst(1)
+	lo, hi := m.exprBounds(e)
+	if lo != 1 || hi != 9 {
+		t.Fatalf("exprBounds = [%g, %g], want [1, 9]", lo, hi)
+	}
+}
+
+// TestIndicatorGEZeroCoefBigM: before the fix, the poisoned interval turned
+// the IndicatorGE Big-M coefficients into NaN silently (IsInf(NaN) is
+// false, so the bounded-expression panic never fired). Now the encoding
+// must come out finite and the indicator semantics must hold.
+func TestIndicatorGEZeroCoefBigM(t *testing.T) {
+	m := NewModel()
+	free := m.ContinuousVar(0, math.Inf(1), "free")
+	x := m.ContinuousVar(0, 4, "x")
+	expr := NewExpr(T(0, free), T(1, x))
+	z := m.IndicatorGE(expr, 3, 1e-6, "ind")
+
+	for i := 0; i < m.NumConstraints(); i++ {
+		e, _, rhs, name := m.ConstraintAt(i)
+		if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+			t.Fatalf("constraint %s: non-finite rhs %g", name, rhs)
+		}
+		for _, term := range e.Terms {
+			if math.IsNaN(term.C) || math.IsInf(term.C, 0) {
+				t.Fatalf("constraint %s: non-finite coefficient %g", name, term.C)
+			}
+		}
+	}
+
+	// Force x to 4: the indicator must switch on; maximize z to check it may.
+	m.Fix(x, 4)
+	m.Fix(free, 0)
+	m.SetObjective(NewExpr(T(1, z)), Maximize)
+	res, err := m.Solve(Params{Check: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantObj(t, res, 1)
+}
+
+// TestAccessors covers the read-only model view the modelcheck adapter and
+// external tools walk.
+func TestAccessors(t *testing.T) {
+	m := NewModel()
+	b := m.BinaryVar("b")
+	x := m.ContinuousVar(-1, 2, "x")
+	n := m.NewVar(0, 9, Integer, "n")
+	m.Add(NewExpr(T(2, x), T(1, b)), LE, 5, "row")
+	m.SetObjective(NewExpr(T(1, n)), Minimize)
+
+	if m.TypeOf(b) != Binary || m.TypeOf(x) != Continuous || m.TypeOf(n) != Integer {
+		t.Fatal("TypeOf mismatch")
+	}
+	expr, rel, rhs, name := m.ConstraintAt(0)
+	if name != "row" || rel != LE || rhs != 5 || len(expr.Terms) != 2 {
+		t.Fatalf("ConstraintAt = %v %v %v %q", expr, rel, rhs, name)
+	}
+	obj, sense := m.Objective()
+	if sense != Minimize || len(obj.Terms) != 1 || obj.Terms[0].V != n {
+		t.Fatalf("Objective = %v %v", obj, sense)
+	}
+}

@@ -142,6 +142,22 @@ func (m *Model) Name(v Var) string { return m.names[v] }
 // Bounds returns the variable's bounds.
 func (m *Model) Bounds(v Var) (lo, hi float64) { return m.lo[v], m.hi[v] }
 
+// TypeOf returns the variable's type.
+func (m *Model) TypeOf(v Var) VarType { return m.vtype[v] }
+
+// ConstraintAt returns row i of the model: its expression (shared storage —
+// callers must not mutate the terms), relation, right-hand side, and name.
+// Together with Objective it is the read-only view the modelcheck diagnostic
+// pass walks.
+func (m *Model) ConstraintAt(i int) (expr Expr, rel Rel, rhs float64, name string) {
+	c := &m.cons[i]
+	return c.expr, c.rel, c.rhs, c.name
+}
+
+// Objective returns the model's objective expression (shared storage) and
+// optimization sense.
+func (m *Model) Objective() (Expr, Sense) { return m.obj, m.sense }
+
 // SetBounds tightens or replaces the variable's bounds.
 func (m *Model) SetBounds(v Var, lo, hi float64) {
 	m.lo[v], m.hi[v] = lo, hi
@@ -177,6 +193,12 @@ func Value(e Expr, x []float64) float64 {
 func (m *Model) exprBounds(e Expr) (lo, hi float64) {
 	lo, hi = e.Const, e.Const
 	for _, t := range e.Terms {
+		if t.C == 0 {
+			// A zero coefficient contributes exactly 0 even when the
+			// variable's upper bound is +Inf; the IEEE product 0·±Inf = NaN
+			// would otherwise poison every Big-M derived from this interval.
+			continue
+		}
 		a, b := t.C*m.lo[t.V], t.C*m.hi[t.V]
 		if a > b {
 			a, b = b, a

@@ -39,6 +39,12 @@ func ParseGML(src string, defaultCapacity float64) (*Topology, error) {
 		if !ok {
 			return nil, fmt.Errorf("topology: GML node without id")
 		}
+		if _, dup := idToNode[id]; dup {
+			// Silently keeping the later node would re-point every edge
+			// that names this id; corrupt input must not become a quietly
+			// different graph.
+			return nil, fmt.Errorf("topology: GML duplicate node id %d", id)
+		}
 		label, _ := item.strAttr("label")
 		if label == "" {
 			label = fmt.Sprintf("n%d", id)
@@ -77,6 +83,9 @@ func ParseGML(src string, defaultCapacity float64) (*Topology, error) {
 		} else if _, err := t.AddLAG(a, b, []Link{link}); err != nil {
 			return nil, err
 		}
+	}
+	if t.NumNodes() == 0 {
+		return nil, fmt.Errorf("topology: GML graph has no nodes")
 	}
 	return t, nil
 }

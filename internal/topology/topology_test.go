@@ -247,11 +247,34 @@ func TestParseGMLErrors(t *testing.T) {
 		`graph [ `,      // unbalanced
 		"graph [ x @ ]", // bad char
 		`graph [ key ]`, // key without value
+		`graph [ node [ id 0 ] node [ id 0 label "twin" ] ]`, // duplicate node id
+		`graph [ ]`,                            // empty graph
+		`graph [ directed 1 ]`,                 // attributes but no nodes
+		`graph [ edge [ source 0 target 1 ] ]`, // edges into an empty node set
 	}
 	for i, src := range cases {
 		if _, err := ParseGML(src, 1); err == nil {
 			t.Fatalf("case %d: want error", i)
 		}
+	}
+}
+
+// TestParseGMLDuplicateIDMessage pins the duplicate-id failure mode: it must
+// be a parse error naming the id, not a silently rewired graph (the old
+// behavior kept the second node and re-pointed the first's edges at it).
+func TestParseGMLDuplicateIDMessage(t *testing.T) {
+	src := `graph [
+	  node [ id 0 label "a" ]
+	  node [ id 1 label "b" ]
+	  node [ id 1 label "b2" ]
+	  edge [ source 0 target 1 ]
+	]`
+	_, err := ParseGML(src, 1)
+	if err == nil {
+		t.Fatal("duplicate node id must be rejected")
+	}
+	if !strings.Contains(err.Error(), "duplicate node id 1") {
+		t.Fatalf("error should name the duplicate id: %v", err)
 	}
 }
 
