@@ -44,3 +44,13 @@ go run ./cmd/raha analyze -topology b4 -check -budget 2s -q -progress=false >/de
 bench_out="BENCH_$(git rev-parse --short HEAD).json"
 go test -json -run '^$' -bench . -benchmem -count=1 -benchtime 1x ./internal/... >"$bench_out"
 echo "benchmarks -> $bench_out"
+
+# Advisory perf diff against the most recently committed BENCH record:
+# surfaces nodes/sec movement per PR without failing the build over
+# single-iteration benchmark noise (raha-benchdiff exits 0 on regressions).
+prev=$(git ls-files 'BENCH_*.json' | while read -r f; do
+	printf '%s %s\n' "$(git log -1 --format=%ct -- "$f")" "$f"
+done | sort -rn | awk 'NR==1 {print $2}')
+if [ -n "$prev" ] && [ "$prev" != "$bench_out" ]; then
+	go run ./cmd/raha-benchdiff "$prev" "$bench_out"
+fi

@@ -1,0 +1,158 @@
+// Command raha-benchdiff compares solver throughput between two per-commit
+// benchmark records (the BENCH_<commit>.json files ci.sh writes, which are
+// `go test -json -bench` streams). It extracts every benchmark's nodes/sec
+// metric — the branch-and-bound throughput figure the performance roadmap
+// tracks — and prints the old→new change side by side, with a warning for
+// any regression beyond a tolerance.
+//
+//	raha-benchdiff BENCH_old.json BENCH_new.json
+//
+// The comparison is advisory: single-iteration CI benchmarks are a smoke
+// signal, not a statistically stable measurement, so the tool always exits
+// 0 when both files parse. ci.sh runs it after each benchmark pass against
+// the most recently committed BENCH file, which makes the per-PR perf
+// trajectory visible without ever failing a build over benchmark noise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// regressTol is the relative nodes/sec drop that triggers a warning line.
+// Single-shot benchmark runs jitter well past a few percent; only a drop
+// large enough to suggest a real change in solver behaviour is worth a
+// human's attention.
+const regressTol = 0.10
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: raha-benchdiff OLD_BENCH.json NEW_BENCH.json")
+		os.Exit(2)
+	}
+	oldM, err := parseFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raha-benchdiff: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	newM, err := parseFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raha-benchdiff: %s: %v\n", os.Args[2], err)
+		os.Exit(1)
+	}
+	report(os.Stdout, os.Args[1], os.Args[2], oldM, newM)
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+// testEvent is the subset of test2json's event schema the parser needs.
+type testEvent struct {
+	Action string
+	Output string
+}
+
+// benchLine matches one completed benchmark result line; the -N GOMAXPROCS
+// suffix is stripped so records taken on different machines still align.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
+
+// nodesPerSec extracts the "<value> nodes/sec" metric from a result line's
+// tail, if present.
+var nodesPerSec = regexp.MustCompile(`([0-9][0-9.eE+-]*) nodes/sec`)
+
+// parseBench reads a `go test -json` stream and returns the nodes/sec
+// metric per benchmark name. Output events may split a single benchmark
+// line across several records (test2json flushes on partial writes), so
+// the stream's output is reassembled before line parsing.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	var text strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("not a go-test JSON stream: %w", err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		nm := nodesPerSec.FindStringSubmatch(m[2])
+		if nm == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(nm[1], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = v
+	}
+	return out, nil
+}
+
+// report prints the old→new comparison for every benchmark present in both
+// records, most-regressed first, followed by a warning per regression
+// beyond regressTol.
+func report(w io.Writer, oldPath, newPath string, oldM, newM map[string]float64) {
+	type row struct {
+		name     string
+		old, new float64
+		change   float64 // relative: +0.25 = 25% faster
+	}
+	var rows []row
+	for name, ov := range oldM {
+		nv, ok := newM[name]
+		if !ok || ov <= 0 {
+			continue
+		}
+		rows = append(rows, row{name, ov, nv, nv/ov - 1})
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "benchdiff: no common nodes/sec benchmarks between %s and %s\n", oldPath, newPath)
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].change != rows[j].change { //raha:lint-allow float-cmp sort tie-break on identical ratios is harmless
+			return rows[i].change < rows[j].change
+		}
+		return rows[i].name < rows[j].name
+	})
+
+	fmt.Fprintf(w, "benchdiff %s -> %s (nodes/sec)\n", oldPath, newPath)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-36s %10.1f -> %10.1f  %+6.1f%%\n", r.name, r.old, r.new, 100*r.change)
+	}
+	for _, r := range rows {
+		if r.change < -regressTol {
+			fmt.Fprintf(w, "WARNING: %s throughput regressed %.1f%% vs the last committed record (advisory; single-shot CI benchmarks are noisy)\n",
+				r.name, -100*r.change)
+		}
+	}
+}

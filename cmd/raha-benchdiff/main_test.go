@@ -1,0 +1,123 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// benchStream builds a minimal go-test-JSON stream from output fragments,
+// mimicking test2json: each fragment becomes one Output event, and a single
+// benchmark line may span several fragments.
+func benchStream(fragments ...string) string {
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"raha/internal/metaopt"}` + "\n")
+	for _, f := range fragments {
+		b.WriteString(`{"Action":"output","Package":"raha/internal/metaopt","Output":` + quote(f) + `}` + "\n")
+	}
+	b.WriteString(`{"Action":"pass","Package":"raha/internal/metaopt","Elapsed":1.5}` + "\n")
+	return b.String()
+}
+
+func quote(s string) string {
+	r := strings.NewReplacer("\n", `\n`, "\t", `\t`, `"`, `\"`)
+	return `"` + r.Replace(s) + `"`
+}
+
+func mustParse(t *testing.T, stream string) map[string]float64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(stream))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	return m
+}
+
+func TestParseBenchExtractsNodesPerSec(t *testing.T) {
+	stream := benchStream(
+		"goos: linux\n",
+		"BenchmarkAnalyzeB4Serial\t       1\t3086000000 ns/op\t499.4 nodes/sec\t1542 nodes/solve\t2137 warmstarts/solve\t0 coldfallbacks/solve\n",
+		"BenchmarkAnalyzeB4Parallel-8\t       1\t2261000000 ns/op\t682.1 nodes/sec\n",
+		"BenchmarkNoMetric\t       5\t100 ns/op\n",
+		"PASS\n",
+	)
+	m := mustParse(t, stream)
+	if len(m) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %v", len(m), m)
+	}
+	if v := m["BenchmarkAnalyzeB4Serial"]; math.Abs(v-499.4) > 1e-9 {
+		t.Errorf("B4Serial = %g, want 499.4", v)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so names align across records.
+	if v, ok := m["BenchmarkAnalyzeB4Parallel"]; !ok || math.Abs(v-682.1) > 1e-9 {
+		t.Errorf("B4Parallel = %g (present=%v), want 682.1 under the suffix-free name", v, ok)
+	}
+}
+
+// TestParseBenchReassemblesSplitLines pins the real-world quirk that makes
+// the parser reassemble the stream first: go test -json can flush a single
+// benchmark result line across several Output events.
+func TestParseBenchReassemblesSplitLines(t *testing.T) {
+	stream := benchStream(
+		"BenchmarkAnalyzeUninettSerial\t       1\t",
+		"20800000000 ns/op\t477.9 node",
+		"s/sec\t9939 nodes/solve\n",
+	)
+	m := mustParse(t, stream)
+	if v := m["BenchmarkAnalyzeUninettSerial"]; math.Abs(v-477.9) > 1e-9 {
+		t.Fatalf("split-line benchmark = %g, want 477.9 (map %v)", v, m)
+	}
+}
+
+func TestParseBenchRejectsNonJSON(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkFoo\t1\t100 ns/op\n")); err == nil {
+		t.Fatal("plain-text bench output accepted; want a parse error")
+	}
+}
+
+func TestReportWarnsOnRegression(t *testing.T) {
+	oldM := map[string]float64{
+		"BenchmarkA": 1000, // -50%: warn
+		"BenchmarkB": 1000, // +20%: no warn
+		"BenchmarkC": 1000, // -5%: inside tolerance, no warn
+		"BenchmarkD": 1000, // missing from new: skipped
+	}
+	newM := map[string]float64{
+		"BenchmarkA": 500,
+		"BenchmarkB": 1200,
+		"BenchmarkC": 950,
+		"BenchmarkE": 100, // missing from old: skipped
+	}
+	var buf strings.Builder
+	report(&buf, "old.json", "new.json", oldM, newM)
+	out := buf.String()
+
+	for _, want := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "-50.0%", "+20.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	for _, absent := range []string{"BenchmarkD", "BenchmarkE"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("report mentions %s, which has no counterpart:\n%s", absent, out)
+		}
+	}
+	if n := strings.Count(out, "WARNING:"); n != 1 {
+		t.Errorf("got %d warnings, want exactly 1 (for BenchmarkA):\n%s", n, out)
+	}
+	if !strings.Contains(out, "WARNING: BenchmarkA") {
+		t.Errorf("warning not attributed to BenchmarkA:\n%s", out)
+	}
+	// Most-regressed row first.
+	if ia, ib := strings.Index(out, "BenchmarkA"), strings.Index(out, "BenchmarkB"); ia > ib {
+		t.Errorf("rows not sorted most-regressed first:\n%s", out)
+	}
+}
+
+func TestReportNoCommonBenchmarks(t *testing.T) {
+	var buf strings.Builder
+	report(&buf, "old.json", "new.json", map[string]float64{"A": 1}, map[string]float64{"B": 2})
+	if !strings.Contains(buf.String(), "no common") {
+		t.Fatalf("missing no-common-benchmarks notice: %s", buf.String())
+	}
+}

@@ -268,6 +268,13 @@ func main() {
 		}
 		sum.Infof("%-14s %4d rows  %-10v -> %s", g.name, len(lines)-1, time.Since(start).Round(time.Millisecond), path)
 	}
+
+	// Run-wide solver totals from the process counters: how much LP work
+	// the sweeps did and how much of it rode on warm starts.
+	c := func(name string) int64 { return obs.Default.Counter(name).Value() }
+	log.Debugf("solver totals: %d MILP solves, %d nodes, %d LP solves (%d iterations), %d warm-started (%d dual iterations, %d cold fallbacks)",
+		c("milp.solves"), c("milp.nodes"), c("lp.solves"), c("lp.iterations"),
+		c("lp.warm_solves"), c("lp.dual_iterations"), c("milp.cold_fallbacks"))
 }
 
 func degCSV(budget time.Duration, ce bool) ([]string, error) {

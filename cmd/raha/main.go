@@ -242,8 +242,9 @@ func printResult(ctx context.Context, o *runObs, budget time.Duration, top *raha
 	}
 	if o != nil {
 		st := res.Stats
-		o.log.Debugf("solver stats: %d LP solves (%d iterations, %d degenerate pivots), prunes: %d infeasible / %d bound / %d iterlimit, %d integral, %d branched, %d incumbents, peak open %d",
+		o.log.Debugf("solver stats: %d LP solves (%d iterations, %d degenerate pivots), %d warm-started (%d iterations, %d cold fallbacks), prunes: %d infeasible / %d bound / %d iterlimit, %d integral, %d branched, %d incumbents, peak open %d",
 			st.LPSolves, st.LPIterations, st.DegeneratePivots,
+			st.WarmStarts, st.WarmIters, st.ColdFallbacks,
 			st.PrunedInfeasible, st.PrunedBound, st.PrunedIterLimit,
 			st.Integral, st.NodesBranched, st.IncumbentUpdates, st.MaxOpen)
 	}

@@ -1,8 +1,3 @@
-// Package conc provides the bounded-parallelism fan-out primitive the
-// analysis layers share: metaopt runs independent cluster-pair solves
-// through it, and the experiments package fans its figure sweeps out with
-// it. It is errgroup-shaped but stdlib-only (channels + WaitGroup), per the
-// repository's no-dependency rule.
 package conc
 
 import (

@@ -1,0 +1,6 @@
+// Package demand models traffic demands the way Raha consumes them: fixed
+// matrices (the paper's "average" and "maximum over a month" modes),
+// variable-demand envelopes widened by a slack percentage (§8.3), gravity-
+// model synthesis (the paper's public MLU experiments), and the
+// quantization Raha inherits from MetaOpt's demand pinning.
+package demand

@@ -1,0 +1,21 @@
+// Package lp implements a self-contained linear-programming solver: a
+// two-phase primal simplex method with bounded variables on a dense
+// tableau.
+//
+// It is the foundation of the repository's optimization stack and stands in
+// for the LP core of the commercial solver (Gurobi) that the Raha paper
+// uses. Variable bounds are handled natively by the simplex (nonbasic
+// variables may rest at either bound), so branch-and-bound in package milp
+// can tighten bounds without growing the constraint matrix.
+//
+// Optimal solutions carry their final simplex basis (Solution.Basis), and
+// SolveFrom re-solves a problem from such a basis: it refactorizes the
+// tableau and runs bounded-variable dual simplex instead of the two-phase
+// method, which is how branch-and-bound warm-starts child nodes after a
+// single bound change. When a basis cannot be reused — wrong shape,
+// singular after the bound change, or dual-infeasible — SolveFrom falls
+// back to a cold Solve; the fallback rules and tolerances are in
+// DESIGN.md §2.8.
+//
+// The solver minimizes; callers that maximize negate their objective.
+package lp

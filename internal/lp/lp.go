@@ -1,14 +1,3 @@
-// Package lp implements a self-contained linear-programming solver: a
-// two-phase primal simplex method with bounded variables on a dense
-// tableau.
-//
-// It is the foundation of the repository's optimization stack and stands in
-// for the LP core of the commercial solver (Gurobi) that the Raha paper
-// uses. Variable bounds are handled natively by the simplex (nonbasic
-// variables may rest at either bound), so branch-and-bound in package milp
-// can tighten bounds without growing the constraint matrix.
-//
-// The solver minimizes; callers that maximize negate their objective.
 package lp
 
 import (
@@ -116,11 +105,19 @@ type Solution struct {
 	X         []float64 // structural variable values
 	Iters     int       // simplex iterations used across both phases
 
+	// Basis is the final simplex basis when the solve ended Optimal, in a
+	// form SolveFrom can re-optimize from after a bound change. It is nil
+	// on non-optimal outcomes and in the rare degenerate case where an
+	// artificial variable remains basic.
+	Basis *Basis
+
 	// Solve telemetry (see internal/obs; the same figures feed the
 	// process-wide lp.* counters).
-	Phase1Iters      int // iterations spent finding a feasible basis
-	DegeneratePivots int // pivots whose ratio-test step was below tolerance
-	BlandPivots      int // pivots taken under Bland's anti-cycling rule
+	Phase1Iters      int  // iterations spent finding a feasible basis
+	DegeneratePivots int  // pivots whose ratio-test step was below tolerance
+	BlandPivots      int  // pivots taken under Bland's anti-cycling rule
+	WarmStarted      bool // SolveFrom reused the given basis (no phase 1 ran)
+	DualIters        int  // dual-simplex iterations on the warm path
 }
 
 // Options tunes the solver.
@@ -202,6 +199,7 @@ type tableau struct {
 
 	degenPivots int // cumulative near-zero-step pivots (both phases)
 	blandPivots int // cumulative pivots priced under Bland's rule
+	dualIters   int // dual-simplex pivots (warm-start path only)
 }
 
 // telemetry copies the tableau's pivot accounting into a solution.
@@ -245,6 +243,7 @@ func Solve(p *Problem, opt *Options) (*Solution, error) {
 	sol := t.telemetry(&Solution{Status: st, X: t.structX(p), Iters: t.iters}, phase1Iters)
 	if st == Optimal {
 		sol.Objective = dot(p.Cost, sol.X)
+		sol.Basis = t.exportBasis()
 	}
 	return record(sol), nil
 }

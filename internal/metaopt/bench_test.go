@@ -31,10 +31,14 @@ func benchConfig(b *testing.B, top *topology.Topology, seed int64, workers int) 
 
 // benchAnalyze runs the analysis b.N times and reports branch-and-bound
 // throughput, the figure that shows what the worker pool buys: compare
-// nodes/sec between the /serial and /parallel variants.
+// nodes/sec between the /serial and /parallel variants. warmstarts/solve
+// and coldfallbacks/solve make the warm-start hit rate part of the per-
+// commit BENCH record (a regression to cold solves shows up here before
+// it shows up in nodes/sec).
 func benchAnalyze(b *testing.B, top *topology.Topology, seed int64, workers int) {
 	cfg := benchConfig(b, top, seed, workers)
 	nodes := 0
+	var warm, cold int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := Analyze(cfg)
@@ -42,9 +46,13 @@ func benchAnalyze(b *testing.B, top *topology.Topology, seed int64, workers int)
 			b.Fatal(err)
 		}
 		nodes += res.Nodes
+		warm += res.Stats.WarmStarts
+		cold += res.Stats.ColdFallbacks
 	}
 	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
 	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/solve")
+	b.ReportMetric(float64(warm)/float64(b.N), "warmstarts/solve")
+	b.ReportMetric(float64(cold)/float64(b.N), "coldfallbacks/solve")
 }
 
 func BenchmarkAnalyzeB4Serial(b *testing.B)   { benchAnalyze(b, topology.B4(), 4, 1) }

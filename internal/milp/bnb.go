@@ -18,9 +18,11 @@ import (
 // raha.milp.*). Nodes and incumbents tick live so /debug/vars shows a
 // running search move.
 var (
-	cSolves     = obs.Default.Counter("milp.solves")
-	cNodes      = obs.Default.Counter("milp.nodes")
-	cIncumbents = obs.Default.Counter("milp.incumbents")
+	cSolves        = obs.Default.Counter("milp.solves")
+	cNodes         = obs.Default.Counter("milp.nodes")
+	cIncumbents    = obs.Default.Counter("milp.incumbents")
+	cWarmStarts    = obs.Default.Counter("milp.warm_starts")
+	cColdFallbacks = obs.Default.Counter("milp.cold_fallbacks")
 )
 
 // Status reports the outcome of a MILP solve.
@@ -98,6 +100,13 @@ type Params struct {
 	// coefficients, …) abort the solve with a *CheckError before any node
 	// is explored.
 	Check bool
+
+	// DisableWarmStart forces every node relaxation onto the cold
+	// two-phase simplex instead of re-optimizing from the parent node's
+	// basis. The objective is identical either way (the warm/cold
+	// equivalence property test asserts it); the knob exists for A/B
+	// benchmarking and for bisecting solver issues.
+	DisableWarmStart bool
 }
 
 func (p *Params) workers() int {
@@ -131,8 +140,9 @@ func (r *Result) Gap() float64 {
 // node is one open subproblem of the search tree.
 type node struct {
 	lo, hi []float64
-	relax  float64 // bound inherited from the parent (model sense)
-	seq    int     // creation order; 0 is the root
+	relax  float64   // bound inherited from the parent (model sense)
+	seq    int       // creation order; 0 is the root
+	basis  *lp.Basis // parent relaxation's optimal basis (nil: solve cold)
 }
 
 // nodeHeap orders open nodes best-bound-first (ties: most recently created,
@@ -189,6 +199,13 @@ type search struct {
 	// Result gets a quiescent copy after the pool drains.
 	stats Stats
 
+	// probs holds one reusable lp.Problem per worker: the lowered rows and
+	// objective are bound-independent, so each node solve only copies its
+	// bound vectors over the worker's scratch problem instead of rebuilding
+	// every row (toLP allocation churn was a visible slice of node cost).
+	// Indexed by worker id; never shared across workers.
+	probs []*lp.Problem
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	open     nodeHeap
@@ -226,16 +243,37 @@ func (s *search) better(a, b float64) bool {
 	return a < b
 }
 
-// solveLP solves the relaxation under the given bounds. It holds no locks:
-// lp.Solve builds a private tableau per call, so concurrent workers never
-// share solver scratch.
-func (s *search) solveLP(lo, hi []float64) (*lp.Solution, error) {
-	sol, err := lp.Solve(s.m.toLP(lo, hi), nil)
+// solveLP solves the relaxation under the given bounds, warm-starting from
+// basis when one is available (the parent node's optimal basis) and warm
+// starts are enabled. It holds no locks: the simplex builds a private
+// tableau per call and the lowered problem is per-worker scratch (wid), so
+// concurrent workers never share solver state.
+func (s *search) solveLP(wid int, lo, hi []float64, basis *lp.Basis) (*lp.Solution, error) {
+	prob := s.m.reuseLP(s.probs[wid], lo, hi)
+	s.probs[wid] = prob
+	warm := basis != nil && !s.p.DisableWarmStart
+	var sol *lp.Solution
+	var err error
+	if warm {
+		sol, err = lp.SolveFrom(prob, basis, nil)
+	} else {
+		sol, err = lp.Solve(prob, nil)
+	}
 	if sol != nil {
 		atomic.AddInt64(&s.stats.LPSolves, 1)
 		atomic.AddInt64(&s.stats.LPIterations, int64(sol.Iters))
 		atomic.AddInt64(&s.stats.DegeneratePivots, int64(sol.DegeneratePivots))
 		atomic.AddInt64(&s.stats.BlandPivots, int64(sol.BlandPivots))
+		if warm {
+			if sol.WarmStarted {
+				atomic.AddInt64(&s.stats.WarmStarts, 1)
+				atomic.AddInt64(&s.stats.WarmIters, int64(sol.Iters))
+				cWarmStarts.Inc()
+			} else {
+				atomic.AddInt64(&s.stats.ColdFallbacks, 1)
+				cColdFallbacks.Inc()
+			}
+		}
 	}
 	return sol, err
 }
@@ -290,8 +328,10 @@ func (s *search) offerIncumbent(obj float64, x []float64) {
 }
 
 // tryRound fixes integers to rounded values and re-solves; a feasible
-// result becomes an incumbent candidate.
-func (s *search) tryRound(nlo, nhi, x []float64) {
+// result becomes an incumbent candidate. The node relaxation's basis (when
+// available) warm-starts the heuristic LP too — fixing the integers is just
+// a batch of bound changes, exactly what the dual simplex absorbs.
+func (s *search) tryRound(wid int, nlo, nhi, x []float64, basis *lp.Basis) {
 	atomic.AddInt64(&s.stats.HeuristicSolves, 1)
 	lo := append([]float64(nil), nlo...)
 	hi := append([]float64(nil), nhi...)
@@ -305,7 +345,7 @@ func (s *search) tryRound(nlo, nhi, x []float64) {
 		}
 		lo[v], hi[v] = r, r
 	}
-	sol, err := s.solveLP(lo, hi)
+	sol, err := s.solveLP(wid, lo, hi, basis)
 	if err != nil || sol.Status != lp.Optimal {
 		return
 	}
@@ -448,7 +488,7 @@ func (s *search) worker(id int) {
 		s.mu.Unlock()
 		cNodes.Inc()
 
-		children := s.process(n, claimNo)
+		children := s.process(id, n, claimNo)
 
 		s.mu.Lock()
 		for _, c := range children {
@@ -482,8 +522,8 @@ func (s *search) emitNode(claimNo int, reason string, obj float64) {
 // the node is fathomed). It runs without holding the search lock. Every
 // node ends in exactly one Stats outcome counter — the invariant the
 // stats regression test checks.
-func (s *search) process(n *node, claimNo int) []*node {
-	sol, err := s.solveLP(n.lo, n.hi)
+func (s *search) process(wid int, n *node, claimNo int) []*node {
+	sol, err := s.solveLP(wid, n.lo, n.hi, n.basis)
 	if err != nil {
 		s.fail(fmt.Errorf("milp: node relaxation: %w", err))
 		return nil
@@ -535,17 +575,18 @@ func (s *search) process(n *node, claimNo int) []*node {
 	}
 
 	if claimNo == 1 || claimNo%heurEvery == 0 {
-		s.tryRound(n.lo, n.hi, sol.X)
+		s.tryRound(wid, n.lo, n.hi, sol.X, sol.Basis)
 	}
 
 	atomic.AddInt64(&s.stats.NodesBranched, 1)
 	s.emitNode(claimNo, "branched", obj)
 
-	// Branch: child bounds inherit the node's LP bound. Order the rounded
-	// direction first so ties in the best-bound queue dive toward it.
+	// Branch: child bounds inherit the node's LP bound, and — the warm
+	// start — its optimal basis: a child differs only in one variable's
+	// bound, so the dual simplex re-optimizes in a handful of pivots.
 	xf := sol.X[v]
-	down := &node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj}
-	up := &node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj}
+	down := &node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj, basis: sol.Basis}
+	up := &node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj, basis: sol.Basis}
 	down.hi[v] = math.Floor(xf)
 	up.lo[v] = math.Ceil(xf)
 	if xf-math.Floor(xf) < 0.5 {
@@ -592,6 +633,7 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		start:    start,
 		tracer:   p.Tracer,
 		working:  make([]float64, workers),
+		probs:    make([]*lp.Problem, workers),
 		clean:    true,
 	}
 	cSolves.Inc()
@@ -641,7 +683,9 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 			}
 		}
 		if usable {
-			s.tryRound(root.lo, root.hi, h)
+			// Hints run serially before the worker pool starts, so worker
+			// 0's scratch problem is free; no basis exists yet.
+			s.tryRound(0, root.lo, root.hi, h, nil)
 		}
 	}
 
@@ -738,13 +782,16 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 
 	if s.tracer != nil {
 		f := obs.F{
-			"status":     res.Status.String(),
-			"nodes":      res.Nodes,
-			"runtime_s":  res.Runtime.Seconds(),
-			"lp_solves":  res.Stats.LPSolves,
-			"lp_iters":   res.Stats.LPIterations,
-			"incumbents": res.Stats.IncumbentUpdates,
-			"max_open":   res.Stats.MaxOpen,
+			"status":         res.Status.String(),
+			"nodes":          res.Nodes,
+			"runtime_s":      res.Runtime.Seconds(),
+			"lp_solves":      res.Stats.LPSolves,
+			"lp_iters":       res.Stats.LPIterations,
+			"incumbents":     res.Stats.IncumbentUpdates,
+			"max_open":       res.Stats.MaxOpen,
+			"warm_starts":    res.Stats.WarmStarts,
+			"warm_iters":     res.Stats.WarmIters,
+			"cold_fallbacks": res.Stats.ColdFallbacks,
 		}
 		addFinite(f, "obj", res.Objective)
 		addFinite(f, "bound", res.Bound)

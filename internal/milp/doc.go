@@ -1,0 +1,16 @@
+// Package milp provides a mixed-integer linear programming layer on top of
+// package lp: a modeling API (variables, linear expressions, constraints),
+// exact linearization helpers for the constructs Raha needs (binary ×
+// continuous products, integer indicator constraints), and a
+// branch-and-bound solver with incumbents, node and time limits, and a
+// relative MIP-gap stop — the stand-in for the Gurobi backend the paper
+// uses, including its timeout-with-incumbent behaviour.
+//
+// The search runs a worker pool over a shared best-bound queue
+// (Params.Workers), and each node below the root warm-starts its LP
+// relaxation from the parent's simplex basis via lp.SolveFrom; set
+// Params.DisableWarmStart to force cold solves. Warm-start accounting
+// (Stats.WarmStarts, Stats.WarmIters, Stats.ColdFallbacks) rides on
+// Result.Stats next to the LP and prune counters. DESIGN.md §2.4 covers
+// the parallel search, §2.8 the warm starts.
+package milp

@@ -1,10 +1,3 @@
-// Package milp provides a mixed-integer linear programming layer on top of
-// package lp: a modeling API (variables, linear expressions, constraints),
-// exact linearization helpers for the constructs Raha needs (binary ×
-// continuous products, integer indicator constraints), and a
-// branch-and-bound solver with incumbents, node and time limits, and a
-// relative MIP-gap stop — the stand-in for the Gurobi backend the paper
-// uses, including its timeout-with-incumbent behaviour.
 package milp
 
 import (
@@ -258,6 +251,21 @@ func (m *Model) IndicatorGE(expr Expr, rhs, eps float64, name string) Var {
 	dn.Add(-(rhs - lo), z)
 	m.Add(dn, GE, lo, name+":on")
 	return z
+}
+
+// reuseLP lowers the model into prob's storage when possible. The lowered
+// rows and objective depend only on the model — never on the per-node
+// bounds branch and bound varies — so a worker's scratch problem is reused
+// by copying the new bound vectors over it; only the first call per worker
+// (prob nil) pays the full toLP build. The model must not be mutated while
+// solves are running (the same contract SolveContext documents).
+func (m *Model) reuseLP(prob *lp.Problem, lo, hi []float64) *lp.Problem {
+	if prob == nil {
+		return m.toLP(lo, hi)
+	}
+	copy(prob.Lo, lo)
+	copy(prob.Hi, hi)
+	return prob
 }
 
 // toLP lowers the model to an lp.Problem using the supplied bound vectors

@@ -147,6 +147,60 @@ func TestRandomMILPsAgainstBruteForce(t *testing.T) {
 	}
 }
 
+// TestRandomMILPsWarmColdEquivalence is the warm-start equivalence harness:
+// across the same random corpus, branch and bound with warm-started node
+// LPs (the default) and with DisableWarmStart must agree on status,
+// objective, and incumbent objective at Workers 1 and 4. It also pins the
+// warm accounting: every node LP below the root is a warm attempt, so
+// WarmStarts+ColdFallbacks > 0 whenever the tree branched, and a disabled
+// run records neither.
+func TestRandomMILPsWarmColdEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := propCorpusSize(t)
+	warmTotal := int64(0)
+	for trial := 0; trial < n; trial++ {
+		inst := genMILP(rng)
+		runs := map[string]*Result{
+			"warm-1": solveOK(t, inst.m, Params{Workers: 1}),
+			"warm-4": solveOK(t, inst.m, Params{Workers: 4}),
+			"cold-1": solveOK(t, inst.m, Params{Workers: 1, DisableWarmStart: true}),
+			"cold-4": solveOK(t, inst.m, Params{Workers: 4, DisableWarmStart: true}),
+		}
+		ref := runs["cold-1"]
+		for which, res := range runs {
+			if res.Status != ref.Status {
+				t.Fatalf("trial %d (%s): status %v, cold-1 says %v", trial, which, res.Status, ref.Status)
+			}
+			if ref.Status == Optimal {
+				if math.Abs(res.Objective-ref.Objective) > 1e-6 {
+					t.Fatalf("trial %d (%s): objective %g != cold-1 %g", trial, which, res.Objective, ref.Objective)
+				}
+				if res.X == nil {
+					t.Fatalf("trial %d (%s): optimal result without incumbent", trial, which)
+				}
+				if got := Value(inst.m.obj, res.X); math.Abs(got-res.Objective) > 1e-5 {
+					t.Fatalf("trial %d (%s): incumbent evaluates to %g, reported %g", trial, which, got, res.Objective)
+				}
+			}
+			st := res.Stats
+			if which == "cold-1" || which == "cold-4" {
+				if st.WarmStarts != 0 || st.ColdFallbacks != 0 || st.WarmIters != 0 {
+					t.Fatalf("trial %d (%s): disabled warm starts still recorded %+v", trial, which, st)
+				}
+			} else {
+				warmTotal += st.WarmStarts
+				if st.NodesBranched > 0 && st.WarmStarts+st.ColdFallbacks == 0 {
+					t.Fatalf("trial %d (%s): %d branched nodes but no warm attempt recorded",
+						trial, which, st.NodesBranched)
+				}
+			}
+		}
+	}
+	if warmTotal == 0 {
+		t.Fatal("no warm-started node LP across the whole corpus")
+	}
+}
+
 // TestRandomMILPsOptimalBoundInvariant checks the reported dual bound: on an
 // Optimal result the bound equals the objective and Gap() is zero.
 func TestRandomMILPsOptimalBoundInvariant(t *testing.T) {

@@ -25,6 +25,10 @@ type Stats struct {
 	DegeneratePivots int64 // near-zero-step pivots inside those solves
 	BlandPivots      int64 // pivots priced under Bland's anti-cycling rule
 
+	WarmStarts    int64 // LPs re-optimized from an inherited basis (phase 1 skipped)
+	WarmIters     int64 // simplex iterations across those warm solves (dual + primal)
+	ColdFallbacks int64 // warm attempts whose basis was unusable (cold two-phase ran)
+
 	NodesBranched    int64 // processed nodes that produced two children
 	PrunedInfeasible int64 // node relaxation infeasible
 	PrunedBound      int64 // relaxation no better than the incumbent

@@ -1,0 +1,18 @@
+// Package modelcheck is a static diagnostic pass over MILP models — the
+// stand-in for the presolve guardrails a commercial solver (Gurobi) gives
+// the paper's implementation for free. It catches the modeling bugs that
+// otherwise fail late, silently, or numerically in the stdlib solver:
+// dangling variables, contradictory bounds, trivially infeasible rows,
+// pathological coefficient ranges (bad Big-M magnitudes), duplicate rows,
+// and NaN/Inf coefficients.
+//
+// The pass operates on a neutral model representation so that package milp
+// can depend on it (milp.Params.Check runs the pass as an opt-in pre-solve
+// gate) without an import cycle; milp.(*Model).Check adapts its model into
+// a Model here. Every function is pure: no I/O, no globals, deterministic
+// output order (variable checks first, then per-constraint checks in row
+// order, then model-wide checks).
+//
+// The diagnostic catalogue — ids, severities, and what each means — is
+// documented in DESIGN.md §2.7.
+package modelcheck

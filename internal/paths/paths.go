@@ -1,9 +1,3 @@
-// Package paths computes the tunnel sets Raha takes as input: k-shortest
-// paths (Yen's algorithm) over LAGs with pluggable edge weights, split into
-// an ordered list of primary paths and fail-over-ordered backup paths per
-// demand (§4.2). Raha itself accepts any path selection policy; this
-// package reproduces the paper's default (k shortest paths, optionally
-// LAG-weighted as in Figure 13).
 package paths
 
 import (

@@ -1,0 +1,6 @@
+// Package probability implements the paper's failure-probability machinery:
+// renewal-reward estimation of per-link down probabilities from up/down
+// telemetry (Appendix B), scenario log-probabilities under independent link
+// failures (§5.1), and the maximum-simultaneous-failures analysis behind
+// Figure 2.
+package probability

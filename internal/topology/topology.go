@@ -1,9 +1,3 @@
-// Package topology models WAN topologies the way the Raha paper does: an
-// undirected graph whose edges are LAGs (link aggregation groups), each a
-// bundle of physical member links with individual capacities and failure
-// probabilities. It also provides a Topology Zoo GML loader and seeded
-// synthetic generators that stand in for the paper's production and
-// Topology Zoo datasets (see DESIGN.md, "Substitutions").
 package topology
 
 import (
