@@ -47,6 +47,11 @@ type AlertConfig struct {
 	// Check runs the static model checker before each phase's solve
 	// (SolverParams.Check).
 	Check bool
+
+	// DisablePresolve and Branching flow into both phases' solver params
+	// (SolverParams.DisablePresolve, SolverParams.Branching).
+	DisablePresolve bool
+	Branching       BranchRule
 }
 
 // AlertReport is the outcome of an alerting run.
@@ -100,6 +105,7 @@ func AlertContext(ctx context.Context, cfg AlertConfig) (*AlertReport, error) {
 		Solver: SolverParams{
 			TimeLimit: cfg.Phase1Budget, Workers: cfg.Workers,
 			Tracer: cfg.Tracer, OnProgress: cfg.OnProgress, Check: cfg.Check,
+			DisablePresolve: cfg.DisablePresolve, Branching: cfg.Branching,
 		},
 	})
 	if err != nil {
@@ -128,6 +134,7 @@ func AlertContext(ctx context.Context, cfg AlertConfig) (*AlertReport, error) {
 		Solver: SolverParams{
 			TimeLimit: cfg.Phase2Budget, Workers: cfg.Workers,
 			Tracer: cfg.Tracer, OnProgress: cfg.OnProgress, Check: cfg.Check,
+			DisablePresolve: cfg.DisablePresolve, Branching: cfg.Branching,
 		},
 	})
 	if err != nil {

@@ -31,6 +31,11 @@ go run ./cmd/raha-lint ./...
 
 go test -race "$@" ./...
 
+# The random-MILP corpus once more with presolve and domain propagation
+# switched off: the pre-reduction solver must stay correct on its own, so a
+# presolve bug can never hide behind the reductions (and vice versa).
+go test ./internal/milp -run 'TestRandomMILPsAgainstBruteForce' -short -presolve=off
+
 # Static model check over a real paper model: -check runs the
 # internal/modelcheck diagnostic pass before the solve and exits non-zero
 # on any error-severity diagnostic, so a regression in the §5 encodings

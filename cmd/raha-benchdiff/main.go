@@ -1,11 +1,17 @@
-// Command raha-benchdiff compares solver throughput between two per-commit
+// Command raha-benchdiff compares solver performance between two per-commit
 // benchmark records (the BENCH_<commit>.json files ci.sh writes, which are
-// `go test -json -bench` streams). It extracts every benchmark's nodes/sec
-// metric — the branch-and-bound throughput figure the performance roadmap
-// tracks — and prints the old→new change side by side, with a warning for
-// any regression beyond a tolerance.
+// `go test -json -bench` streams). It extracts every benchmark's custom
+// metrics — nodes/sec (the branch-and-bound throughput figure the
+// performance roadmap tracks), warmstarts/solve, and coldfallbacks/solve —
+// and prints the old→new change side by side, with a warning for any
+// regression beyond a tolerance.
 //
 //	raha-benchdiff BENCH_old.json BENCH_new.json
+//
+// Two regressions are flagged: a nodes/sec drop beyond regressTol, and a
+// growing cold-fallback share (cold / (warm + cold)) — the silent failure
+// mode where warm starts still "work" but more and more node LPs quietly
+// fall back to cold two-phase solves.
 //
 // The comparison is advisory: single-iteration CI benchmarks are a smoke
 // signal, not a statistically stable measurement, so the tool always exits
@@ -32,6 +38,16 @@ import (
 // human's attention.
 const regressTol = 0.10
 
+// coldShareTol and coldShareFloor gate the cold-fallback warning: the share
+// of node LPs that fell back to a cold solve must have grown by more than
+// coldShareTol percentage points AND ended above coldShareFloor. The floor
+// keeps tiny absolute counts (one cold solve out of twenty) from tripping
+// the warning on noise.
+const (
+	coldShareTol   = 0.10
+	coldShareFloor = 0.05
+)
+
 func main() {
 	if len(os.Args) != 3 {
 		fmt.Fprintln(os.Stderr, "usage: raha-benchdiff OLD_BENCH.json NEW_BENCH.json")
@@ -50,7 +66,7 @@ func main() {
 	report(os.Stdout, os.Args[1], os.Args[2], oldM, newM)
 }
 
-func parseFile(path string) (map[string]float64, error) {
+func parseFile(path string) (map[string]map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -69,15 +85,12 @@ type testEvent struct {
 // suffix is stripped so records taken on different machines still align.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
 
-// nodesPerSec extracts the "<value> nodes/sec" metric from a result line's
-// tail, if present.
-var nodesPerSec = regexp.MustCompile(`([0-9][0-9.eE+-]*) nodes/sec`)
-
-// parseBench reads a `go test -json` stream and returns the nodes/sec
-// metric per benchmark name. Output events may split a single benchmark
-// line across several records (test2json flushes on partial writes), so
-// the stream's output is reassembled before line parsing.
-func parseBench(r io.Reader) (map[string]float64, error) {
+// parseBench reads a `go test -json` stream and returns every metric per
+// benchmark name — the standard ns/op plus any ReportMetric extras
+// (nodes/sec, warmstarts/solve, ...). Output events may split a single
+// benchmark line across several records (test2json flushes on partial
+// writes), so the stream's output is reassembled before line parsing.
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 	var text strings.Builder
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -98,45 +111,56 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		return nil, err
 	}
 
-	out := make(map[string]float64)
+	out := make(map[string]map[string]float64)
 	for _, line := range strings.Split(text.String(), "\n") {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
 			continue
 		}
-		nm := nodesPerSec.FindStringSubmatch(m[2])
-		if nm == nil {
-			continue
+		metrics := make(map[string]float64)
+		// The tail is tab-separated "<value> <unit>" pairs.
+		for _, field := range strings.Split(m[2], "\t") {
+			parts := strings.Fields(strings.TrimSpace(field))
+			if len(parts) != 2 {
+				continue
+			}
+			v, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				continue
+			}
+			metrics[parts[1]] = v
 		}
-		v, err := strconv.ParseFloat(nm[1], 64)
-		if err != nil {
-			continue
+		if len(metrics) > 0 {
+			out[m[1]] = metrics
 		}
-		out[m[1]] = v
 	}
 	return out, nil
 }
 
-// report prints the old→new comparison for every benchmark present in both
-// records, most-regressed first, followed by a warning per regression
-// beyond regressTol.
-func report(w io.Writer, oldPath, newPath string, oldM, newM map[string]float64) {
-	type row struct {
-		name     string
-		old, new float64
-		change   float64 // relative: +0.25 = 25% faster
-	}
+// diffMetric collects the old→new rows of one metric across the benchmarks
+// present in both records, most-regressed first (lower = worse for
+// higher-is-better metrics, which every diffed metric here is except the
+// per-solve fallback counts — those are diffed for display, not sorted
+// semantics).
+type row struct {
+	name     string
+	old, new float64
+	change   float64 // relative: +0.25 = 25% higher
+}
+
+func diffMetric(oldM, newM map[string]map[string]float64, metric string) []row {
 	var rows []row
-	for name, ov := range oldM {
-		nv, ok := newM[name]
-		if !ok || ov <= 0 {
+	for name, om := range oldM {
+		nm, ok := newM[name]
+		if !ok {
+			continue
+		}
+		ov, o1 := om[metric]
+		nv, n1 := nm[metric]
+		if !o1 || !n1 || ov <= 0 {
 			continue
 		}
 		rows = append(rows, row{name, ov, nv, nv/ov - 1})
-	}
-	if len(rows) == 0 {
-		fmt.Fprintf(w, "benchdiff: no common nodes/sec benchmarks between %s and %s\n", oldPath, newPath)
-		return
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].change != rows[j].change { //raha:lint-allow float-cmp sort tie-break on identical ratios is harmless
@@ -144,15 +168,69 @@ func report(w io.Writer, oldPath, newPath string, oldM, newM map[string]float64)
 		}
 		return rows[i].name < rows[j].name
 	})
+	return rows
+}
+
+// coldShare is cold / (warm + cold) for one benchmark's record, false when
+// the metrics are absent or no node LP ran warm or cold at all.
+func coldShare(m map[string]float64) (float64, bool) {
+	warm, okW := m["warmstarts/solve"]
+	cold, okC := m["coldfallbacks/solve"]
+	if !okW || !okC || warm+cold <= 0 {
+		return 0, false
+	}
+	return cold / (warm + cold), true
+}
+
+// report prints the old→new comparison for every benchmark present in both
+// records: the headline nodes/sec table, then the warm-start metrics, then
+// warnings for throughput regressions and growing cold-fallback shares.
+func report(w io.Writer, oldPath, newPath string, oldM, newM map[string]map[string]float64) {
+	nodes := diffMetric(oldM, newM, "nodes/sec")
+	if len(nodes) == 0 {
+		fmt.Fprintf(w, "benchdiff: no common nodes/sec benchmarks between %s and %s\n", oldPath, newPath)
+		return
+	}
 
 	fmt.Fprintf(w, "benchdiff %s -> %s (nodes/sec)\n", oldPath, newPath)
-	for _, r := range rows {
+	for _, r := range nodes {
 		fmt.Fprintf(w, "  %-36s %10.1f -> %10.1f  %+6.1f%%\n", r.name, r.old, r.new, 100*r.change)
 	}
-	for _, r := range rows {
+	for _, metric := range []string{"warmstarts/solve", "coldfallbacks/solve"} {
+		rows := diffMetric(oldM, newM, metric)
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "benchdiff %s -> %s (%s)\n", oldPath, newPath, metric)
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-36s %10.1f -> %10.1f  %+6.1f%%\n", r.name, r.old, r.new, 100*r.change)
+		}
+	}
+
+	for _, r := range nodes {
 		if r.change < -regressTol {
 			fmt.Fprintf(w, "WARNING: %s throughput regressed %.1f%% vs the last committed record (advisory; single-shot CI benchmarks are noisy)\n",
 				r.name, -100*r.change)
+		}
+	}
+	// The silent warm-start failure mode: throughput may look fine while an
+	// increasing share of node LPs falls back to cold two-phase solves.
+	var names []string
+	for name := range oldM {
+		if _, ok := newM[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		oldShare, ok1 := coldShare(oldM[name])
+		newShare, ok2 := coldShare(newM[name])
+		if !ok1 || !ok2 {
+			continue
+		}
+		if newShare > oldShare+coldShareTol && newShare > coldShareFloor {
+			fmt.Fprintf(w, "WARNING: %s cold-fallback share grew %.1f%% -> %.1f%% of node LPs — warm starts are silently degrading (advisory)\n",
+				name, 100*oldShare, 100*newShare)
 		}
 	}
 }

@@ -24,7 +24,7 @@ func quote(s string) string {
 	return `"` + r.Replace(s) + `"`
 }
 
-func mustParse(t *testing.T, stream string) map[string]float64 {
+func mustParse(t *testing.T, stream string) map[string]map[string]float64 {
 	t.Helper()
 	m, err := parseBench(strings.NewReader(stream))
 	if err != nil {
@@ -33,39 +33,67 @@ func mustParse(t *testing.T, stream string) map[string]float64 {
 	return m
 }
 
-func TestParseBenchExtractsNodesPerSec(t *testing.T) {
+func metric(t *testing.T, m map[string]map[string]float64, bench, name string) float64 {
+	t.Helper()
+	bm, ok := m[bench]
+	if !ok {
+		t.Fatalf("benchmark %s missing from %v", bench, m)
+	}
+	v, ok := bm[name]
+	if !ok {
+		t.Fatalf("%s has no %s metric: %v", bench, name, bm)
+	}
+	return v
+}
+
+func TestParseBenchExtractsMetrics(t *testing.T) {
 	stream := benchStream(
 		"goos: linux\n",
-		"BenchmarkAnalyzeB4Serial\t       1\t3086000000 ns/op\t499.4 nodes/sec\t1542 nodes/solve\t2137 warmstarts/solve\t0 coldfallbacks/solve\n",
+		"BenchmarkAnalyzeB4Serial\t       1\t3086000000 ns/op\t499.4 nodes/sec\t1542 nodes/solve\t2137 warmstarts/solve\t12 coldfallbacks/solve\n",
 		"BenchmarkAnalyzeB4Parallel-8\t       1\t2261000000 ns/op\t682.1 nodes/sec\n",
-		"BenchmarkNoMetric\t       5\t100 ns/op\n",
+		"BenchmarkOnlyNsOp\t       5\t100 ns/op\n",
 		"PASS\n",
 	)
 	m := mustParse(t, stream)
-	if len(m) != 2 {
-		t.Fatalf("got %d benchmarks, want 2: %v", len(m), m)
+	if v := metric(t, m, "BenchmarkAnalyzeB4Serial", "nodes/sec"); math.Abs(v-499.4) > 1e-9 {
+		t.Errorf("B4Serial nodes/sec = %g, want 499.4", v)
 	}
-	if v := m["BenchmarkAnalyzeB4Serial"]; math.Abs(v-499.4) > 1e-9 {
-		t.Errorf("B4Serial = %g, want 499.4", v)
+	if v := metric(t, m, "BenchmarkAnalyzeB4Serial", "warmstarts/solve"); math.Abs(v-2137) > 1e-9 {
+		t.Errorf("B4Serial warmstarts/solve = %g, want 2137", v)
+	}
+	if v := metric(t, m, "BenchmarkAnalyzeB4Serial", "coldfallbacks/solve"); math.Abs(v-12) > 1e-9 {
+		t.Errorf("B4Serial coldfallbacks/solve = %g, want 12", v)
 	}
 	// The -8 GOMAXPROCS suffix must be stripped so names align across records.
-	if v, ok := m["BenchmarkAnalyzeB4Parallel"]; !ok || math.Abs(v-682.1) > 1e-9 {
-		t.Errorf("B4Parallel = %g (present=%v), want 682.1 under the suffix-free name", v, ok)
+	if v := metric(t, m, "BenchmarkAnalyzeB4Parallel", "nodes/sec"); math.Abs(v-682.1) > 1e-9 {
+		t.Errorf("B4Parallel nodes/sec = %g under the suffix-free name, want 682.1", v)
+	}
+	// Benchmarks without custom metrics still parse (ns/op is a metric too).
+	if v := metric(t, m, "BenchmarkOnlyNsOp", "ns/op"); math.Abs(v-100) > 1e-9 {
+		t.Errorf("OnlyNsOp ns/op = %g, want 100", v)
 	}
 }
 
 // TestParseBenchReassemblesSplitLines pins the real-world quirk that makes
 // the parser reassemble the stream first: go test -json can flush a single
-// benchmark result line across several Output events.
+// benchmark result line across several Output events — including splits in
+// the middle of a metric unit.
 func TestParseBenchReassemblesSplitLines(t *testing.T) {
 	stream := benchStream(
 		"BenchmarkAnalyzeUninettSerial\t       1\t",
 		"20800000000 ns/op\t477.9 node",
-		"s/sec\t9939 nodes/solve\n",
+		"s/sec\t9939 nodes/solve\t81 warmsta",
+		"rts/solve\t3 coldfallbacks/solve\n",
 	)
 	m := mustParse(t, stream)
-	if v := m["BenchmarkAnalyzeUninettSerial"]; math.Abs(v-477.9) > 1e-9 {
-		t.Fatalf("split-line benchmark = %g, want 477.9 (map %v)", v, m)
+	if v := metric(t, m, "BenchmarkAnalyzeUninettSerial", "nodes/sec"); math.Abs(v-477.9) > 1e-9 {
+		t.Fatalf("split-line nodes/sec = %g, want 477.9 (map %v)", v, m)
+	}
+	if v := metric(t, m, "BenchmarkAnalyzeUninettSerial", "warmstarts/solve"); math.Abs(v-81) > 1e-9 {
+		t.Fatalf("split-line warmstarts/solve = %g, want 81 (map %v)", v, m)
+	}
+	if v := metric(t, m, "BenchmarkAnalyzeUninettSerial", "coldfallbacks/solve"); math.Abs(v-3) > 1e-9 {
+		t.Fatalf("split-line coldfallbacks/solve = %g, want 3 (map %v)", v, m)
 	}
 }
 
@@ -76,17 +104,18 @@ func TestParseBenchRejectsNonJSON(t *testing.T) {
 }
 
 func TestReportWarnsOnRegression(t *testing.T) {
-	oldM := map[string]float64{
-		"BenchmarkA": 1000, // -50%: warn
-		"BenchmarkB": 1000, // +20%: no warn
-		"BenchmarkC": 1000, // -5%: inside tolerance, no warn
-		"BenchmarkD": 1000, // missing from new: skipped
+	ns := func(v float64) map[string]float64 { return map[string]float64{"nodes/sec": v} }
+	oldM := map[string]map[string]float64{
+		"BenchmarkA": ns(1000), // -50%: warn
+		"BenchmarkB": ns(1000), // +20%: no warn
+		"BenchmarkC": ns(1000), // -5%: inside tolerance, no warn
+		"BenchmarkD": ns(1000), // missing from new: skipped
 	}
-	newM := map[string]float64{
-		"BenchmarkA": 500,
-		"BenchmarkB": 1200,
-		"BenchmarkC": 950,
-		"BenchmarkE": 100, // missing from old: skipped
+	newM := map[string]map[string]float64{
+		"BenchmarkA": ns(500),
+		"BenchmarkB": ns(1200),
+		"BenchmarkC": ns(950),
+		"BenchmarkE": ns(100), // missing from old: skipped
 	}
 	var buf strings.Builder
 	report(&buf, "old.json", "new.json", oldM, newM)
@@ -114,9 +143,44 @@ func TestReportWarnsOnRegression(t *testing.T) {
 	}
 }
 
+// TestReportWarnsOnColdFallbackGrowth pins the silent-regression detector:
+// nodes/sec holds steady but the share of node LPs falling back to cold
+// two-phase solves grows past the tolerance.
+func TestReportWarnsOnColdFallbackGrowth(t *testing.T) {
+	rec := func(nodesSec, warm, cold float64) map[string]float64 {
+		return map[string]float64{"nodes/sec": nodesSec, "warmstarts/solve": warm, "coldfallbacks/solve": cold}
+	}
+	oldM := map[string]map[string]float64{
+		"BenchmarkGrew":   rec(1000, 99, 1),  // share 1%
+		"BenchmarkStable": rec(1000, 90, 10), // share 10%
+		"BenchmarkTiny":   rec(1000, 99, 1),  // grows, but stays under the floor
+	}
+	newM := map[string]map[string]float64{
+		"BenchmarkGrew":   rec(1010, 60, 40), // share 40%: warn despite steady throughput
+		"BenchmarkStable": rec(990, 88, 12),  // share 12%: inside tolerance
+		"BenchmarkTiny":   rec(1000, 96, 4),  // share 4% < floor: no warn
+	}
+	var buf strings.Builder
+	report(&buf, "old.json", "new.json", oldM, newM)
+	out := buf.String()
+
+	if !strings.Contains(out, "WARNING: BenchmarkGrew cold-fallback share grew") {
+		t.Errorf("missing cold-fallback warning for BenchmarkGrew:\n%s", out)
+	}
+	if n := strings.Count(out, "WARNING:"); n != 1 {
+		t.Errorf("got %d warnings, want exactly 1:\n%s", n, out)
+	}
+	// The per-solve warm metrics get their own diff tables.
+	if !strings.Contains(out, "(warmstarts/solve)") || !strings.Contains(out, "(coldfallbacks/solve)") {
+		t.Errorf("missing warm-start metric tables:\n%s", out)
+	}
+}
+
 func TestReportNoCommonBenchmarks(t *testing.T) {
 	var buf strings.Builder
-	report(&buf, "old.json", "new.json", map[string]float64{"A": 1}, map[string]float64{"B": 2})
+	report(&buf, "old.json", "new.json",
+		map[string]map[string]float64{"A": {"nodes/sec": 1}},
+		map[string]map[string]float64{"B": {"nodes/sec": 2}})
 	if !strings.Contains(buf.String(), "no common") {
 		t.Fatalf("missing no-common-benchmarks notice: %s", buf.String())
 	}

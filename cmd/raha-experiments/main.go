@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"raha/internal/experiments"
+	"raha/internal/milp"
 	"raha/internal/obs"
 	"raha/internal/topology"
 )
@@ -26,6 +27,8 @@ var (
 	solverWorkers int
 	sweepParallel int
 	checkModels   bool
+	noPresolve    bool
+	branchRule    milp.BranchRule
 	tracer        obs.Tracer
 	log           *obs.Logger
 	prog          *obs.ProgressLine // non-nil only while a sweep runs with -progress
@@ -37,6 +40,8 @@ func tuned(s *experiments.Setup) *experiments.Setup {
 	s.Workers = solverWorkers
 	s.Parallel = sweepParallel
 	s.Check = checkModels
+	s.DisablePresolve = noPresolve
+	s.Branching = branchRule
 	s.Tracer = tracer
 	s.OnProgress = func(p experiments.SweepProgress) { prog.Update(p.String()) }
 	return s
@@ -49,6 +54,8 @@ func main() {
 	workers := flag.Int("workers", 0, "branch-and-bound worker goroutines per solve (0 = all cores, 1 = serial)")
 	parallel := flag.Int("parallel", 0, "concurrent analyses per sweep (0 or 1 = serial)")
 	check := flag.Bool("check", false, "run the static model checker before every solve; error diagnostics abort the sweep")
+	presolve := flag.String("presolve", "on", "MILP presolve and per-node domain propagation: on or off")
+	branching := flag.String("branching", "pseudocost", "branch variable selection: pseudocost or mostfrac")
 	quiet := flag.Bool("q", false, "quiet: print errors only")
 	verbose := flag.Bool("v", false, "verbose: per-sweep diagnostics (overrides -q)")
 	progress := flag.Bool("progress", obs.IsTerminal(os.Stderr), "live per-figure progress line with ETA on stderr")
@@ -58,6 +65,21 @@ func main() {
 	solverWorkers = *workers
 	sweepParallel = *parallel
 	checkModels = *check
+	switch *presolve {
+	case "on":
+	case "off":
+		noPresolve = true
+	default:
+		fail(fmt.Errorf("-presolve must be on or off, got %q", *presolve))
+	}
+	switch *branching {
+	case "pseudocost":
+		branchRule = milp.BranchPseudocost
+	case "mostfrac":
+		branchRule = milp.BranchMostFractional
+	default:
+		fail(fmt.Errorf("-branching must be pseudocost or mostfrac, got %q", *branching))
+	}
 
 	level := obs.Normal
 	if *quiet {
@@ -275,6 +297,10 @@ func main() {
 	log.Debugf("solver totals: %d MILP solves, %d nodes, %d LP solves (%d iterations), %d warm-started (%d dual iterations, %d cold fallbacks)",
 		c("milp.solves"), c("milp.nodes"), c("lp.solves"), c("lp.iterations"),
 		c("lp.warm_solves"), c("lp.dual_iterations"), c("milp.cold_fallbacks"))
+	log.Debugf("presolve totals: %d vars fixed, %d rows removed, %d bounds tightened, %d big-M coefs shrunk, %d propagation prunes",
+		c("milp.presolve_fixed_vars"), c("milp.presolve_removed_rows"),
+		c("milp.presolve_tightened_bounds"), c("milp.presolve_tightened_coefs"),
+		c("milp.propagation_prunes"))
 }
 
 func degCSV(budget time.Duration, ce bool) ([]string, error) {

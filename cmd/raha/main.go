@@ -111,6 +111,8 @@ type commonFlags struct {
 	seed      *int64
 	workers   *int
 	check     *bool
+	presolve  *string
+	branching *string
 	obs       *obsFlags
 }
 
@@ -130,20 +132,49 @@ func newCommon(name string) *commonFlags {
 		seed:      fs.Int64("seed", 1, "seed for the gravity demand model"),
 		workers:   fs.Int("workers", 0, "branch-and-bound worker goroutines (0 = all cores, 1 = serial)"),
 		check:     fs.Bool("check", false, "run the static model checker before each solve; error diagnostics abort the solve"),
+		presolve:  fs.String("presolve", "on", "MILP presolve and per-node domain propagation: on or off"),
+		branching: fs.String("branching", "pseudocost", "branch variable selection: pseudocost or mostfrac"),
 		obs:       newObsFlags(fs),
 	}
 }
 
+// solverTuning maps the -presolve/-branching flag strings onto the solver
+// knobs, rejecting anything but the documented spellings.
+func (c *commonFlags) solverTuning() (disablePresolve bool, rule raha.BranchRule, err error) {
+	switch *c.presolve {
+	case "on":
+	case "off":
+		disablePresolve = true
+	default:
+		return false, 0, fmt.Errorf("-presolve must be on or off, got %q", *c.presolve)
+	}
+	switch *c.branching {
+	case "pseudocost":
+		rule = raha.BranchPseudocost
+	case "mostfrac":
+		rule = raha.BranchMostFractional
+	default:
+		return false, 0, fmt.Errorf("-branching must be pseudocost or mostfrac, got %q", *c.branching)
+	}
+	return disablePresolve, rule, nil
+}
+
 // solver assembles the solver params from the flags and the run's
 // observability bundle.
-func (c *commonFlags) solver(o *runObs) raha.SolverParams {
-	return raha.SolverParams{
-		TimeLimit:  *c.budget,
-		Workers:    *c.workers,
-		Tracer:     o.tracer(),
-		OnProgress: o.solveProgress(),
-		Check:      *c.check,
+func (c *commonFlags) solver(o *runObs) (raha.SolverParams, error) {
+	noPresolve, rule, err := c.solverTuning()
+	if err != nil {
+		return raha.SolverParams{}, err
 	}
+	return raha.SolverParams{
+		TimeLimit:       *c.budget,
+		Workers:         *c.workers,
+		Tracer:          o.tracer(),
+		OnProgress:      o.solveProgress(),
+		Check:           *c.check,
+		DisablePresolve: noPresolve,
+		Branching:       rule,
+	}, nil
 }
 
 func (c *commonFlags) setup() (*raha.Topology, []raha.DemandPaths, raha.Matrix, raha.Envelope, error) {
@@ -195,6 +226,11 @@ func analyze(ctx context.Context, args []string) error {
 		o.close()
 		return err
 	}
+	solver, err := c.solver(o)
+	if err != nil {
+		o.close()
+		return err
+	}
 	o.log.Infof("analyzing %s: %d demands, %d LAGs, threshold %.0e, budget %v",
 		*c.topology, len(dps), top.NumLAGs(), *c.threshold, *c.budget)
 	res, err := raha.AnalyzeContext(ctx, raha.Config{
@@ -204,7 +240,7 @@ func analyze(ctx context.Context, args []string) error {
 		ProbThreshold:        *c.threshold,
 		MaxFailures:          *c.maxFail,
 		ConnectivityEnforced: *c.ce,
-		Solver:               c.solver(o),
+		Solver:               solver,
 	})
 	if cerr := o.close(); err == nil {
 		err = cerr
@@ -247,6 +283,9 @@ func printResult(ctx context.Context, o *runObs, budget time.Duration, top *raha
 			st.WarmStarts, st.WarmIters, st.ColdFallbacks,
 			st.PrunedInfeasible, st.PrunedBound, st.PrunedIterLimit,
 			st.Integral, st.NodesBranched, st.IncumbentUpdates, st.MaxOpen)
+		o.log.Debugf("presolve stats: %d vars fixed, %d rows removed, %d bounds tightened, %d big-M coefs shrunk; %d propagation prunes, %d pseudocost branches",
+			st.PresolveFixedVars, st.PresolveRemovedRows, st.PresolveTightenedBounds,
+			st.PresolveTightenedCoefs, st.PropagationPrunes, st.PseudocostBranches)
 	}
 	// An interrupted or timed-out search may stop before any scenario was
 	// found; there is nothing to report beyond the status.
@@ -297,6 +336,10 @@ func augmentCmd(args []string) (err error) {
 		return err
 	}
 	_ = base
+	solver, err := c.solver(o)
+	if err != nil {
+		return err
+	}
 	cfg := raha.AugmentConfig{
 		Topo:                 top,
 		Pairs:                pairsOf(env),
@@ -306,7 +349,7 @@ func augmentCmd(args []string) (err error) {
 		ProbThreshold:        *c.threshold,
 		MaxFailures:          *c.maxFail,
 		ConnectivityEnforced: *c.ce,
-		Solver:               c.solver(o),
+		Solver:               solver,
 		NewCapacityCanFail:   *canFail,
 	}
 	o.log.Infof("augmenting %s until no probable failure degrades it (threshold %.0e)", *c.topology, *c.threshold)
@@ -367,6 +410,10 @@ func alert(ctx context.Context, args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	noPresolve, rule, err := c.solverTuning()
+	if err != nil {
+		return err
+	}
 	o.log.Infof("alert check on %s: phase 1 at fixed peak demand, phase 2 over the envelope (tolerance %.2f)",
 		*c.topology, *tolerance)
 	rep, err := raha.AlertContext(ctx, raha.AlertConfig{
@@ -383,6 +430,8 @@ func alert(ctx context.Context, args []string) (err error) {
 		Tracer:               o.tracer(),
 		OnProgress:           o.solveProgress(),
 		Check:                *c.check,
+		DisablePresolve:      noPresolve,
+		Branching:            rule,
 	})
 	if err != nil {
 		return err

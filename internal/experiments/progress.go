@@ -90,5 +90,12 @@ func (t *sweepTracker) step() {
 // setup's tracer rides along so solver-layer events land in the same
 // stream as the sweep's own.
 func (s *Setup) solver() milp.Params {
-	return milp.Params{TimeLimit: s.Budget, Workers: s.Workers, Tracer: s.Tracer, Check: s.Check}
+	return milp.Params{
+		TimeLimit:       s.Budget,
+		Workers:         s.Workers,
+		Tracer:          s.Tracer,
+		Check:           s.Check,
+		DisablePresolve: s.DisablePresolve,
+		Branching:       s.Branching,
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"raha/internal/demand"
 	"raha/internal/metaopt"
+	"raha/internal/milp"
 	"raha/internal/obs"
 	"raha/internal/paths"
 	"raha/internal/topology"
@@ -52,6 +53,15 @@ type Setup struct {
 	// of the sweep (milp.Params.Check). An error-severity diagnostic aborts
 	// that analysis with a *milp.CheckError instead of solving.
 	Check bool
+
+	// DisablePresolve turns off root presolve and per-node domain
+	// propagation in every solve of the sweep (milp.Params.DisablePresolve).
+	DisablePresolve bool
+
+	// Branching selects the branch-and-bound variable-selection rule for
+	// every solve of the sweep (milp.Params.Branching). The zero value is
+	// pseudocost branching.
+	Branching milp.BranchRule
 
 	// OnProgress, when non-nil, is called after every completed analysis
 	// of a sweep with the running count and an ETA — the CLI's live

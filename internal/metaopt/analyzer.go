@@ -543,11 +543,13 @@ func hintScenarios(ctx context.Context, cfg *Config) []struct {
 		// The hint solves inherit the caller's tracer, so the trace shows
 		// the cheap fixed-demand relaxations nested inside the main solve.
 		sub.Solver = milp.Params{
-			TimeLimit: budget,
-			MIPGap:    0.05,
-			Workers:   cfg.Solver.Workers,
-			Tracer:    cfg.Solver.Tracer,
-			Check:     cfg.Solver.Check,
+			TimeLimit:       budget,
+			MIPGap:          0.05,
+			Workers:         cfg.Solver.Workers,
+			Tracer:          cfg.Solver.Tracer,
+			Check:           cfg.Solver.Check,
+			DisablePresolve: cfg.Solver.DisablePresolve,
+			Branching:       cfg.Solver.Branching,
 		}
 		hintStart := time.Now()
 		var (

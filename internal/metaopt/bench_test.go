@@ -38,7 +38,7 @@ func benchConfig(b *testing.B, top *topology.Topology, seed int64, workers int) 
 func benchAnalyze(b *testing.B, top *topology.Topology, seed int64, workers int) {
 	cfg := benchConfig(b, top, seed, workers)
 	nodes := 0
-	var warm, cold int64
+	var warm, cold, fixed, rows, bounds, prop int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := Analyze(cfg)
@@ -48,11 +48,19 @@ func benchAnalyze(b *testing.B, top *topology.Topology, seed int64, workers int)
 		nodes += res.Nodes
 		warm += res.Stats.WarmStarts
 		cold += res.Stats.ColdFallbacks
+		fixed += res.Stats.PresolveFixedVars
+		rows += res.Stats.PresolveRemovedRows
+		bounds += res.Stats.PresolveTightenedBounds
+		prop += res.Stats.PropagationPrunes
 	}
 	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
 	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/solve")
 	b.ReportMetric(float64(warm)/float64(b.N), "warmstarts/solve")
 	b.ReportMetric(float64(cold)/float64(b.N), "coldfallbacks/solve")
+	b.ReportMetric(float64(fixed)/float64(b.N), "presolvefixed/solve")
+	b.ReportMetric(float64(rows)/float64(b.N), "presolverows/solve")
+	b.ReportMetric(float64(bounds)/float64(b.N), "presolvebounds/solve")
+	b.ReportMetric(float64(prop)/float64(b.N), "propprunes/solve")
 }
 
 func BenchmarkAnalyzeB4Serial(b *testing.B)   { benchAnalyze(b, topology.B4(), 4, 1) }

@@ -18,11 +18,16 @@ import (
 // raha.milp.*). Nodes and incumbents tick live so /debug/vars shows a
 // running search move.
 var (
-	cSolves        = obs.Default.Counter("milp.solves")
-	cNodes         = obs.Default.Counter("milp.nodes")
-	cIncumbents    = obs.Default.Counter("milp.incumbents")
-	cWarmStarts    = obs.Default.Counter("milp.warm_starts")
-	cColdFallbacks = obs.Default.Counter("milp.cold_fallbacks")
+	cSolves          = obs.Default.Counter("milp.solves")
+	cNodes           = obs.Default.Counter("milp.nodes")
+	cIncumbents      = obs.Default.Counter("milp.incumbents")
+	cWarmStarts      = obs.Default.Counter("milp.warm_starts")
+	cColdFallbacks   = obs.Default.Counter("milp.cold_fallbacks")
+	cPresolveFixed   = obs.Default.Counter("milp.presolve_fixed_vars")
+	cPresolveRows    = obs.Default.Counter("milp.presolve_removed_rows")
+	cPresolveBounds  = obs.Default.Counter("milp.presolve_tightened_bounds")
+	cPresolveCoefs   = obs.Default.Counter("milp.presolve_tightened_coefs")
+	cPropagationCuts = obs.Default.Counter("milp.propagation_prunes")
 )
 
 // Status reports the outcome of a MILP solve.
@@ -107,6 +112,18 @@ type Params struct {
 	// equivalence property test asserts it); the knob exists for A/B
 	// benchmarking and for bisecting solver issues.
 	DisableWarmStart bool
+
+	// DisablePresolve turns off the whole reduction layer: the root
+	// presolve (bound propagation, singleton/redundant-row elimination,
+	// fixed-variable substitution, big-M tightening) and the per-node
+	// domain propagation that runs after every branch. With it set — and
+	// Branching set to BranchMostFractional — the search is exactly the
+	// pre-reduction solver, which the corpus equivalence test relies on.
+	DisablePresolve bool
+
+	// Branching selects the branching-variable rule; the zero value is
+	// BranchPseudocost (see BranchRule).
+	Branching BranchRule
 }
 
 func (p *Params) workers() int {
@@ -143,6 +160,45 @@ type node struct {
 	relax  float64   // bound inherited from the parent (model sense)
 	seq    int       // creation order; 0 is the root
 	basis  *lp.Basis // parent relaxation's optimal basis (nil: solve cold)
+
+	// The branch that created this node, for pseudocost accounting once its
+	// relaxation solves: variable, direction, and the fractional distance
+	// the branch moved it (bvar -1: the root / a node with no branch info).
+	bvar  Var
+	bup   bool
+	bdist float64
+}
+
+// boundPool is one worker's free list of bound slices. Branching copies the
+// parent's lo/hi for each child; recycling the slices of fathomed nodes
+// into the claiming worker's pool removes the two full allocations per
+// branch (the allocs/op benchmark guards this). Every slice has exactly one
+// holder — an open node, or the pool of the worker that fathomed it — so
+// pools are never shared across goroutines.
+type boundPool struct {
+	free [][]float64
+}
+
+// poolCap bounds a worker's free list; beyond it slices are dropped for the
+// GC rather than hoarded.
+const poolCap = 128
+
+// get returns a copy of src, reusing a pooled slice when one is available.
+func (p *boundPool) get(src []float64) []float64 {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		copy(s, src)
+		return s
+	}
+	return append([]float64(nil), src...)
+}
+
+// put recycles a slice whose node was fathomed.
+func (p *boundPool) put(s []float64) {
+	if s != nil && len(p.free) < poolCap {
+		p.free = append(p.free, s)
+	}
 }
 
 // nodeHeap orders open nodes best-bound-first (ties: most recently created,
@@ -205,6 +261,16 @@ type search struct {
 	// every row (toLP allocation churn was a visible slice of node cost).
 	// Indexed by worker id; never shared across workers.
 	probs []*lp.Problem
+
+	// Reduction-layer state. isInt/rowsOf describe the search model for the
+	// per-node domain propagation (props is per-worker scratch; nil
+	// disables propagation). pc is the shared pseudocost table (nil: most-
+	// fractional branching). pools recycle node bound slices per worker.
+	isInt  []bool
+	rowsOf [][]int32
+	props  []*nodeProp
+	pc     *pseudocosts
+	pools  []boundPool
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -333,8 +399,13 @@ func (s *search) offerIncumbent(obj float64, x []float64) {
 // a batch of bound changes, exactly what the dual simplex absorbs.
 func (s *search) tryRound(wid int, nlo, nhi, x []float64, basis *lp.Basis) {
 	atomic.AddInt64(&s.stats.HeuristicSolves, 1)
-	lo := append([]float64(nil), nlo...)
-	hi := append([]float64(nil), nhi...)
+	pool := &s.pools[wid]
+	lo := pool.get(nlo)
+	hi := pool.get(nhi)
+	defer func() {
+		pool.put(lo)
+		pool.put(hi)
+	}()
 	for _, v := range s.intVars {
 		r := math.Round(x[v])
 		if r < lo[v] {
@@ -437,8 +508,13 @@ func (s *search) sample(workers int) {
 }
 
 // worker claims nodes from the shared queue until the tree is exhausted, a
-// limit fires, or an error occurs.
+// limit fires, or an error occurs. claimed counts this worker's own nodes —
+// the rounding-heuristic cadence keys off it rather than the global claim
+// number, so heuristic timing is deterministic per worker (and, at
+// Workers 1, identical run to run) instead of depending on how a race for
+// the global counter interleaved.
 func (s *search) worker(id int) {
+	claimed := 0
 	for {
 		s.mu.Lock()
 		for !s.stop && s.err == nil && len(s.open.nodes) == 0 && s.inflight > 0 {
@@ -464,6 +540,8 @@ func (s *search) worker(id int) {
 		if s.haveIncumbent && !s.better(n.relax, s.incObj) {
 			s.mu.Unlock()
 			atomic.AddInt64(&s.stats.PrePruned, 1)
+			s.pools[id].put(n.lo)
+			s.pools[id].put(n.hi)
 			continue
 		}
 
@@ -487,8 +565,14 @@ func (s *search) worker(id int) {
 		s.inflight++
 		s.mu.Unlock()
 		cNodes.Inc()
+		claimed++
 
-		children := s.process(id, n, claimNo)
+		children := s.process(id, n, claimNo, claimed)
+
+		// The node is fathomed (its children copied what they needed):
+		// recycle its bound slices into this worker's pool.
+		s.pools[id].put(n.lo)
+		s.pools[id].put(n.hi)
 
 		s.mu.Lock()
 		for _, c := range children {
@@ -521,8 +605,9 @@ func (s *search) emitNode(claimNo int, reason string, obj float64) {
 // process solves one node's relaxation and returns its children (nil when
 // the node is fathomed). It runs without holding the search lock. Every
 // node ends in exactly one Stats outcome counter — the invariant the
-// stats regression test checks.
-func (s *search) process(wid int, n *node, claimNo int) []*node {
+// stats regression test checks. claimed is the per-worker claim count
+// driving the rounding-heuristic cadence.
+func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 	sol, err := s.solveLP(wid, n.lo, n.hi, n.basis)
 	if err != nil {
 		s.fail(fmt.Errorf("milp: node relaxation: %w", err))
@@ -556,6 +641,20 @@ func (s *search) process(wid int, n *node, claimNo int) []*node {
 
 	obj := s.toObj(sol.Objective)
 
+	// Pseudocost bookkeeping: this node's LP solved, so the degradation the
+	// branch that created it caused is now known — record it per unit of
+	// fractional distance moved, whatever the node's fate below.
+	if s.pc != nil && n.bvar >= 0 && n.bdist > 0 {
+		deg := obj - n.relax
+		if s.maximize {
+			deg = n.relax - obj
+		}
+		if deg < 0 {
+			deg = 0
+		}
+		s.pc.observe(n.bvar, n.bup, deg/n.bdist)
+	}
+
 	s.mu.Lock()
 	pruned := s.haveIncumbent && !s.better(obj, s.incObj)
 	s.mu.Unlock()
@@ -565,7 +664,7 @@ func (s *search) process(wid int, n *node, claimNo int) []*node {
 		return nil
 	}
 
-	v := s.fractional(sol.X)
+	v, scored := s.branchVar(sol.X)
 	if v < 0 {
 		// Integral: new incumbent.
 		atomic.AddInt64(&s.stats.Integral, 1)
@@ -573,8 +672,11 @@ func (s *search) process(wid int, n *node, claimNo int) []*node {
 		s.offerIncumbent(obj, sol.X)
 		return nil
 	}
+	if scored {
+		atomic.AddInt64(&s.stats.PseudocostBranches, 1)
+	}
 
-	if claimNo == 1 || claimNo%heurEvery == 0 {
+	if claimed == 1 || claimed%heurEvery == 0 {
 		s.tryRound(wid, n.lo, n.hi, sol.X, sol.Basis)
 	}
 
@@ -584,15 +686,42 @@ func (s *search) process(wid int, n *node, claimNo int) []*node {
 	// Branch: child bounds inherit the node's LP bound, and — the warm
 	// start — its optimal basis: a child differs only in one variable's
 	// bound, so the dual simplex re-optimizes in a handful of pivots.
+	// Domain propagation then pushes the new bound through the row network:
+	// a child whose box empties is pruned here, before any LP runs.
 	xf := sol.X[v]
-	down := &node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj, basis: sol.Basis}
-	up := &node{lo: append([]float64(nil), n.lo...), hi: append([]float64(nil), n.hi...), relax: obj, basis: sol.Basis}
-	down.hi[v] = math.Floor(xf)
-	up.lo[v] = math.Ceil(xf)
-	if xf-math.Floor(xf) < 0.5 {
-		return []*node{up, down} // explore down first (pushed later → newer seq)
+	frac := xf - math.Floor(xf)
+	pool := &s.pools[wid]
+	child := func(up bool) *node {
+		c := &node{lo: pool.get(n.lo), hi: pool.get(n.hi), relax: obj, basis: sol.Basis, bvar: v, bup: up}
+		if up {
+			c.lo[v] = math.Ceil(xf)
+			c.bdist = 1 - frac
+		} else {
+			c.hi[v] = math.Floor(xf)
+			c.bdist = frac
+		}
+		if s.props != nil && !s.propagate(wid, v, c.lo, c.hi) {
+			atomic.AddInt64(&s.stats.PropagationPrunes, 1)
+			cPropagationCuts.Inc()
+			pool.put(c.lo)
+			pool.put(c.hi)
+			return nil
+		}
+		return c
 	}
-	return []*node{down, up}
+	down, up := child(false), child(true)
+	first, second := down, up
+	if frac < 0.5 {
+		first, second = up, down // explore down first (pushed later → newer seq)
+	}
+	children := make([]*node, 0, 2)
+	if first != nil {
+		children = append(children, first)
+	}
+	if second != nil {
+		children = append(children, second)
+	}
+	return children
 }
 
 // Solve runs branch and bound on the model. It is equivalent to
@@ -625,15 +754,34 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		defer cancel()
 	}
 
+	// Root presolve: the search runs on the reduced model; post maps its
+	// solutions back to the caller's variable space. A presolve that proves
+	// infeasibility answers without exploring a single node.
+	sm := m
+	var pres *presolveResult
+	var post *postsolve
+	if !p.DisablePresolve {
+		pres = presolve(m, p.IntTol)
+		cPresolveFixed.Add(pres.fixedVars)
+		cPresolveRows.Add(pres.removedRows)
+		cPresolveBounds.Add(pres.tightenedBounds)
+		cPresolveCoefs.Add(pres.tightenedCoefs)
+		if !pres.infeasible {
+			sm = pres.model
+			post = pres.post
+		}
+	}
+
 	s := &search{
-		m:        m,
+		m:        sm,
 		p:        p,
-		maximize: m.sense == Maximize,
-		objConst: m.obj.Const,
+		maximize: sm.sense == Maximize,
+		objConst: sm.obj.Const,
 		start:    start,
 		tracer:   p.Tracer,
 		working:  make([]float64, workers),
 		probs:    make([]*lp.Problem, workers),
+		pools:    make([]boundPool, workers),
 		clean:    true,
 	}
 	cSolves.Inc()
@@ -642,22 +790,17 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 	for i := range s.working {
 		s.working[i] = math.NaN()
 	}
-	for v, t := range m.vtype {
+	for v, t := range sm.vtype {
 		if t != Continuous {
 			s.intVars = append(s.intVars, Var(v))
 		}
 	}
-
-	inf := math.Inf(1)
-	s.incObj = s.toObj(inf)
-	s.dualBound = s.toObj(-inf)
-	root := &node{
-		lo:    append([]float64(nil), m.lo...),
-		hi:    append([]float64(nil), m.hi...),
-		relax: s.toObj(-inf),
-		seq:   0,
+	if pres != nil {
+		s.stats.PresolveFixedVars = pres.fixedVars
+		s.stats.PresolveRemovedRows = pres.removedRows
+		s.stats.PresolveTightenedBounds = pres.tightenedBounds
+		s.stats.PresolveTightenedCoefs = pres.tightenedCoefs
 	}
-	s.nextSeq = 1
 
 	if s.tracer != nil {
 		s.tracer.Emit("milp", "solve_start", obs.F{
@@ -667,13 +810,71 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 			"workers":  workers,
 			"hints":    len(p.Hints),
 		})
+		if pres != nil {
+			s.tracer.Emit("milp", "presolve_end", obs.F{
+				"fixed_vars":       pres.fixedVars,
+				"removed_rows":     pres.removedRows,
+				"tightened_bounds": pres.tightenedBounds,
+				"tightened_coefs":  pres.tightenedCoefs,
+				"vars":             sm.NumVars(),
+				"cons":             sm.NumConstraints(),
+				"infeasible":       pres.infeasible,
+			})
+		}
 	}
 
+	inf := math.Inf(1)
+	s.incObj = s.toObj(inf)
+	s.dualBound = s.toObj(-inf)
+
+	if pres != nil && pres.infeasible {
+		res := &Result{
+			Status:    Infeasible,
+			Objective: s.incObj,
+			Bound:     s.dualBound,
+			Runtime:   time.Since(start),
+			Stats:     s.stats,
+		}
+		s.emitSolveEnd(res)
+		return res, nil
+	}
+
+	if !p.DisablePresolve {
+		// Per-node domain propagation shares the presolve row engine; it
+		// needs per-worker scratch plus the var → rows adjacency.
+		s.rowsOf = rowsIndex(sm)
+		s.isInt = make([]bool, sm.NumVars())
+		for v, t := range sm.vtype {
+			s.isInt[v] = t != Continuous
+		}
+		s.props = make([]*nodeProp, workers)
+		for i := range s.props {
+			s.props[i] = newNodeProp(sm.NumConstraints())
+		}
+	}
+	if p.Branching == BranchPseudocost && len(s.intVars) > 0 {
+		s.pc = newPseudocosts(sm.NumVars())
+	}
+
+	root := &node{
+		lo:    append([]float64(nil), sm.lo...),
+		hi:    append([]float64(nil), sm.hi...),
+		relax: s.toObj(-inf),
+		seq:   0,
+		bvar:  -1,
+	}
+	s.nextSeq = 1
+
 	// Warm starts: fix integers to each hint, LP the rest. Runs before the
-	// workers so every worker prunes against the hint incumbents.
+	// workers so every worker prunes against the hint incumbents. Hints
+	// arrive in the original variable space and are projected onto the
+	// reduced model.
 	for _, h := range p.Hints {
 		if len(h) != len(m.lo) {
 			continue
+		}
+		if post != nil {
+			h = post.project(h)
 		}
 		usable := true
 		for _, v := range s.intVars {
@@ -765,6 +966,11 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		Runtime:   time.Since(start),
 		Stats:     s.stats, // workers have exited; plain copy is quiescent
 	}
+	if post != nil {
+		// Back to the caller's variable space: re-insert the presolve-fixed
+		// variables around the searched ones.
+		res.X = post.restore(res.X)
+	}
 	exhausted := len(s.open.nodes) == 0 && !s.stop
 	switch {
 	case s.unbounded:
@@ -780,25 +986,37 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		res.Status = Unknown
 	}
 
-	if s.tracer != nil {
-		f := obs.F{
-			"status":         res.Status.String(),
-			"nodes":          res.Nodes,
-			"runtime_s":      res.Runtime.Seconds(),
-			"lp_solves":      res.Stats.LPSolves,
-			"lp_iters":       res.Stats.LPIterations,
-			"incumbents":     res.Stats.IncumbentUpdates,
-			"max_open":       res.Stats.MaxOpen,
-			"warm_starts":    res.Stats.WarmStarts,
-			"warm_iters":     res.Stats.WarmIters,
-			"cold_fallbacks": res.Stats.ColdFallbacks,
-		}
-		addFinite(f, "obj", res.Objective)
-		addFinite(f, "bound", res.Bound)
-		addFinite(f, "gap", res.Gap())
-		s.tracer.Emit("milp", "solve_end", f)
-	}
+	s.emitSolveEnd(res)
 	return res, nil
+}
+
+// emitSolveEnd writes the trace's final event, mirroring the Result. Shared
+// by the normal exit and the presolved-to-infeasible short circuit.
+func (s *search) emitSolveEnd(res *Result) {
+	if s.tracer == nil {
+		return
+	}
+	f := obs.F{
+		"status":              res.Status.String(),
+		"nodes":               res.Nodes,
+		"runtime_s":           res.Runtime.Seconds(),
+		"lp_solves":           res.Stats.LPSolves,
+		"lp_iters":            res.Stats.LPIterations,
+		"incumbents":          res.Stats.IncumbentUpdates,
+		"max_open":            res.Stats.MaxOpen,
+		"warm_starts":         res.Stats.WarmStarts,
+		"warm_iters":          res.Stats.WarmIters,
+		"cold_fallbacks":      res.Stats.ColdFallbacks,
+		"presolve_fixed":      res.Stats.PresolveFixedVars,
+		"presolve_rows":       res.Stats.PresolveRemovedRows,
+		"presolve_bounds":     res.Stats.PresolveTightenedBounds,
+		"propagation_prunes":  res.Stats.PropagationPrunes,
+		"pseudocost_branches": res.Stats.PseudocostBranches,
+	}
+	addFinite(f, "obj", res.Objective)
+	addFinite(f, "bound", res.Bound)
+	addFinite(f, "gap", res.Gap())
+	s.tracer.Emit("milp", "solve_end", f)
 }
 
 func gapMet(incumbent, bound, gap float64) bool {

@@ -1,10 +1,23 @@
 package milp
 
 import (
+	"flag"
 	"math"
 	"math/rand"
 	"testing"
 )
+
+// presolveMode lets CI run the corpus with the reduction layer off
+// (`go test -run TestRandomMILPsAgainstBruteForce -presolve=off`) — the
+// smoke check that the presolve-disabled solver still matches brute force.
+var presolveMode = flag.String("presolve", "on", `corpus presolve mode: "on" or "off"`)
+
+func corpusParams(p Params) Params {
+	if *presolveMode == "off" {
+		p.DisablePresolve = true
+	}
+	return p
+}
 
 // randomMILP is one generated instance: a mixed model plus the pieces needed
 // to brute-force it. Coefficients are small integers so brute-force LP
@@ -124,8 +137,8 @@ func TestRandomMILPsAgainstBruteForce(t *testing.T) {
 		want := inst.bruteForce(t)
 		infeasible := math.IsInf(want, 0)
 
-		serial := solveOK(t, inst.m, Params{Workers: 1})
-		par := solveOK(t, inst.m, Params{Workers: 4})
+		serial := solveOK(t, inst.m, corpusParams(Params{Workers: 1}))
+		par := solveOK(t, inst.m, corpusParams(Params{Workers: 4}))
 
 		for which, res := range map[string]*Result{"serial": serial, "parallel": par} {
 			if infeasible {
@@ -198,6 +211,186 @@ func TestRandomMILPsWarmColdEquivalence(t *testing.T) {
 	}
 	if warmTotal == 0 {
 		t.Fatal("no warm-started node LP across the whole corpus")
+	}
+}
+
+// assertOriginalSpace checks a returned solution lives in the model's
+// original variable space and satisfies every original constraint, bound,
+// and integrality requirement to solver tolerance — the postsolve
+// round-trip contract (presolve substitutes variables and rewrites rows
+// internally, but none of that may leak to the caller).
+func assertOriginalSpace(t *testing.T, m *Model, x []float64, label string) {
+	t.Helper()
+	if len(x) != m.NumVars() {
+		t.Fatalf("%s: solution length %d, model has %d variables", label, len(x), m.NumVars())
+	}
+	const tol = 1e-6
+	for v := 0; v < m.NumVars(); v++ {
+		lo, hi := m.Bounds(Var(v))
+		if x[v] < lo-tol*(1+math.Abs(lo)) || x[v] > hi+tol*(1+math.Abs(hi)) {
+			t.Fatalf("%s: x[%d]=%g outside original bounds [%g, %g]", label, v, x[v], lo, hi)
+		}
+		if m.TypeOf(Var(v)) != Continuous && math.Abs(x[v]-math.Round(x[v])) > tol {
+			t.Fatalf("%s: integer x[%d]=%g not integral", label, v, x[v])
+		}
+	}
+	for i := 0; i < m.NumConstraints(); i++ {
+		expr, rel, rhs, name := m.ConstraintAt(i)
+		lhs := Value(expr, x)
+		slack := tol * (1 + math.Abs(rhs))
+		switch rel {
+		case LE:
+			if lhs > rhs+slack {
+				t.Fatalf("%s: row %q violated: %g <= %g", label, name, lhs, rhs)
+			}
+		case GE:
+			if lhs < rhs-slack {
+				t.Fatalf("%s: row %q violated: %g >= %g", label, name, lhs, rhs)
+			}
+		case EQ:
+			if math.Abs(lhs-rhs) > slack {
+				t.Fatalf("%s: row %q violated: %g == %g", label, name, lhs, rhs)
+			}
+		}
+	}
+}
+
+// nodeAccounting asserts the Stats invariant including the reduction-layer
+// counters: outcomes partition Result.Nodes; disabled layers record zeros.
+func nodeAccounting(t *testing.T, trial int, label string, res *Result, p Params) {
+	t.Helper()
+	st := res.Stats
+	if got := statsOutcomes(st); got != int64(res.Nodes) {
+		t.Fatalf("trial %d (%s): outcome sum %d != Nodes %d (%+v)", trial, label, got, res.Nodes, st)
+	}
+	if st.PropagationPrunes < 0 || st.PseudocostBranches < 0 {
+		t.Fatalf("trial %d (%s): negative reduction counters %+v", trial, label, st)
+	}
+	if st.PseudocostBranches > st.NodesBranched {
+		t.Fatalf("trial %d (%s): PseudocostBranches %d > NodesBranched %d",
+			trial, label, st.PseudocostBranches, st.NodesBranched)
+	}
+	if p.DisablePresolve {
+		if st.PresolveFixedVars != 0 || st.PresolveRemovedRows != 0 ||
+			st.PresolveTightenedBounds != 0 || st.PresolveTightenedCoefs != 0 ||
+			st.PropagationPrunes != 0 {
+			t.Fatalf("trial %d (%s): presolve disabled but reduction stats recorded %+v", trial, label, st)
+		}
+	}
+	if p.Branching == BranchMostFractional && st.PseudocostBranches != 0 {
+		t.Fatalf("trial %d (%s): most-fractional branching recorded %d pseudocost branches",
+			trial, label, st.PseudocostBranches)
+	}
+}
+
+// TestRandomMILPsPresolveBranchingEquivalence is the reduction-layer
+// equivalence harness: across the random corpus, presolve on/off and
+// pseudocost vs most-fractional branching at Workers 1 and 4 must agree on
+// status and objective; every returned solution must round-trip through
+// postsolve to a feasible point of the original model; and the node
+// accounting invariant must hold with the new counters. Run under -race in
+// CI, this is also the concurrency check for the shared pseudocost table
+// and the per-worker propagation scratch.
+func TestRandomMILPsPresolveBranchingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5150))
+	n := propCorpusSize(t)
+	type cfg struct {
+		label string
+		p     Params
+	}
+	cfgs := []cfg{
+		{"off-mf-1", Params{Workers: 1, DisablePresolve: true, Branching: BranchMostFractional}},
+		{"off-mf-4", Params{Workers: 4, DisablePresolve: true, Branching: BranchMostFractional}},
+		{"on-pc-1", Params{Workers: 1}},
+		{"on-pc-4", Params{Workers: 4}},
+		{"on-mf-1", Params{Workers: 1, Branching: BranchMostFractional}},
+		{"off-pc-1", Params{Workers: 1, DisablePresolve: true}},
+	}
+	for trial := 0; trial < n; trial++ {
+		inst := genMILP(rng)
+		var ref *Result
+		for _, c := range cfgs {
+			res := solveOK(t, inst.m, c.p)
+			nodeAccounting(t, trial, c.label, res, c.p)
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.Status != ref.Status {
+				t.Fatalf("trial %d (%s): status %v, %s says %v", trial, c.label, res.Status, cfgs[0].label, ref.Status)
+			}
+			if ref.Status == Optimal {
+				if math.Abs(res.Objective-ref.Objective) > 1e-6 {
+					t.Fatalf("trial %d (%s): objective %g != %g", trial, c.label, res.Objective, ref.Objective)
+				}
+				assertOriginalSpace(t, inst.m, res.X, c.label)
+				if got := Value(inst.m.obj, res.X); math.Abs(got-res.Objective) > 1e-5 {
+					t.Fatalf("trial %d (%s): restored incumbent evaluates to %g, reported %g",
+						trial, c.label, got, res.Objective)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomMILPsPostsolveRoundTrip is the postsolve acceptance check on the
+// default configuration: every corpus solution is returned in the original
+// variable space and satisfies the original constraints to solver tolerance.
+func TestRandomMILPsPostsolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	n := propCorpusSize(t)
+	checked := 0
+	for trial := 0; trial < n; trial++ {
+		inst := genMILP(rng)
+		res := solveOK(t, inst.m, Params{Workers: 1})
+		if res.Status != Optimal {
+			continue
+		}
+		assertOriginalSpace(t, inst.m, res.X, "roundtrip")
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no optimal instance in the corpus")
+	}
+}
+
+// TestWorkers1StatsDeterminism pins the serial solver's reproducibility:
+// at Workers 1 two runs of the same instance must agree bit for bit on the
+// full Stats (including the per-worker rounding-heuristic cadence, which
+// used to key off a racy global claim counter), the node count, the
+// objective, and the returned point — with the reduction layer on and off.
+func TestWorkers1StatsDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	n := propCorpusSize(t) / 5
+	cfgs := []Params{
+		{Workers: 1},
+		{Workers: 1, DisablePresolve: true, Branching: BranchMostFractional},
+	}
+	for trial := 0; trial < n; trial++ {
+		inst := genMILP(rng)
+		for ci, p := range cfgs {
+			a := solveOK(t, inst.m, p)
+			b := solveOK(t, inst.m, p)
+			if a.Status != b.Status || a.Nodes != b.Nodes {
+				t.Fatalf("trial %d cfg %d: runs diverged: status %v/%v nodes %d/%d",
+					trial, ci, a.Status, b.Status, a.Nodes, b.Nodes)
+			}
+			if a.Stats != b.Stats {
+				t.Fatalf("trial %d cfg %d: stats diverged:\n%+v\n%+v", trial, ci, a.Stats, b.Stats)
+			}
+			if a.Status == Optimal {
+				//raha:lint-allow float-cmp bitwise determinism is the property under test
+				if a.Objective != b.Objective {
+					t.Fatalf("trial %d cfg %d: objective %g != %g", trial, ci, a.Objective, b.Objective)
+				}
+				for v := range a.X {
+					//raha:lint-allow float-cmp bitwise determinism is the property under test
+					if a.X[v] != b.X[v] {
+						t.Fatalf("trial %d cfg %d: X[%d] %g != %g", trial, ci, v, a.X[v], b.X[v])
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -18,7 +18,9 @@ import (
 //	         PrunedIterLimit + Integral + UnboundedNodes
 //
 // holds on any clean solve (the stats regression test asserts it at
-// Workers 1 and 4).
+// Workers 1 and 4). PrePruned and PropagationPrunes count subproblems
+// discarded before they were ever claimed as nodes, so both sit outside
+// Result.Nodes and the sum above.
 type Stats struct {
 	LPSolves         int64 // LP relaxations solved (nodes, heuristics, hints)
 	LPIterations     int64 // simplex iterations across those solves
@@ -40,6 +42,13 @@ type Stats struct {
 	IncumbentUpdates int64 // times the incumbent improved
 	HeuristicSolves  int64 // rounding-heuristic LPs (includes warm-start hints)
 	MaxOpen          int64 // high-water mark of the open-node queue
+
+	PresolveFixedVars       int64 // variables substituted out by root presolve
+	PresolveRemovedRows     int64 // rows eliminated (singleton, redundant, emptied)
+	PresolveTightenedBounds int64 // bound tightenings root presolve applied
+	PresolveTightenedCoefs  int64 // big-M coefficients (or RHSs) shrunk
+	PropagationPrunes       int64 // children pruned by domain propagation before any LP (not in Result.Nodes)
+	PseudocostBranches      int64 // branch decisions scored by reliable pseudocosts (vs most-fractional fallback)
 }
 
 // Progress is a point-in-time snapshot of a running solve, delivered to

@@ -209,12 +209,17 @@ func TermBounds(c, lo, hi float64) (float64, float64) {
 // exprBounds is interval arithmetic over a row: the tightest [lo, hi] the
 // row's left-hand side can take inside the variable bound box.
 func (m *Model) exprBounds(terms []Term) (lo, hi float64) {
+	var act Activity
 	for _, t := range terms {
-		a, b := TermBounds(t.Coef, m.Vars[t.Var].Lo, m.Vars[t.Var].Hi)
-		lo += a
-		hi += b
+		act.Add(t.Coef, m.Vars[t.Var].Lo, m.Vars[t.Var].Hi)
 	}
-	return lo, hi
+	if act.NaN {
+		// Preserve NaN poisoning: a NaN bound must not silently drop out of
+		// the interval (every comparison against NaN is false, so the row
+		// draws no interval diagnostic — the non-finite check owns it).
+		return math.NaN(), math.NaN()
+	}
+	return act.Lo(), act.Hi()
 }
 
 // Check runs every diagnostic over the model and returns the findings:

@@ -186,8 +186,21 @@ const (
 )
 
 // SolveStats is the branch-and-bound accounting of a solve: LP work, prune
-// reasons, incumbent updates (Result.Stats).
+// reasons, presolve reductions, incumbent updates (Result.Stats).
 type SolveStats = milp.Stats
+
+// BranchRule selects the branch-and-bound variable-selection rule
+// (SolverParams.Branching).
+type BranchRule = milp.BranchRule
+
+// Branching rules. BranchPseudocost (the zero value, and the default)
+// scores candidates by observed objective degradation per unit of
+// fractionality; BranchMostFractional is the pre-pseudocost rule, kept for
+// reproduction runs.
+const (
+	BranchPseudocost     = milp.BranchPseudocost
+	BranchMostFractional = milp.BranchMostFractional
+)
 
 // SolveProgress is a live snapshot of a running solve, delivered to
 // SolverParams.OnProgress.
