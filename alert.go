@@ -2,151 +2,31 @@ package raha
 
 import (
 	"context"
-	"fmt"
-	"time"
+
+	"raha/internal/alert"
 )
 
 // AlertConfig parameterizes the paper's two-phase production alerting loop
 // (§1, §3): phase 1 quickly checks whether a probable failure scenario
 // degrades the network at its peak demand (fixed demand — fast, the "<10
 // minutes" path); if not, phase 2 searches over the full demand envelope
-// (the "< an hour" path).
-type AlertConfig struct {
-	Topo    *Topology
-	Demands []DemandPaths
-
-	// Peak is the per-pair peak demand (phase 1's fixed matrix).
-	Peak Matrix
-	// Envelope is the variable-demand space for phase 2. A zero value
-	// defaults to [0, peak] per demand.
-	Envelope Envelope
-
-	// ProbThreshold restricts the search to probable scenarios. Required.
-	ProbThreshold float64
-
-	// Tolerance is the operator's pain threshold, normalized by mean LAG
-	// capacity: an alert is raised when degradation / meanLAGCapacity
-	// exceeds it.
-	Tolerance float64
-
-	ConnectivityEnforced bool
-	QuantBits            int
-
-	// Phase budgets (solver time limits). Zero means no limit.
-	Phase1Budget, Phase2Budget time.Duration
-
-	// Workers bounds the branch-and-bound parallelism of each phase's
-	// solve; 0 uses all cores.
-	Workers int
-
-	// Tracer and OnProgress flow into both phases' solver params (see
-	// SolverParams); either may be nil.
-	Tracer     Tracer
-	OnProgress func(SolveProgress)
-
-	// Check runs the static model checker before each phase's solve
-	// (SolverParams.Check).
-	Check bool
-
-	// DisablePresolve and Branching flow into both phases' solver params
-	// (SolverParams.DisablePresolve, SolverParams.Branching).
-	DisablePresolve bool
-	Branching       BranchRule
-}
+// (the "< an hour" path). See alert.Config for field docs; every field type
+// is re-exported by this package (Topology, DemandPaths, Matrix, Envelope,
+// Tracer, SolveProgress, BranchRule).
+type AlertConfig = alert.Config
 
 // AlertReport is the outcome of an alerting run.
-type AlertReport struct {
-	// Raised reports whether either phase found a degradation above the
-	// tolerance.
-	Raised bool
-	// Phase is 1 or 2 when Raised, 0 otherwise.
-	Phase int
-	// NormalizedDegradation is the worst degradation found, divided by the
-	// topology's mean LAG capacity (the paper's reporting unit).
-	NormalizedDegradation float64
-
-	Phase1, Phase2 *Result
-}
+type AlertReport = alert.Report
 
 // Alert runs the two-phase check. Phase 2 is skipped when phase 1 already
 // raises.
 func Alert(cfg AlertConfig) (*AlertReport, error) {
-	return AlertContext(context.Background(), cfg)
+	return alert.Run(context.Background(), cfg)
 }
 
 // AlertContext is Alert under a context: cancelling it interrupts whichever
 // phase is solving, which then reports the best scenario found so far (see
 // AnalyzeContext).
 func AlertContext(ctx context.Context, cfg AlertConfig) (*AlertReport, error) {
-	if cfg.Topo == nil || len(cfg.Demands) == 0 {
-		return nil, fmt.Errorf("raha: alert config needs a topology and demands")
-	}
-	if cfg.ProbThreshold <= 0 {
-		return nil, fmt.Errorf("raha: alerting requires a probability threshold (got %g)", cfg.ProbThreshold)
-	}
-	if len(cfg.Peak) != len(cfg.Demands) {
-		return nil, fmt.Errorf("raha: peak matrix covers %d demands, path set has %d", len(cfg.Peak), len(cfg.Demands))
-	}
-	norm := cfg.Topo.MeanLAGCapacity()
-	if norm <= 0 {
-		return nil, fmt.Errorf("raha: topology has no capacity")
-	}
-
-	rep := &AlertReport{}
-
-	// Phase 1: fixed peak demand — the healthy optimum is a constant and
-	// the MILP carries only failure variables.
-	p1, err := AnalyzeContext(ctx, Config{
-		Topo:                 cfg.Topo,
-		Demands:              cfg.Demands,
-		Envelope:             Fixed(cfg.Peak),
-		ProbThreshold:        cfg.ProbThreshold,
-		ConnectivityEnforced: cfg.ConnectivityEnforced,
-		Solver: SolverParams{
-			TimeLimit: cfg.Phase1Budget, Workers: cfg.Workers,
-			Tracer: cfg.Tracer, OnProgress: cfg.OnProgress, Check: cfg.Check,
-			DisablePresolve: cfg.DisablePresolve, Branching: cfg.Branching,
-		},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("raha: alert phase 1: %w", err)
-	}
-	rep.Phase1 = p1
-	rep.NormalizedDegradation = p1.Degradation / norm
-	if rep.NormalizedDegradation > cfg.Tolerance {
-		rep.Raised = true
-		rep.Phase = 1
-		return rep, nil
-	}
-
-	// Phase 2: search the demand envelope too.
-	env := cfg.Envelope
-	if len(env.Lo) == 0 {
-		env = UpTo(cfg.Peak, 0)
-	}
-	p2, err := AnalyzeContext(ctx, Config{
-		Topo:                 cfg.Topo,
-		Demands:              cfg.Demands,
-		Envelope:             env,
-		ProbThreshold:        cfg.ProbThreshold,
-		ConnectivityEnforced: cfg.ConnectivityEnforced,
-		QuantBits:            cfg.QuantBits,
-		Solver: SolverParams{
-			TimeLimit: cfg.Phase2Budget, Workers: cfg.Workers,
-			Tracer: cfg.Tracer, OnProgress: cfg.OnProgress, Check: cfg.Check,
-			DisablePresolve: cfg.DisablePresolve, Branching: cfg.Branching,
-		},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("raha: alert phase 2: %w", err)
-	}
-	rep.Phase2 = p2
-	if n := p2.Degradation / norm; n > rep.NormalizedDegradation {
-		rep.NormalizedDegradation = n
-	}
-	if rep.NormalizedDegradation > cfg.Tolerance {
-		rep.Raised = true
-		rep.Phase = 2
-	}
-	return rep, nil
+	return alert.Run(ctx, cfg)
 }

@@ -31,6 +31,12 @@ go run ./cmd/raha-lint ./...
 
 go test -race "$@" ./...
 
+# Ten seconds of native fuzzing on the Topology Zoo GML parser, seeded from
+# the committed fixture corpus: a crash or invariant violation found here
+# fails the build before it can land (the full campaigns run on demand with
+# a longer -fuzztime).
+go test ./internal/topology -run '^$' -fuzz '^FuzzParseGML$' -fuzztime 10s
+
 # The random-MILP corpus once more with presolve and domain propagation
 # switched off: the pre-reduction solver must stay correct on its own, so a
 # presolve bug can never hide behind the reductions (and vice versa).
@@ -42,6 +48,13 @@ go test ./internal/milp -run 'TestRandomMILPsAgainstBruteForce' -short -presolve
 # (NaN Big-M, contradictory bounds, trivially infeasible rows) fails CI
 # even if the solver would have limped through.
 go run ./cmd/raha analyze -topology b4 -check -budget 2s -q -progress=false >/dev/null
+
+# Whole-fleet batch alerting smoke: sweep the fixture corpus (which includes
+# two deliberately poisoned files) end to end through the CLI. The sweep
+# must exit 0 with the failures recorded as partial results — a regression
+# in the fault isolation turns them into a non-zero exit and fails CI here.
+go run ./cmd/raha alert -all -builtins=false -zoo-dir internal/topology/testdata \
+	-grid 'k=1;p=1e-3;d=peak' -budget-per-topo 10s -q -progress=false >/dev/null
 
 # One iteration of every internal benchmark (allocation counts and a solver
 # smoke signal, not statistically stable timings), recorded per commit. The

@@ -2,16 +2,18 @@
 // benchmark records (the BENCH_<commit>.json files ci.sh writes, which are
 // `go test -json -bench` streams). It extracts every benchmark's custom
 // metrics — nodes/sec (the branch-and-bound throughput figure the
-// performance roadmap tracks), warmstarts/solve, and coldfallbacks/solve —
-// and prints the old→new change side by side, with a warning for any
-// regression beyond a tolerance.
+// performance roadmap tracks), the fleet-sweep breadth figures cells/min
+// and topos/min, warmstarts/solve, and coldfallbacks/solve — and prints the
+// old→new change side by side, with a warning for any regression beyond a
+// tolerance.
 //
 //	raha-benchdiff BENCH_old.json BENCH_new.json
 //
-// Two regressions are flagged: a nodes/sec drop beyond regressTol, and a
-// growing cold-fallback share (cold / (warm + cold)) — the silent failure
-// mode where warm starts still "work" but more and more node LPs quietly
-// fall back to cold two-phase solves.
+// Two regressions are flagged: a throughput drop beyond regressTol on any
+// headline metric (nodes/sec, cells/min, topos/min), and a growing
+// cold-fallback share (cold / (warm + cold)) — the silent failure mode
+// where warm starts still "work" but more and more node LPs quietly fall
+// back to cold two-phase solves.
 //
 // The comparison is advisory: single-iteration CI benchmarks are a smoke
 // signal, not a statistically stable measurement, so the tool always exits
@@ -182,19 +184,32 @@ func coldShare(m map[string]float64) (float64, bool) {
 	return cold / (warm + cold), true
 }
 
-// report prints the old→new comparison for every benchmark present in both
-// records: the headline nodes/sec table, then the warm-start metrics, then
-// warnings for throughput regressions and growing cold-fallback shares.
-func report(w io.Writer, oldPath, newPath string, oldM, newM map[string]map[string]float64) {
-	nodes := diffMetric(oldM, newM, "nodes/sec")
-	if len(nodes) == 0 {
-		fmt.Fprintf(w, "benchdiff: no common nodes/sec benchmarks between %s and %s\n", oldPath, newPath)
-		return
-	}
+// headlineMetrics are the higher-is-better throughput figures diffed and
+// regression-checked per benchmark: branch-and-bound node throughput, and
+// the fleet-sweep breadth figures (grid cells and topologies analyzed per
+// minute, from BenchmarkFleetSweep).
+var headlineMetrics = []string{"nodes/sec", "cells/min", "topos/min"}
 
-	fmt.Fprintf(w, "benchdiff %s -> %s (nodes/sec)\n", oldPath, newPath)
-	for _, r := range nodes {
-		fmt.Fprintf(w, "  %-36s %10.1f -> %10.1f  %+6.1f%%\n", r.name, r.old, r.new, 100*r.change)
+// report prints the old→new comparison for every benchmark present in both
+// records: one table per headline throughput metric, then the warm-start
+// metrics, then warnings for throughput regressions and growing
+// cold-fallback shares.
+func report(w io.Writer, oldPath, newPath string, oldM, newM map[string]map[string]float64) {
+	tables := 0
+	for _, metric := range headlineMetrics {
+		rows := diffMetric(oldM, newM, metric)
+		if len(rows) == 0 {
+			continue
+		}
+		tables++
+		fmt.Fprintf(w, "benchdiff %s -> %s (%s)\n", oldPath, newPath, metric)
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-36s %10.1f -> %10.1f  %+6.1f%%\n", r.name, r.old, r.new, 100*r.change)
+		}
+	}
+	if tables == 0 {
+		fmt.Fprintf(w, "benchdiff: no common throughput benchmarks between %s and %s\n", oldPath, newPath)
+		return
 	}
 	for _, metric := range []string{"warmstarts/solve", "coldfallbacks/solve"} {
 		rows := diffMetric(oldM, newM, metric)
@@ -207,10 +222,12 @@ func report(w io.Writer, oldPath, newPath string, oldM, newM map[string]map[stri
 		}
 	}
 
-	for _, r := range nodes {
-		if r.change < -regressTol {
-			fmt.Fprintf(w, "WARNING: %s throughput regressed %.1f%% vs the last committed record (advisory; single-shot CI benchmarks are noisy)\n",
-				r.name, -100*r.change)
+	for _, metric := range headlineMetrics {
+		for _, r := range diffMetric(oldM, newM, metric) {
+			if r.change < -regressTol {
+				fmt.Fprintf(w, "WARNING: %s %s regressed %.1f%% vs the last committed record (advisory; single-shot CI benchmarks are noisy)\n",
+					r.name, metric, -100*r.change)
+			}
 		}
 	}
 	// The silent warm-start failure mode: throughput may look fine while an

@@ -176,6 +176,37 @@ func TestReportWarnsOnColdFallbackGrowth(t *testing.T) {
 	}
 }
 
+// TestReportDiffsSweepThroughput pins the fleet-sweep breadth metrics:
+// cells/min and topos/min get their own diff tables and the same >10%
+// advisory regression warning as nodes/sec — even in a record with no
+// nodes/sec benchmarks at all.
+func TestReportDiffsSweepThroughput(t *testing.T) {
+	sweep := func(cells, topos float64) map[string]float64 {
+		return map[string]float64{"cells/min": cells, "topos/min": topos}
+	}
+	oldM := map[string]map[string]float64{
+		"BenchmarkFleetSweep": sweep(600, 75), // cells/min -50%: warn
+	}
+	newM := map[string]map[string]float64{
+		"BenchmarkFleetSweep": sweep(300, 74), // topos/min -1.3%: quiet
+	}
+	var buf strings.Builder
+	report(&buf, "old.json", "new.json", oldM, newM)
+	out := buf.String()
+
+	for _, want := range []string{"(cells/min)", "(topos/min)", "-50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "WARNING:"); n != 1 {
+		t.Errorf("got %d warnings, want exactly 1 (cells/min):\n%s", n, out)
+	}
+	if !strings.Contains(out, "WARNING: BenchmarkFleetSweep cells/min regressed") {
+		t.Errorf("warning not attributed to the cells/min metric:\n%s", out)
+	}
+}
+
 func TestReportNoCommonBenchmarks(t *testing.T) {
 	var buf strings.Builder
 	report(&buf, "old.json", "new.json",

@@ -9,7 +9,10 @@
 //	augment  — iteratively add capacity until no probable failure degrades
 //	           the network.
 //	alert    — the production two-phase check: fixed peak demand first,
-//	           then the full demand envelope.
+//	           then the full demand envelope. With -all, sweeps a whole
+//	           fleet of topologies (built-ins, a Topology Zoo directory,
+//	           seeded synthetic WANs) crossed with a grid of analysis
+//	           settings and ranks the most fragile topologies.
 //
 // Topologies are selected with -topology: a built-in name (smallwan, b4,
 // uninett2010, cogentco, africa, figure1) or a path to a Topology Zoo GML
@@ -396,7 +399,11 @@ func candidateLAGs(top *raha.Topology, n int) [][2]raha.Node {
 func alert(ctx context.Context, args []string) (err error) {
 	c := newCommon("alert")
 	tolerance := c.fs.Float64("tolerance", 0.5, "alert when degradation exceeds this multiple of mean LAG capacity")
+	sw := newSweepFlags(c.fs)
 	c.fs.Parse(args)
+	if *sw.all {
+		return alertAll(ctx, c, sw, *tolerance)
+	}
 	o, err := c.obs.start()
 	if err != nil {
 		return err
@@ -423,6 +430,7 @@ func alert(ctx context.Context, args []string) (err error) {
 		Envelope:             env,
 		ProbThreshold:        *c.threshold,
 		Tolerance:            *tolerance,
+		MaxFailures:          *c.maxFail,
 		ConnectivityEnforced: *c.ce,
 		Phase1Budget:         *c.budget,
 		Phase2Budget:         *c.budget,

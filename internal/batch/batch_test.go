@@ -1,0 +1,368 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"raha/internal/obs"
+	"raha/internal/topology"
+)
+
+// tinyGrid keeps sweep tests fast: one cell per topology.
+func tinyGrid() Grid {
+	return Grid{
+		MaxFailures: []int{1},
+		Thresholds:  []float64{1e-3},
+		Demands:     []DemandModel{namedDemandModels["peak"]},
+	}
+}
+
+// memTracer records emitted events for assertions.
+type memTracer struct {
+	mu     sync.Mutex
+	events []string // "layer/ev"
+}
+
+func (m *memTracer) Emit(layer, ev string, fields obs.F) {
+	m.mu.Lock()
+	m.events = append(m.events, layer+"/"+ev)
+	m.mu.Unlock()
+}
+
+func (m *memTracer) count(key string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.events {
+		if e == key {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSweepFixtureCorpus runs the real sweep over the committed GML corpus.
+// The corpus deliberately contains two poisoned files — dupid.gml (parse
+// error) and isolated.gml (disconnected) — so this test pins the acceptance
+// criterion: a fleet with failing members completes, records the failures as
+// partial results, and still ranks the healthy topologies.
+func TestSweepFixtureCorpus(t *testing.T) {
+	sources, err := ZooDir("../topology/testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) < 6 {
+		t.Fatalf("fixture corpus too small: %d sources", len(sources))
+	}
+	tr := &memTracer{}
+	rep, err := Run(context.Background(), Config{
+		Sources:       sources,
+		Grid:          tinyGrid(),
+		Tolerance:     0.05,
+		BudgetPerTopo: 30 * time.Second,
+		Tracer:        tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cancelled {
+		t.Error("uncancelled sweep reported Cancelled")
+	}
+	if rep.TopoCount != len(sources) {
+		t.Errorf("TopoCount %d, want %d", rep.TopoCount, len(sources))
+	}
+
+	wantFailures := map[string]string{
+		"dupid":    "duplicate node id",
+		"isolated": "not connected",
+	}
+	for _, tres := range rep.Topologies {
+		want, poisoned := wantFailures[tres.Name]
+		if poisoned {
+			if !strings.Contains(tres.Err, want) {
+				t.Errorf("topology %s: Err %q, want substring %q", tres.Name, tres.Err, want)
+			}
+			if len(tres.Cells) != 0 {
+				t.Errorf("failed topology %s has %d cell results", tres.Name, len(tres.Cells))
+			}
+			continue
+		}
+		if tres.Err != "" {
+			t.Errorf("topology %s failed unexpectedly: %s", tres.Name, tres.Err)
+		}
+		for _, cr := range tres.Cells {
+			if cr.Err != "" {
+				t.Errorf("topology %s cell %s failed: %s", tres.Name, cr.Cell.Name(), cr.Err)
+				continue
+			}
+			// The acceptance invariant, re-asserted from the outside.
+			if cr.Raised != (cr.Normalized > 0.05) {
+				t.Errorf("topology %s cell %s: raised=%v with normalized %g",
+					tres.Name, cr.Cell.Name(), cr.Raised, cr.Normalized)
+			}
+			if cr.Status == "" {
+				t.Errorf("topology %s cell %s: empty solve status", tres.Name, cr.Cell.Name())
+			}
+		}
+	}
+	if rep.TopoFailed != len(wantFailures) {
+		t.Errorf("TopoFailed %d, want %d", rep.TopoFailed, len(wantFailures))
+	}
+	if len(rep.Failures) < len(wantFailures) {
+		t.Errorf("Failures has %d entries, want at least %d", len(rep.Failures), len(wantFailures))
+	}
+	if rep.CellsOK == 0 {
+		t.Error("no successful cells over the fixture corpus")
+	}
+	if rep.CellsOK+rep.CellsFailed != rep.CellsTotal {
+		t.Errorf("cell counts inconsistent: %d ok + %d failed != %d total", rep.CellsOK, rep.CellsFailed, rep.CellsTotal)
+	}
+
+	// Ranking: only healthy topologies, most fragile first.
+	if len(rep.Ranking) != len(sources)-len(wantFailures) {
+		t.Errorf("ranking has %d entries, want %d", len(rep.Ranking), len(sources)-len(wantFailures))
+	}
+	for i := 1; i < len(rep.Ranking); i++ {
+		if rep.Ranking[i].Normalized > rep.Ranking[i-1].Normalized {
+			t.Errorf("ranking not sorted: %q (%g) after %q (%g)",
+				rep.Ranking[i].Name, rep.Ranking[i].Normalized,
+				rep.Ranking[i-1].Name, rep.Ranking[i-1].Normalized)
+		}
+	}
+	for _, fe := range rep.Ranking {
+		if _, poisoned := wantFailures[fe.Name]; poisoned {
+			t.Errorf("failed topology %q appears in the fragility ranking", fe.Name)
+		}
+	}
+
+	if rep.CellsPerMin <= 0 || rep.ToposPerMin <= 0 {
+		t.Errorf("throughput not computed: %g cells/min, %g topos/min", rep.CellsPerMin, rep.ToposPerMin)
+	}
+	if got := tr.count("batch/sweep_topo_start"); got != len(sources) {
+		t.Errorf("sweep_topo_start emitted %d times, want %d", got, len(sources))
+	}
+	if got := tr.count("batch/sweep_topo_end"); got != len(sources) {
+		t.Errorf("sweep_topo_end emitted %d times, want %d", got, len(sources))
+	}
+}
+
+// TestSweepSourceFaultTolerance injects every loader failure mode next to a
+// healthy builtin: a panic, an error, and a nil-without-error return must
+// each become that topology's recorded failure while the healthy topology
+// still completes.
+func TestSweepSourceFaultTolerance(t *testing.T) {
+	sources := []Source{
+		{Name: "panics", Kind: "test", Load: func() (*topology.Topology, error) { panic("boom") }},
+		{Name: "errors", Kind: "test", Load: func() (*topology.Topology, error) { return nil, errors.New("no such fleet") }},
+		{Name: "nilnil", Kind: "test", Load: func() (*topology.Topology, error) { return nil, nil }},
+		{Name: "b4", Kind: "builtin", Load: func() (*topology.Topology, error) { return topology.B4(), nil }},
+	}
+	rep, err := Run(context.Background(), Config{
+		Sources:       sources,
+		Grid:          tinyGrid(),
+		Tolerance:     0.05,
+		BudgetPerTopo: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"panics": "load panicked: boom",
+		"errors": "no such fleet",
+		"nilnil": "loader returned no topology",
+	}
+	for _, tres := range rep.Topologies {
+		if sub, bad := want[tres.Name]; bad {
+			if !strings.Contains(tres.Err, sub) {
+				t.Errorf("topology %s: Err %q, want substring %q", tres.Name, tres.Err, sub)
+			}
+			continue
+		}
+		if tres.Err != "" {
+			t.Errorf("b4 failed: %s", tres.Err)
+		}
+		if ok, _ := tres.cellCounts(); ok == 0 {
+			t.Error("b4 produced no successful cells")
+		}
+	}
+	if rep.TopoFailed != len(want) {
+		t.Errorf("TopoFailed %d, want %d", rep.TopoFailed, len(want))
+	}
+	if len(rep.Ranking) != 1 || rep.Ranking[0].Name != "b4" {
+		t.Errorf("ranking %+v, want exactly b4", rep.Ranking)
+	}
+}
+
+// TestSweepShardPartition checks that shards partition the fleet: every
+// source lands in exactly one shard, regardless of M.
+func TestSweepShardPartition(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	var sources []Source
+	for _, n := range names {
+		sources = append(sources, Source{
+			Name: n, Kind: "test",
+			Load: func() (*topology.Topology, error) { return nil, errors.New("stub") },
+		})
+	}
+	for _, numShards := range []int{1, 2, 3, 5, 7} {
+		seen := map[string]int{}
+		for shard := 1; shard <= numShards; shard++ {
+			rep, err := Run(context.Background(), Config{
+				Sources: sources,
+				Grid:    tinyGrid(),
+				Shard:   shard, NumShards: numShards,
+			})
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", shard, numShards, err)
+			}
+			if rep.Shard != shard || rep.NumShards != numShards {
+				t.Errorf("report echoes shard %d/%d, want %d/%d", rep.Shard, rep.NumShards, shard, numShards)
+			}
+			for _, tres := range rep.Topologies {
+				seen[tres.Name]++
+			}
+		}
+		for _, n := range names {
+			if seen[n] != 1 {
+				t.Errorf("M=%d: source %q swept by %d shards, want exactly 1", numShards, n, seen[n])
+			}
+		}
+	}
+}
+
+// TestSweepCancellationPartial cancels mid-sweep and expects a partial
+// report — no error, Cancelled set, completed work kept, unstarted
+// topologies marked skipped.
+func TestSweepCancellationPartial(t *testing.T) {
+	var sources []Source
+	for _, n := range []string{"one", "two", "three", "four"} {
+		sources = append(sources, Source{
+			Name: n, Kind: "test",
+			Load: func() (*topology.Topology, error) { return nil, errors.New("stub") },
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	first := true
+	rep, err := Run(ctx, Config{
+		Sources: sources,
+		Grid:    tinyGrid(),
+		Workers: 1, // serial, so cancelling after topology 1 skips 2..4
+		OnTopoDone: func(TopoResult) {
+			if first {
+				first = false
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("cancelled sweep must return the partial report without error, got %v", err)
+	}
+	if !rep.Cancelled {
+		t.Error("Cancelled not set")
+	}
+	var done, skipped int
+	for _, tres := range rep.Topologies {
+		if tres.Skipped {
+			skipped++
+			if !strings.Contains(tres.Err, "cancelled") {
+				t.Errorf("skipped topology %s: Err %q", tres.Name, tres.Err)
+			}
+		} else {
+			done++
+		}
+	}
+	if done < 1 || skipped < 1 {
+		t.Errorf("want at least one completed and one skipped topology, got %d done / %d skipped", done, skipped)
+	}
+	if done+skipped != len(sources) {
+		t.Errorf("slots unaccounted for: %d done + %d skipped != %d", done, skipped, len(sources))
+	}
+}
+
+func TestSweepConfigValidation(t *testing.T) {
+	good := func() (*topology.Topology, error) { return topology.B4(), nil }
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no sources", Config{}, "at least one topology"},
+		{"negative tolerance", Config{Sources: []Source{{Name: "x", Load: good}}, Tolerance: -1}, "negative tolerance"},
+		{"shard without M", Config{Sources: []Source{{Name: "x", Load: good}}, Shard: 1}, "both N and M"},
+		{"M without shard", Config{Sources: []Source{{Name: "x", Load: good}}, NumShards: 2}, "both N and M"},
+		{"shard out of range", Config{Sources: []Source{{Name: "x", Load: good}}, Shard: 3, NumShards: 2}, "does not exist"},
+		{"negative shard", Config{Sources: []Source{{Name: "x", Load: good}}, Shard: -1, NumShards: -1}, "negative shard"},
+		{"bad grid", Config{Sources: []Source{{Name: "x", Load: good}}, Grid: Grid{MaxFailures: []int{-1}, Thresholds: []float64{1e-3}, Demands: []DemandModel{namedDemandModels["peak"]}}}, "negative k-failure"},
+		{"bad threshold", Config{Sources: []Source{{Name: "x", Load: good}}, Grid: Grid{MaxFailures: []int{0}, Thresholds: []float64{2}, Demands: []DemandModel{namedDemandModels["peak"]}}}, "outside (0, 1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(context.Background(), tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	t.Run("empty is default", func(t *testing.T) {
+		g, err := ParseGrid("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		def := DefaultGrid()
+		if len(g.Cells()) != len(def.Cells()) {
+			t.Fatalf("empty spec: %d cells, want %d", len(g.Cells()), len(def.Cells()))
+		}
+	})
+	t.Run("full spec", func(t *testing.T) {
+		g, err := ParseGrid(" k=0,2 ; p=1e-4,1e-3 ; d=peak,surge ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := g.Cells()
+		if len(cells) != 8 {
+			t.Fatalf("%d cells, want 2*2*2=8", len(cells))
+		}
+		// k varies outermost, demand innermost.
+		if got := cells[0].Name(); got != "k0/p1e-04/peak" {
+			t.Errorf("first cell %q", got)
+		}
+		if got := cells[7].Name(); got != "k2/p1e-03/surge" {
+			t.Errorf("last cell %q", got)
+		}
+	})
+	t.Run("partial spec keeps defaults", func(t *testing.T) {
+		g, err := ParseGrid("k=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		def := DefaultGrid()
+		if len(g.MaxFailures) != 1 || g.MaxFailures[0] != 1 {
+			t.Errorf("k = %v", g.MaxFailures)
+		}
+		if len(g.Thresholds) != len(def.Thresholds) || len(g.Demands) != len(def.Demands) {
+			t.Errorf("omitted dimensions not defaulted: %+v", g)
+		}
+	})
+	bad := []struct{ spec, want string }{
+		{"k=x", "grid k value"},
+		{"p=zero", "grid p value"},
+		{"d=nope", "unknown demand model"},
+		{"q=1", "unknown grid dimension"},
+		{"k0,2", "not key=v1,v2"},
+		{"p=0", "outside (0, 1]"},
+		{"k=-1", "negative k-failure"},
+	}
+	for _, tc := range bad {
+		if _, err := ParseGrid(tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseGrid(%q): want error containing %q, got %v", tc.spec, tc.want, err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package batch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"raha/internal/topology"
+)
+
+// Zoo files carry no failure telemetry; the sweep assigns a uniform link
+// down-probability the way the paper assigns production-derived values to
+// Topology Zoo graphs, and a default capacity to edges without LinkSpeedRaw.
+const (
+	zooDefaultCapacity = 100
+	zooLinkFailProb    = 0.001
+)
+
+// Source is one topology the sweep will analyze: a display name, the kind
+// it came from (builtin, gml, synthetic), and a lazy loader. Load runs
+// inside the sweep's failure isolation, so a loader may return an error (or
+// even panic) without harming the rest of the fleet.
+type Source struct {
+	Name string
+	Kind string
+	Load func() (*topology.Topology, error)
+}
+
+// Builtins returns the four built-in paper topologies.
+func Builtins() []Source {
+	mk := func(name string, f func() *topology.Topology) Source {
+		return Source{Name: name, Kind: "builtin", Load: func() (*topology.Topology, error) { return f(), nil }}
+	}
+	return []Source{
+		mk("b4", topology.B4),
+		mk("uninett2010", topology.Uninett2010),
+		mk("cogentco", topology.Cogentco),
+		mk("africawan", topology.AfricaWAN),
+	}
+}
+
+// ZooDir lists every *.gml file under dir (sorted by filename, so shard
+// assignment is stable) as a source. Parsing happens lazily at sweep time:
+// a malformed file becomes that topology's recorded failure, not an error
+// here. The only error is an unreadable directory.
+func ZooDir(dir string) ([]Source, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("batch: zoo dir: %w", err)
+	}
+	var out []Source
+	for _, e := range entries {
+		if e.IsDir() || !strings.EqualFold(filepath.Ext(e.Name()), ".gml") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		out = append(out, Source{
+			Name: name,
+			Kind: "gml",
+			Load: func() (*topology.Topology, error) {
+				src, err := os.ReadFile(path)
+				if err != nil {
+					return nil, err
+				}
+				top, err := topology.ParseGML(string(src), zooDefaultCapacity)
+				if err != nil {
+					return nil, err
+				}
+				top.SetLinkFailProb(zooLinkFailProb)
+				return top, nil
+			},
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Synthetic returns n seeded random WANs of growing size, deterministic in
+// baseSeed. Sizes start small (10 nodes) and grow by 6 nodes per source,
+// with multi-link LAGs like the production topology's shape.
+func Synthetic(n int, baseSeed int64) []Source {
+	out := make([]Source, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := topology.GenConfig{
+			Nodes:            10 + 6*i,
+			LAGs:             (10 + 6*i) * 3 / 2,
+			ExtraLinks:       (10 + 6*i) / 4,
+			Seed:             baseSeed + int64(i),
+			MeanLinkCapacity: 1000,
+		}
+		out = append(out, Source{
+			Name: fmt.Sprintf("synthetic-n%d-s%d", cfg.Nodes, cfg.Seed),
+			Kind: "synthetic",
+			Load: func() (*topology.Topology, error) { return topology.Generate(cfg) },
+		})
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fingerprint captures a generated topology's full structure — nodes, LAG
+// endpoints, per-link capacity and failure probability — so determinism
+// checks compare everything the generator randomizes, not just counts.
+func fingerprint(t *Topology) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d;", t.NumNodes())
+	for _, l := range t.LAGs() {
+		fmt.Fprintf(&b, "%d-%d[", l.A, l.B)
+		for _, ln := range l.Links {
+			fmt.Fprintf(&b, "%.6g@%.6g,", ln.Capacity, ln.FailProb)
+		}
+		b.WriteString("];")
+	}
+	return b.String()
+}
+
+// TestGenerateProperties sweeps a grid of generator configurations and
+// asserts the properties every consumer (the sweep harness, the paper
+// reproduction experiments) relies on: connectivity, exact LAG and link
+// counts, bounded capacities, valid failure probabilities, and per-seed
+// determinism.
+func TestGenerateProperties(t *testing.T) {
+	type dims struct {
+		nodes, lags, extra int
+		seed               int64
+	}
+	var grid []dims
+	for _, n := range []int{2, 3, 10, 40} {
+		maxLAGs := n * (n - 1) / 2
+		for _, lags := range []int{n - 1, (n - 1 + maxLAGs) / 2, maxLAGs} {
+			for _, extra := range []int{0, n / 2} {
+				for _, seed := range []int64{0, 1, 12345} {
+					grid = append(grid, dims{n, lags, extra, seed})
+				}
+			}
+		}
+	}
+	for _, d := range grid {
+		t.Run(fmt.Sprintf("n%d_l%d_x%d_s%d", d.nodes, d.lags, d.extra, d.seed), func(t *testing.T) {
+			const meanCap = 200.0
+			cfg := GenConfig{Nodes: d.nodes, LAGs: d.lags, ExtraLinks: d.extra, Seed: d.seed, MeanLinkCapacity: meanCap}
+			top, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !top.Connected() {
+				t.Error("generated topology is not connected")
+			}
+			if top.NumNodes() != d.nodes {
+				t.Errorf("nodes: got %d, want %d", top.NumNodes(), d.nodes)
+			}
+			if top.NumLAGs() != d.lags {
+				t.Errorf("LAGs: got %d, want exactly %d", top.NumLAGs(), d.lags)
+			}
+			if want := d.lags + d.extra; top.NumLinks() != want {
+				t.Errorf("links: got %d, want LAGs+extra = %d", top.NumLinks(), want)
+			}
+			if top.MeanLAGCapacity() <= 0 {
+				t.Errorf("mean LAG capacity %g, want > 0", top.MeanLAGCapacity())
+			}
+			seen := map[[2]Node]bool{}
+			for _, l := range top.LAGs() {
+				if l.A == l.B {
+					t.Fatalf("LAG %d is a self-loop", l.ID)
+				}
+				key := [2]Node{l.A, l.B}
+				if l.B < l.A {
+					key = [2]Node{l.B, l.A}
+				}
+				if seen[key] {
+					t.Errorf("duplicate LAG between %d and %d", key[0], key[1])
+				}
+				seen[key] = true
+				for _, ln := range l.Links {
+					// Member capacities vary ±50% around the configured mean.
+					if ln.Capacity < meanCap*0.5 || ln.Capacity > meanCap*1.5 {
+						t.Errorf("LAG %d link capacity %g outside [%g, %g]", l.ID, ln.Capacity, meanCap*0.5, meanCap*1.5)
+					}
+					if ln.FailProb <= 0 || ln.FailProb >= 1 {
+						t.Errorf("LAG %d link FailProb %g outside (0,1)", l.ID, ln.FailProb)
+					}
+				}
+			}
+			// Same seed, same WAN — down to every capacity and probability.
+			again, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fingerprint(again) != fingerprint(top) {
+				t.Error("same seed produced a different topology")
+			}
+			// A different seed must move something on any non-trivial graph.
+			other, err := Generate(GenConfig{Nodes: d.nodes, LAGs: d.lags, ExtraLinks: d.extra, Seed: d.seed + 1, MeanLinkCapacity: meanCap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fingerprint(other) == fingerprint(top) {
+				t.Error("different seed produced an identical topology (capacities and probabilities included)")
+			}
+		})
+	}
+}
+
+// TestGenerateCustomFailProbs checks that a caller-supplied probability pool
+// is the only source of link failure probabilities.
+func TestGenerateCustomFailProbs(t *testing.T) {
+	pool := []float64{0.125, 0.25}
+	top, err := Generate(GenConfig{Nodes: 12, LAGs: 20, ExtraLinks: 6, Seed: 3, FailProbs: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[float64]bool{}
+	for _, p := range pool {
+		allowed[p] = true
+	}
+	seen := map[float64]bool{}
+	for _, l := range top.LAGs() {
+		for _, ln := range l.Links {
+			if !allowed[ln.FailProb] {
+				t.Fatalf("LAG %d link FailProb %g not drawn from the configured pool", l.ID, ln.FailProb)
+			}
+			seen[ln.FailProb] = true
+		}
+	}
+	if len(seen) != len(pool) {
+		t.Errorf("26 links drew only %d of %d pool values — suspicious sampling", len(seen), len(pool))
+	}
+}
+
+// TestGenerateInfeasibleConfigs enumerates the rejection paths, including
+// the boundary values around each limit.
+func TestGenerateInfeasibleConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  GenConfig
+		want string // error substring; empty = must succeed
+	}{
+		{"zero nodes", GenConfig{Nodes: 0, LAGs: 0}, "at least 2 nodes"},
+		{"one node", GenConfig{Nodes: 1, LAGs: 0}, "at least 2 nodes"},
+		{"negative nodes", GenConfig{Nodes: -4, LAGs: 3}, "at least 2 nodes"},
+		{"tree minus one", GenConfig{Nodes: 5, LAGs: 3}, "cannot connect"},
+		{"exactly a tree", GenConfig{Nodes: 5, LAGs: 4}, ""},
+		{"complete graph", GenConfig{Nodes: 5, LAGs: 10}, ""},
+		{"complete plus one", GenConfig{Nodes: 5, LAGs: 11}, "exceed"},
+		{"two nodes one LAG", GenConfig{Nodes: 2, LAGs: 1}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			top, err := Generate(tc.cfg)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("want success, got %v", err)
+				}
+				if top.NumLAGs() != tc.cfg.LAGs {
+					t.Errorf("LAGs: got %d, want %d", top.NumLAGs(), tc.cfg.LAGs)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}

@@ -50,8 +50,17 @@ func ParseGML(src string, defaultCapacity float64) (*Topology, error) {
 			label = fmt.Sprintf("n%d", id)
 		}
 		// Zoo files occasionally repeat labels; disambiguate with the id.
+		// The id-suffixed name can itself collide with a crafted label, so
+		// keep extending until it is unique — AddNode silently returning an
+		// existing node would merge two GML ids into one graph node.
 		if _, exists := t.NodeByName(label); exists {
 			label = fmt.Sprintf("%s#%d", label, id)
+			for {
+				if _, exists := t.NodeByName(label); !exists {
+					break
+				}
+				label += "+"
+			}
 		}
 		idToNode[id] = t.AddNode(label)
 	}
@@ -149,6 +158,11 @@ type gmlItem struct {
 	isBlock  bool
 }
 
+// maxGMLID bounds ids parsed from the float fallback: float64→int
+// conversion is implementation-defined outside the int range, and no real
+// Zoo file needs ids anywhere near this large.
+const maxGMLID = 1 << 40
+
 func (g *gmlItem) intAttr(key string) (int, bool) {
 	for _, c := range g.children {
 		if c.key == key && !c.isBlock {
@@ -158,7 +172,7 @@ func (g *gmlItem) intAttr(key string) (int, bool) {
 			}
 			// Some Zoo files write ids as floats.
 			f, err := strconv.ParseFloat(c.value, 64)
-			if err == nil {
+			if err == nil && f >= -maxGMLID && f <= maxGMLID {
 				return int(f), true
 			}
 		}
@@ -196,9 +210,16 @@ func findBlock(items []gmlItem, key string) (*gmlItem, bool) {
 }
 
 type gmlParser struct {
-	toks []gmlToken
-	pos  int
+	toks  []gmlToken
+	pos   int
+	depth int
 }
+
+// maxGMLDepth caps block nesting. The parser recurses per '[', so without a
+// limit a crafted "a [ a [ a [ ..." input overflows the goroutine stack —
+// an unrecoverable crash, found by FuzzParseGML. Real Zoo files nest two
+// levels (graph → node/edge → graphics).
+const maxGMLDepth = 64
 
 // block parses a sequence of key/value and key/[...] items until a closing
 // bracket or end of input.
@@ -220,8 +241,12 @@ func (p *gmlParser) block() ([]gmlItem, error) {
 		v := p.toks[p.pos]
 		switch v.kind {
 		case '[':
+			if p.depth++; p.depth > maxGMLDepth {
+				return nil, fmt.Errorf("topology: GML nesting deeper than %d blocks", maxGMLDepth)
+			}
 			p.pos++
 			children, err := p.block()
+			p.depth--
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,132 @@
+package topology
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureExpect pins what ParseGML must produce for one committed fixture.
+// Every file in testdata/ must have an entry; the test fails on an
+// uncovered fixture so the corpus and the table cannot drift apart.
+type fixtureExpect struct {
+	nodes, lags, links int
+	connected          bool
+	wantErr            string // non-empty: parse must fail with this substring
+	check              func(t *testing.T, top *Topology)
+}
+
+var fixtureTable = map[string]fixtureExpect{
+	"triangle.gml": {nodes: 3, lags: 3, links: 3, connected: true,
+		check: func(t *testing.T, top *Topology) {
+			// LinkSpeedRaw is bits/s; 20 Gb/s must become capacity 20.
+			a, _ := top.NodeByName("A")
+			c, _ := top.NodeByName("C")
+			if id := top.LAGBetween(a, c); id < 0 || top.LAG(id).Capacity() != 20 {
+				t.Errorf("A-C capacity: want 20, got LAG %d", id)
+			}
+		}},
+	"line4.gml": {nodes: 4, lags: 3, links: 3, connected: true,
+		check: func(t *testing.T, top *Topology) {
+			// No LinkSpeedRaw anywhere: every link takes the default.
+			for _, l := range top.LAGs() {
+				if l.Capacity() != fixtureDefaultCap {
+					t.Errorf("LAG %d capacity %g, want default %g", l.ID, l.Capacity(), fixtureDefaultCap)
+				}
+			}
+		}},
+	"multigraph.gml": {nodes: 3, lags: 2, links: 4, connected: true,
+		check: func(t *testing.T, top *Topology) {
+			// Three parallel left-mid edges merge into one 3-link LAG
+			// (direction does not matter on an undirected multigraph).
+			left, _ := top.NodeByName("left")
+			mid, _ := top.NodeByName("mid")
+			id := top.LAGBetween(left, mid)
+			if id < 0 || len(top.LAG(id).Links) != 3 {
+				t.Fatalf("left-mid LAG: want 3 member links, got %+v", top.LAG(id))
+			}
+			if got := top.LAG(id).Capacity(); got != 25 {
+				t.Errorf("left-mid capacity: want 10+10+5=25, got %g", got)
+			}
+		}},
+	"star5.gml": {nodes: 5, lags: 4, links: 4, connected: true},
+	"unicode.gml": {nodes: 4, lags: 4, links: 4, connected: true,
+		check: func(t *testing.T, top *Topology) {
+			for _, name := range []string{"Zürich", "København", "東京", "São Paulo"} {
+				if _, ok := top.NodeByName(name); !ok {
+					t.Errorf("node %q missing", name)
+				}
+			}
+		}},
+	"isolated.gml": {nodes: 4, lags: 3, links: 3, connected: false},
+	"zerocap.gml": {nodes: 3, lags: 3, links: 3, connected: true,
+		check: func(t *testing.T, top *Topology) {
+			// Zero, negative, and absent speeds all fall back to default.
+			for _, l := range top.LAGs() {
+				if l.Capacity() != fixtureDefaultCap {
+					t.Errorf("LAG %d capacity %g, want default %g", l.ID, l.Capacity(), fixtureDefaultCap)
+				}
+			}
+		}},
+	"selfloop.gml": {nodes: 3, lags: 2, links: 2, connected: true,
+		check: func(t *testing.T, top *Topology) {
+			// Duplicate labels are disambiguated with the id suffix.
+			if _, ok := top.NodeByName("dup#1"); !ok {
+				t.Error("second \"dup\" node not disambiguated to dup#1")
+			}
+		}},
+	"dupid.gml":    {wantErr: "duplicate node id"},
+	"zoostyle.gml": {nodes: 3, lags: 2, links: 2, connected: true},
+}
+
+const fixtureDefaultCap = 100.0
+
+func TestParseGMLFixtureCorpus(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".gml") {
+			continue
+		}
+		seen++
+		name := e.Name()
+		want, ok := fixtureTable[name]
+		if !ok {
+			t.Errorf("fixture %s has no expectation entry — add it to fixtureTable", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			top, err := ParseGML(string(src), fixtureDefaultCap)
+			if want.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), want.wantErr) {
+					t.Fatalf("want error containing %q, got %v", want.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if top.NumNodes() != want.nodes || top.NumLAGs() != want.lags || top.NumLinks() != want.links {
+				t.Fatalf("shape: got %d nodes / %d LAGs / %d links, want %d/%d/%d",
+					top.NumNodes(), top.NumLAGs(), top.NumLinks(), want.nodes, want.lags, want.links)
+			}
+			if top.Connected() != want.connected {
+				t.Fatalf("connected: got %v, want %v", top.Connected(), want.connected)
+			}
+			if want.check != nil {
+				want.check(t, top)
+			}
+		})
+	}
+	if seen != len(fixtureTable) {
+		t.Errorf("testdata has %d fixtures, table covers %d — remove stale entries", seen, len(fixtureTable))
+	}
+}

@@ -1,0 +1,112 @@
+package topology
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseGMLHardening pins the parser fixes the fuzz target depends on:
+// bounded nesting instead of a stack overflow, rejected out-of-range float
+// ids, and label disambiguation that cannot merge two GML ids into one
+// node even when the id-suffixed name is itself taken.
+func TestParseGMLHardening(t *testing.T) {
+	if _, err := ParseGML("graph [ "+strings.Repeat("a [ ", 200000), 100); err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("deep nesting: want nesting error, got %v", err)
+	}
+	if _, err := ParseGML("graph [ node [ id 1e30 ] ]", 100); err == nil {
+		t.Fatal("out-of-range float id must not parse as a node id")
+	}
+	top, err := ParseGML(`graph [
+		node [ id 1 label "x" ]
+		node [ id 2 label "x" ]
+		node [ id 3 label "x#2" ]
+		edge [ source 1 target 2 ]
+		edge [ source 2 target 3 ]
+	]`, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumNodes() != 3 || top.NumLAGs() != 2 {
+		t.Fatalf("crafted label collision merged nodes: %d nodes / %d LAGs", top.NumNodes(), top.NumLAGs())
+	}
+}
+
+// FuzzParseGML drives the Zoo parser with arbitrary bytes. The corpus is
+// seeded from the committed fixture files plus the shapes that have bitten
+// before: deep nesting (stack overflow before maxGMLDepth existed), float
+// ids, crafted label collisions, and truncated input. On a successful
+// parse the resulting topology must satisfy the structural invariants the
+// rest of the system assumes.
+//
+// ci.sh runs a 10-second smoke pass: go test ./internal/topology -run '^$'
+// -fuzz '^FuzzParseGML$' -fuzztime 10s.
+func FuzzParseGML(f *testing.F) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".gml") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	f.Add([]byte("graph [ node [ id 0 ] ]"))
+	f.Add([]byte("graph ["))
+	f.Add([]byte(strings.Repeat("a [ ", 100)))
+	f.Add([]byte(`graph [ node [ id 1.5 label "x" ] node [ id 2 label "x#1" ] node [ id 1e30 ] ]`))
+	f.Add([]byte("graph [ node [ id 0 ] edge [ source 0 target 0 LinkSpeedRaw 1e999 ] ]"))
+	f.Add([]byte("# only a comment\n"))
+	f.Add([]byte(`graph [ node [ id 0 label "unterminated ]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const defCap = 100.0
+		top, err := ParseGML(string(data), defCap)
+		if err != nil {
+			if top != nil {
+				t.Fatal("error with non-nil topology")
+			}
+			return
+		}
+		if top.NumNodes() == 0 {
+			t.Fatal("successful parse with zero nodes")
+		}
+		// Every LAG must be a real edge with at least one finite-capacity,
+		// positively-capacitated link; self-loops must have been dropped.
+		for _, l := range top.LAGs() {
+			if l.A == l.B {
+				t.Fatalf("LAG %d is a self-loop", l.ID)
+			}
+			if len(l.Links) == 0 {
+				t.Fatalf("LAG %d has no links", l.ID)
+			}
+			for _, ln := range l.Links {
+				if math.IsNaN(ln.Capacity) || math.IsInf(ln.Capacity, 0) || ln.Capacity <= 0 {
+					t.Fatalf("LAG %d link capacity %g", l.ID, ln.Capacity)
+				}
+			}
+		}
+		if m := top.MeanLAGCapacity(); math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+			t.Fatalf("mean LAG capacity %g", m)
+		}
+		top.Connected() // must not panic on any accepted shape
+		if c := top.Clone(); c.NumNodes() != top.NumNodes() || c.NumLAGs() != top.NumLAGs() || c.NumLinks() != top.NumLinks() {
+			t.Fatal("clone changed the shape")
+		}
+		// Parsing is deterministic.
+		again, err := ParseGML(string(data), defCap)
+		if err != nil {
+			t.Fatalf("second parse failed: %v", err)
+		}
+		if again.NumNodes() != top.NumNodes() || again.NumLAGs() != top.NumLAGs() || again.NumLinks() != top.NumLinks() {
+			t.Fatal("parse is not deterministic")
+		}
+	})
+}

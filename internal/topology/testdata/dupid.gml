@@ -1,0 +1,7 @@
+# Duplicate node id: corrupt input must fail the parse, not silently
+# re-point edges (the sweep records this file as a load failure).
+graph [
+  node [ id 0 label "first" ]
+  node [ id 0 label "second" ]
+  edge [ source 0 target 0 ]
+]

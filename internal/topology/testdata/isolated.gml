@@ -1,0 +1,11 @@
+# Parses cleanly but is not connected: node "alone" has no edges. The
+# sweep must record this topology as a partial-result failure, not die.
+graph [
+  node [ id 0 label "a" ]
+  node [ id 1 label "b" ]
+  node [ id 2 label "c" ]
+  node [ id 3 label "alone" ]
+  edge [ source 0 target 1 ]
+  edge [ source 1 target 2 ]
+  edge [ source 2 target 0 ]
+]

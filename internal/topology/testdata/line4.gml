@@ -1,0 +1,9 @@
+graph [
+  node [ id 0 label "w" ]
+  node [ id 1 label "x" ]
+  node [ id 2 label "y" ]
+  node [ id 3 label "z" ]
+  edge [ source 0 target 1 ]
+  edge [ source 1 target 2 ]
+  edge [ source 2 target 3 ]
+]

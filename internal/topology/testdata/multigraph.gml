@@ -1,0 +1,11 @@
+# The Zoo encodes parallel capacity as duplicate edges between the same
+# pair; they must merge into one multi-link LAG.
+graph [
+  node [ id 0 label "left" ]
+  node [ id 1 label "mid" ]
+  node [ id 2 label "right" ]
+  edge [ source 0 target 1 LinkSpeedRaw 10000000000 ]
+  edge [ source 0 target 1 LinkSpeedRaw 10000000000 ]
+  edge [ source 1 target 0 LinkSpeedRaw 5000000000 ]
+  edge [ source 1 target 2 LinkSpeedRaw 10000000000 ]
+]

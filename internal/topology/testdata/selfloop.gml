@@ -1,0 +1,10 @@
+# Self-loops occur in real Zoo files and are dropped; duplicate labels
+# are disambiguated with the node id.
+graph [
+  node [ id 0 label "dup" ]
+  node [ id 1 label "dup" ]
+  node [ id 2 label "other" ]
+  edge [ source 0 target 0 ]
+  edge [ source 0 target 1 ]
+  edge [ source 1 target 2 ]
+]

@@ -1,0 +1,29 @@
+graph [
+  node [
+    id 0
+    label "A"
+  ]
+  node [
+    id 1
+    label "B"
+  ]
+  node [
+    id 2
+    label "C"
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeedRaw 10000000000
+  ]
+  edge [
+    source 1
+    target 2
+    LinkSpeedRaw 10000000000
+  ]
+  edge [
+    source 2
+    target 0
+    LinkSpeedRaw 20000000000
+  ]
+]

@@ -1,0 +1,10 @@
+# Zero, negative, and missing LinkSpeedRaw must all fall back to the
+# caller's default capacity instead of producing a zero-capacity LAG.
+graph [
+  node [ id 0 label "p" ]
+  node [ id 1 label "q" ]
+  node [ id 2 label "r" ]
+  edge [ source 0 target 1 LinkSpeedRaw 0 ]
+  edge [ source 1 target 2 LinkSpeedRaw -5000000000 ]
+  edge [ source 2 target 0 ]
+]

@@ -1,0 +1,34 @@
+Creator "Topology Zoo Toolset"
+Version "1.0"
+graph [
+  directed 0
+  label "zoostyle"
+  node [
+    id 1.0
+    label "n one"
+    Longitude -73.9
+    Latitude 40.7
+    Internal 1
+  ]
+  node [
+    id 2.0
+    label "n two"
+    graphics [
+      x 10
+      y 20
+    ]
+  ]
+  node [
+    id 3
+  ]
+  edge [
+    source 1.0
+    target 2
+    LinkLabel "OC-192"
+    LinkSpeedRaw 9953280000
+  ]
+  edge [
+    source 2
+    target 3
+  ]
+]

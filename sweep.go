@@ -1,0 +1,82 @@
+package raha
+
+import (
+	"context"
+
+	"raha/internal/batch"
+)
+
+// --- Fleet sweeps --------------------------------------------------------------
+//
+// A sweep runs the two-phase alert check (see Alert) over a whole fleet of
+// topologies crossed with a grid of analysis settings, shards the work
+// across a bounded worker pool, and tolerates partial failure: one
+// malformed GML file, panicking generator, or exhausted budget becomes a
+// recorded failure in the report, never a dead sweep. Every cell
+// self-checks its solver invariants. See DESIGN.md §2.10.
+
+// SweepConfig parameterizes a fleet sweep (see batch.Config for field docs).
+type SweepConfig = batch.Config
+
+// SweepSource is one topology of the fleet: a name, a kind, and a lazy
+// loader that may fail without harming the rest of the sweep.
+type SweepSource = batch.Source
+
+// SweepGrid is the per-topology cell matrix: k-failure depths × probability
+// thresholds × demand models.
+type SweepGrid = batch.Grid
+
+// SweepCell is one point of the grid.
+type SweepCell = batch.Cell
+
+// SweepDemandModel shapes the demand side of a sweep cell.
+type SweepDemandModel = batch.DemandModel
+
+// SweepReport is a finished sweep: per-topology results, the ranked
+// most-fragile-topologies list, every recorded failure, and throughput.
+type SweepReport = batch.Report
+
+// SweepTopoResult is one topology's sweep outcome.
+type SweepTopoResult = batch.TopoResult
+
+// SweepCellResult is one grid cell's outcome on one topology.
+type SweepCellResult = batch.CellResult
+
+// SweepFailure is one recorded partial result of a sweep.
+type SweepFailure = batch.Failure
+
+// FragilityEntry is one row of the ranked "most fragile topologies" report.
+type FragilityEntry = batch.FragilityEntry
+
+// Sweep runs a fleet sweep to completion. Per-topology failures are
+// recorded in the report; only configuration mistakes return an error.
+func Sweep(cfg SweepConfig) (*SweepReport, error) {
+	return batch.Run(context.Background(), cfg)
+}
+
+// SweepContext is Sweep under a context: cancellation stops scheduling new
+// topologies and returns the partial report (Cancelled set) without error.
+func SweepContext(ctx context.Context, cfg SweepConfig) (*SweepReport, error) {
+	return batch.Run(ctx, cfg)
+}
+
+// SweepBuiltins returns the four built-in paper topologies as sweep sources.
+func SweepBuiltins() []SweepSource { return batch.Builtins() }
+
+// SweepZooDir lists every Topology Zoo GML file under dir as a lazily
+// parsed sweep source, sorted by filename for stable shard assignment.
+func SweepZooDir(dir string) ([]SweepSource, error) { return batch.ZooDir(dir) }
+
+// SweepSynthetic returns n seeded random WANs of growing size.
+func SweepSynthetic(n int, baseSeed int64) []SweepSource { return batch.Synthetic(n, baseSeed) }
+
+// DefaultSweepGrid is the standard 2×2×2 cell matrix.
+func DefaultSweepGrid() SweepGrid { return batch.DefaultGrid() }
+
+// ParseSweepGrid parses a "k=0,2;p=1e-4,1e-3;d=peak,elastic" grid spec;
+// omitted dimensions take the default grid's values.
+func ParseSweepGrid(spec string) (SweepGrid, error) { return batch.ParseGrid(spec) }
+
+// SweepDemandModelNames lists the named demand models a grid spec may
+// select.
+func SweepDemandModelNames() []string { return batch.DemandModelNames() }

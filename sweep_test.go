@@ -1,0 +1,73 @@
+package raha_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"raha"
+)
+
+// TestSweepFacade runs a one-cell sweep over the built-in fleet through the
+// public surface and checks the report is coherent.
+func TestSweepFacade(t *testing.T) {
+	grid, err := raha.ParseSweepGrid("k=1;p=1e-3;d=peak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := raha.SweepBuiltins()
+	rep, err := raha.SweepContext(context.Background(), raha.SweepConfig{
+		Sources:       sources,
+		Grid:          grid,
+		Tolerance:     0.05,
+		BudgetPerTopo: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TopoCount != len(sources) || rep.TopoFailed != 0 {
+		t.Fatalf("report: %d topologies, %d failed; want %d/0", rep.TopoCount, rep.TopoFailed, len(sources))
+	}
+	if rep.CellsOK != len(sources) || rep.CellsFailed != 0 {
+		t.Fatalf("cells: %d ok / %d failed, want %d/0", rep.CellsOK, rep.CellsFailed, len(sources))
+	}
+	if len(rep.Ranking) != len(sources) {
+		t.Fatalf("ranking has %d entries, want %d", len(rep.Ranking), len(sources))
+	}
+	for i := 1; i < len(rep.Ranking); i++ {
+		if rep.Ranking[i].Normalized > rep.Ranking[i-1].Normalized {
+			t.Errorf("ranking not sorted at %d", i)
+		}
+	}
+	if rep.CellsPerMin <= 0 {
+		t.Error("cells/min not computed")
+	}
+}
+
+// TestSweepSyntheticSources pins the synthetic source family: deterministic
+// names, loadable topologies, sizes growing with the index.
+func TestSweepSyntheticSources(t *testing.T) {
+	sources := raha.SweepSynthetic(3, 7)
+	if len(sources) != 3 {
+		t.Fatalf("want 3 sources, got %d", len(sources))
+	}
+	prevNodes := 0
+	for i, s := range sources {
+		top, err := s.Load()
+		if err != nil {
+			t.Fatalf("source %d (%s): %v", i, s.Name, err)
+		}
+		if !top.Connected() {
+			t.Errorf("source %s is disconnected", s.Name)
+		}
+		if top.NumNodes() <= prevNodes {
+			t.Errorf("source %s: %d nodes, want more than %d", s.Name, top.NumNodes(), prevNodes)
+		}
+		prevNodes = top.NumNodes()
+		// Loaders are reusable and deterministic.
+		again, err := s.Load()
+		if err != nil || again.NumNodes() != top.NumNodes() || again.NumLinks() != top.NumLinks() {
+			t.Errorf("source %s: reload differs (%v)", s.Name, err)
+		}
+	}
+}
