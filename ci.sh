@@ -56,6 +56,19 @@ go run ./cmd/raha analyze -topology b4 -check -budget 2s -q -progress=false >/de
 go run ./cmd/raha alert -all -builtins=false -zoo-dir internal/topology/testdata \
 	-grid 'k=1;p=1e-3;d=peak' -budget-per-topo 10s -q -progress=false >/dev/null
 
+# Trace-analysis smoke: a real traced solve must round-trip through
+# raha-trace. summarize exits non-zero on a malformed trace or one with
+# zero attributed time, workers on missing per-worker data — so a schema
+# drift between the solver's emit sites and the analyzer fails CI here.
+trace_tmp=$(mktemp /tmp/raha-trace-ci.XXXXXX.jsonl)
+trap 'rm -f "$trace_tmp"' EXIT
+go run ./cmd/raha analyze -topology b4 -budget 5s -workers 4 \
+	-trace "$trace_tmp" -q -progress=false >/dev/null
+go run ./cmd/raha-trace summarize "$trace_tmp" >/dev/null
+go run ./cmd/raha-trace workers "$trace_tmp" >/dev/null
+go run ./cmd/raha-trace tree "$trace_tmp" >/dev/null
+go run ./cmd/raha-trace diff "$trace_tmp" "$trace_tmp" >/dev/null
+
 # One iteration of every internal benchmark (allocation counts and a solver
 # smoke signal, not statistically stable timings), recorded per commit. The
 # repo-root benchmarks are full paper-scale sweeps and run only on demand.

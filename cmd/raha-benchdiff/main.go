@@ -185,10 +185,33 @@ func coldShare(m map[string]float64) (float64, bool) {
 }
 
 // headlineMetrics are the higher-is-better throughput figures diffed and
-// regression-checked per benchmark: branch-and-bound node throughput, and
-// the fleet-sweep breadth figures (grid cells and topologies analyzed per
-// minute, from BenchmarkFleetSweep).
-var headlineMetrics = []string{"nodes/sec", "cells/min", "topos/min"}
+// regression-checked per benchmark: branch-and-bound node throughput, the
+// fleet-sweep breadth figures (grid cells and topologies analyzed per
+// minute, from BenchmarkFleetSweep), and the worker-pool scaling figure
+// (speedup@4 / 4, from the *Scaling benchmarks).
+var headlineMetrics = []string{"nodes/sec", "cells/min", "topos/min", "parallel-efficiency"}
+
+// newMetricNotes lists what the new record measures that the old one does
+// not: whole benchmarks without a baseline, and new metrics on existing
+// benchmarks. Without the note, a freshly added metric would be silently
+// absent from every diff table and look like it was measured and unchanged.
+func newMetricNotes(oldM, newM map[string]map[string]float64) []string {
+	var notes []string
+	for name, nm := range newM {
+		om, ok := oldM[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("note: new benchmark %s (no baseline in old record)", name))
+			continue
+		}
+		for metric := range nm {
+			if _, ok := om[metric]; !ok {
+				notes = append(notes, fmt.Sprintf("note: new metric %s on %s (no baseline in old record)", metric, name))
+			}
+		}
+	}
+	sort.Strings(notes)
+	return notes
+}
 
 // report prints the old→new comparison for every benchmark present in both
 // records: one table per headline throughput metric, then the warm-start
@@ -207,9 +230,16 @@ func report(w io.Writer, oldPath, newPath string, oldM, newM map[string]map[stri
 			fmt.Fprintf(w, "  %-36s %10.1f -> %10.1f  %+6.1f%%\n", r.name, r.old, r.new, 100*r.change)
 		}
 	}
+	notes := newMetricNotes(oldM, newM)
 	if tables == 0 {
 		fmt.Fprintf(w, "benchdiff: no common throughput benchmarks between %s and %s\n", oldPath, newPath)
+		for _, n := range notes {
+			fmt.Fprintln(w, n)
+		}
 		return
+	}
+	for _, n := range notes {
+		fmt.Fprintln(w, n)
 	}
 	for _, metric := range []string{"warmstarts/solve", "coldfallbacks/solve"} {
 		rows := diffMetric(oldM, newM, metric)

@@ -115,21 +115,20 @@ func TestReportWarnsOnRegression(t *testing.T) {
 		"BenchmarkA": ns(500),
 		"BenchmarkB": ns(1200),
 		"BenchmarkC": ns(950),
-		"BenchmarkE": ns(100), // missing from old: skipped
+		"BenchmarkE": ns(100), // missing from old: no diff row, just a note
 	}
 	var buf strings.Builder
 	report(&buf, "old.json", "new.json", oldM, newM)
 	out := buf.String()
 
-	for _, want := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "-50.0%", "+20.0%"} {
+	for _, want := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "-50.0%", "+20.0%",
+		"note: new benchmark BenchmarkE"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
 	}
-	for _, absent := range []string{"BenchmarkD", "BenchmarkE"} {
-		if strings.Contains(out, absent) {
-			t.Errorf("report mentions %s, which has no counterpart:\n%s", absent, out)
-		}
+	if strings.Contains(out, "BenchmarkD") {
+		t.Errorf("report mentions BenchmarkD, which is gone from the new record:\n%s", out)
 	}
 	if n := strings.Count(out, "WARNING:"); n != 1 {
 		t.Errorf("got %d warnings, want exactly 1 (for BenchmarkA):\n%s", n, out)
@@ -214,5 +213,59 @@ func TestReportNoCommonBenchmarks(t *testing.T) {
 		map[string]map[string]float64{"B": {"nodes/sec": 2}})
 	if !strings.Contains(buf.String(), "no common") {
 		t.Fatalf("missing no-common-benchmarks notice: %s", buf.String())
+	}
+	// The new benchmark still gets its note even with nothing to diff —
+	// otherwise a renamed benchmark silently drops out of the record.
+	if !strings.Contains(buf.String(), "note: new benchmark B") {
+		t.Fatalf("missing new-benchmark note: %s", buf.String())
+	}
+}
+
+// TestReportNewMetricNotes pins the "new metric" note: a metric present in
+// the new record but absent from the old (a freshly instrumented figure,
+// e.g. parallel-efficiency) is called out instead of silently missing from
+// every diff table.
+func TestReportNewMetricNotes(t *testing.T) {
+	oldM := map[string]map[string]float64{
+		"BenchmarkB4Scaling": {"nodes/sec": 1000},
+	}
+	newM := map[string]map[string]float64{
+		"BenchmarkB4Scaling":      {"nodes/sec": 1010, "parallel-efficiency": 0.25},
+		"BenchmarkUninettScaling": {"parallel-efficiency": 0.4},
+	}
+	var buf strings.Builder
+	report(&buf, "old.json", "new.json", oldM, newM)
+	out := buf.String()
+
+	if !strings.Contains(out, "note: new metric parallel-efficiency on BenchmarkB4Scaling") {
+		t.Errorf("missing new-metric note:\n%s", out)
+	}
+	if !strings.Contains(out, "note: new benchmark BenchmarkUninettScaling") {
+		t.Errorf("missing new-benchmark note:\n%s", out)
+	}
+	if n := strings.Count(out, "note:"); n != 2 {
+		t.Errorf("got %d notes, want 2:\n%s", n, out)
+	}
+}
+
+// TestReportDiffsParallelEfficiency pins parallel-efficiency as a headline
+// metric: present in both records, it gets a diff table and the advisory
+// regression warning.
+func TestReportDiffsParallelEfficiency(t *testing.T) {
+	oldM := map[string]map[string]float64{
+		"BenchmarkB4Scaling": {"parallel-efficiency": 0.50},
+	}
+	newM := map[string]map[string]float64{
+		"BenchmarkB4Scaling": {"parallel-efficiency": 0.25},
+	}
+	var buf strings.Builder
+	report(&buf, "old.json", "new.json", oldM, newM)
+	out := buf.String()
+
+	if !strings.Contains(out, "(parallel-efficiency)") {
+		t.Errorf("missing parallel-efficiency diff table:\n%s", out)
+	}
+	if !strings.Contains(out, "WARNING: BenchmarkB4Scaling parallel-efficiency regressed") {
+		t.Errorf("missing regression warning:\n%s", out)
 	}
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -113,8 +114,14 @@ func main() {
 		if err != nil {
 			fail(fmt.Errorf("-metrics-addr: %w", err))
 		}
-		defer srv.Close()
-		log.Infof("metrics: http://%s/debug/vars  profiles: http://%s/debug/pprof/", addr, addr)
+		defer func() {
+			// Graceful: an in-flight /metrics scrape finishes, but exit is
+			// never held up for more than a moment.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort teardown on exit
+			cancel()
+		}()
+		log.Infof("metrics: http://%s/metrics  expvar: http://%s/debug/vars  profiles: http://%s/debug/pprof/", addr, addr, addr)
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -301,6 +308,12 @@ func main() {
 		c("milp.presolve_fixed_vars"), c("milp.presolve_removed_rows"),
 		c("milp.presolve_tightened_bounds"), c("milp.presolve_tightened_coefs"),
 		c("milp.propagation_prunes"))
+	if busy, wait, idle := c("milp.worker_busy_ns"), c("milp.worker_wait_ns"), c("milp.worker_idle_ns"); busy+wait+idle > 0 {
+		wall := busy + wait + idle
+		log.Debugf("worker utilization (run-wide, traced solves): busy %.0f%%, queue wait %.0f%%, idle %.0f%% of %v worker-time",
+			100*float64(busy)/float64(wall), 100*float64(wait)/float64(wall),
+			100*float64(idle)/float64(wall), time.Duration(wall).Round(time.Millisecond))
+	}
 }
 
 func degCSV(budget time.Duration, ce bool) ([]string, error) {

@@ -1,0 +1,63 @@
+// Command raha-trace analyzes JSONL solve traces written with -trace.
+//
+// Subcommands:
+//
+//	summarize — wall-clock attribution: where the solve's worker-time went
+//	            (presolve, warm/cold LP, heuristic, branching, queue wait,
+//	            idle).
+//	workers   — per-worker utilization and queue-wait table; answers "why
+//	            is Workers=4 slower than serial" by showing who starved.
+//	tree      — search-tree shape: depth histogram, fathom-reason
+//	            breakdown, incumbent timeline.
+//	diff      — two traces side by side, with relative deltas.
+//
+// Every subcommand takes a trace path (diff takes two) and exits non-zero
+// on malformed input or on a trace with nothing to attribute, so CI can
+// gate on it.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "summarize":
+		err = summarizeCmd(os.Args[2:])
+	case "workers":
+		err = workersCmd(os.Args[2:])
+	case "tree":
+		err = treeCmd(os.Args[2:])
+	case "diff":
+		err = diffCmd(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "raha-trace: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raha-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: raha-trace <subcommand> [flags] <trace.jsonl>
+
+  summarize <trace>        wall-clock attribution across solve phases
+  workers [-timeline] <trace>
+                           per-worker utilization + queue-wait table
+  tree <trace>             depth histogram, fathom reasons, incumbents
+  diff <old> <new>         compare two traces side by side
+
+Traces are written by raha / raha-experiments with -trace <file>.
+`)
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"raha/internal/milp"
+	"raha/internal/obs"
+)
+
+// writeTrace solves a deterministic knapsack at the given worker count and
+// returns the path of the JSONL trace it produced.
+func writeTrace(t *testing.T, workers int, seed int64) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := milp.NewModel()
+	var objE, wt milp.Expr
+	for i := 0; i < 16; i++ {
+		v := m.BinaryVar("x")
+		objE.Add(float64(1+rng.Intn(40)), v)
+		wt.Add(float64(1+rng.Intn(20)), v)
+	}
+	m.SetObjective(objE, milp.Maximize)
+	m.Add(wt, milp.LE, 80, "cap")
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewJSONLTracer(f)
+	res, err := m.Solve(milp.Params{Workers: workers, Tracer: tr, ProgressEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes == 0 {
+		t.Fatal("trivial solve, no tree to analyze")
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarizeAttributesWorkerTime(t *testing.T) {
+	path := writeTrace(t, 4, 11)
+	tr, err := parseTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := summarize(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"presolve", "LP warm", "LP cold", "heuristic", "branching", "queue wait", "idle", "nodes/sec"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summarize output missing %q:\n%s", want, out)
+		}
+	}
+	if tr.attributedNs() <= 0 {
+		t.Fatal("traced solve attributed no time")
+	}
+	// The disjoint buckets plus idle must cover the worker wall clock:
+	// busy == lp + heur + branch by construction, so attribution + idle
+	// lands within rounding of presolve + wall.
+	denom := tr.presolveNs + tr.workerWallNs()
+	covered := tr.attributedNs() + tr.idleNs()
+	if covered > denom || float64(covered) < 0.95*float64(denom) {
+		t.Fatalf("attribution covers %d of %d ns (%.1f%%), want ~100%%",
+			covered, denom, 100*float64(covered)/float64(denom))
+	}
+}
+
+func TestWorkersReportSharesSum(t *testing.T) {
+	path := writeTrace(t, 4, 11)
+	tr, err := parseTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.workers) != 4 {
+		t.Fatalf("got %d workers, want 4", len(tr.workers))
+	}
+	var nodes int64
+	for i, w := range tr.workers {
+		nodes += w.nodes
+		if got := w.busyNs + w.waitNs + w.idleNs; got != w.wallNs {
+			t.Fatalf("worker %d: busy+wait+idle %d != wall %d", i, got, w.wallNs)
+		}
+	}
+	if nodes != tr.nodes {
+		t.Fatalf("per-worker nodes %d != trace nodes %d", nodes, tr.nodes)
+	}
+	var buf bytes.Buffer
+	if err := workersReport(&buf, tr, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "worker") || !strings.Contains(out, "total") {
+		t.Fatalf("workers output missing table:\n%s", out)
+	}
+	if !strings.Contains(out, "queue:") {
+		t.Fatalf("workers output missing queue latencies:\n%s", out)
+	}
+}
+
+func TestTreeReport(t *testing.T) {
+	path := writeTrace(t, 2, 11)
+	tr, err := parseTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := treeReport(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"depth histogram", "fathom reasons", "incumbent timeline", "branched"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree output missing %q:\n%s", want, out)
+		}
+	}
+	var total int64
+	for _, c := range tr.depths {
+		total += c
+	}
+	if total != tr.nodes {
+		t.Fatalf("depth histogram holds %d nodes, trace has %d", total, tr.nodes)
+	}
+}
+
+func TestDiffReport(t *testing.T) {
+	a, err := parseTrace(writeTrace(t, 1, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseTrace(writeTrace(t, 4, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := diffReport(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"metric", "nodes/sec", "queue wait", "idle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"t\":0,\"layer\":\"milp\",\"ev\":\"node\",\"fields\":{\"depth\":0,\"reason\":\"bound\"}}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseTrace(bad); err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("want line-2 parse error, got %v", err)
+	}
+
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseTrace(empty); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+
+	if _, err := parseTrace(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReportsRejectUnattributedTraces(t *testing.T) {
+	// A trace with events but no solve_end / node data must fail every
+	// subcommand, not print an empty report — CI gates on the exit code.
+	path := filepath.Join(t.TempDir(), "nosolve.jsonl")
+	line := "{\"t\":0.1,\"layer\":\"batch\",\"ev\":\"sweep_topo_start\",\"fields\":{\"topo\":\"b4\"}}\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := parseTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := summarize(io.Discard, tr); err == nil {
+		t.Fatal("summarize accepted a solver-free trace")
+	}
+	if err := workersReport(io.Discard, tr, false); err == nil {
+		t.Fatal("workers accepted a solver-free trace")
+	}
+	if err := treeReport(io.Discard, tr); err == nil {
+		t.Fatal("tree accepted a solver-free trace")
+	}
+	if err := diffReport(io.Discard, tr, tr); err == nil {
+		t.Fatal("diff accepted a solver-free trace")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"raha"
+	"raha/internal/obs"
 )
 
 func main() {
@@ -177,6 +178,9 @@ func (c *commonFlags) solver(o *runObs) (raha.SolverParams, error) {
 		Check:           *c.check,
 		DisablePresolve: noPresolve,
 		Branching:       rule,
+		// -v prints the phase-attribution and worker-utilization summaries,
+		// which need per-node timing even without a tracer attached.
+		Timing: o.log.Level() >= obs.Verbose,
 	}, nil
 }
 
@@ -289,6 +293,23 @@ func printResult(ctx context.Context, o *runObs, budget time.Duration, top *raha
 		o.log.Debugf("presolve stats: %d vars fixed, %d rows removed, %d bounds tightened, %d big-M coefs shrunk; %d propagation prunes, %d pseudocost branches",
 			st.PresolveFixedVars, st.PresolveRemovedRows, st.PresolveTightenedBounds,
 			st.PresolveTightenedCoefs, st.PropagationPrunes, st.PseudocostBranches)
+		if st.PresolveNs+st.LPWarmNs+st.LPColdNs+st.HeurNs+st.BranchNs > 0 {
+			o.log.Debugf("time attribution: presolve %v, LP warm %v, LP cold %v, heuristic %v, branching %v, queue wait %v",
+				time.Duration(st.PresolveNs).Round(time.Microsecond),
+				time.Duration(st.LPWarmNs).Round(time.Microsecond),
+				time.Duration(st.LPColdNs).Round(time.Microsecond),
+				time.Duration(st.HeurNs).Round(time.Microsecond),
+				time.Duration(st.BranchNs).Round(time.Microsecond),
+				time.Duration(st.QueuePopNs+st.QueuePushNs).Round(time.Microsecond))
+		}
+		if len(st.PerWorker) > 0 {
+			parts := make([]string, len(st.PerWorker))
+			for i, w := range st.PerWorker {
+				parts[i] = fmt.Sprintf("w%d: %d nodes, busy %.0f%%, wait %.0f%%, idle %.0f%%",
+					i, w.Nodes, 100*w.BusyShare(), 100*w.WaitShare(), 100*w.IdleShare())
+			}
+			o.log.Debugf("worker utilization: %s", strings.Join(parts, "  "))
+		}
 	}
 	// An interrupted or timed-out search may stop before any scenario was
 	// found; there is nothing to report beyond the status.

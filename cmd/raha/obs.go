@@ -1,10 +1,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"time"
 
 	"raha"
 	"raha/internal/obs"
@@ -37,7 +38,7 @@ type runObs struct {
 	jsonl    *raha.JSONLTracer // nil without -trace
 	traceF   *os.File
 	progress *obs.ProgressLine // nil without -progress
-	metrics  *http.Server
+	metrics  *raha.MetricsServer
 }
 
 func (f *obsFlags) start() (*runObs, error) {
@@ -69,7 +70,7 @@ func (f *obsFlags) start() (*runObs, error) {
 			return nil, fmt.Errorf("-metrics-addr: %w", err)
 		}
 		o.metrics = srv
-		o.log.Infof("metrics: http://%s/debug/vars  profiles: http://%s/debug/pprof/", addr, addr)
+		o.log.Infof("metrics: http://%s/metrics  profiles: http://%s/debug/pprof/", addr, addr)
 	}
 	return o, nil
 }
@@ -105,7 +106,11 @@ func (o *runObs) close() error {
 		}
 	}
 	if o.metrics != nil {
-		o.metrics.Close()
+		// Graceful: let an in-flight /metrics scrape finish, but never
+		// stall CLI exit for more than a moment.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		o.metrics.Shutdown(ctx) //nolint:errcheck // best-effort teardown on exit
+		cancel()
 	}
 	return err
 }

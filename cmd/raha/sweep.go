@@ -212,4 +212,11 @@ func printSweepReport(rep *raha.SweepReport) {
 		}
 	}
 	fmt.Printf("\nthroughput: %.1f cells/min, %.1f topologies/min\n", rep.CellsPerMin, rep.ToposPerMin)
+	if lat := rep.CellLatency; lat.Count > 0 {
+		fmt.Printf("cell latency: p50 %v, p90 %v, p99 %v (max %v over %d cells)\n",
+			time.Duration(lat.P50Ns).Round(time.Millisecond),
+			time.Duration(lat.P90Ns).Round(time.Millisecond),
+			time.Duration(lat.P99Ns).Round(time.Millisecond),
+			time.Duration(lat.MaxNs).Round(time.Millisecond), lat.Count)
+	}
 }

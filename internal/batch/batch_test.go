@@ -142,6 +142,16 @@ func TestSweepFixtureCorpus(t *testing.T) {
 	if rep.CellsPerMin <= 0 || rep.ToposPerMin <= 0 {
 		t.Errorf("throughput not computed: %g cells/min, %g topos/min", rep.CellsPerMin, rep.ToposPerMin)
 	}
+	if rep.CellLatency.Count == 0 {
+		t.Error("cell latency histogram empty despite successful cells")
+	}
+	if rep.CellLatency.Count > int64(rep.CellsOK) {
+		t.Errorf("cell latency histogram holds %d samples, only %d cells succeeded",
+			rep.CellLatency.Count, rep.CellsOK)
+	}
+	if rep.CellLatency.P99Ns < rep.CellLatency.P50Ns || rep.CellLatency.MaxNs < rep.CellLatency.P99Ns/2 {
+		t.Errorf("cell latency quantiles inconsistent: %+v", rep.CellLatency)
+	}
 	if got := tr.count("batch/sweep_topo_start"); got != len(sources) {
 		t.Errorf("sweep_topo_start emitted %d times, want %d", got, len(sources))
 	}

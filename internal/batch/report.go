@@ -3,7 +3,13 @@ package batch
 import (
 	"sort"
 	"time"
+
+	"raha/internal/obs"
 )
+
+// hCellLatency feeds successful cell runtimes into the process-wide
+// registry so a long sweep's latency distribution shows up on /metrics.
+var hCellLatency = obs.Default.Histogram("batch.cell_ns")
 
 // CellResult is one grid cell's outcome on one topology.
 type CellResult struct {
@@ -126,6 +132,11 @@ type Report struct {
 	// Sweep throughput, the BENCH-tracked breadth metrics.
 	CellsPerMin float64
 	ToposPerMin float64
+
+	// CellLatency is the runtime distribution of successful cells: the
+	// tail (P99 vs P50) is the first place a hung topology or a
+	// pathological grid cell shows up. Zero-valued when no cell succeeded.
+	CellLatency obs.HistogramSnapshot
 }
 
 func assembleReport(cfg *Config, results []TopoResult, elapsed time.Duration, cancelled bool) *Report {
@@ -180,5 +191,17 @@ func assembleReport(cfg *Config, results []TopoResult, elapsed time.Duration, ca
 		rep.CellsPerMin = float64(rep.CellsTotal) / mins
 		rep.ToposPerMin = float64(rep.TopoCount) / mins
 	}
+
+	var lat obs.Histogram
+	for i := range results {
+		for j := range results[i].Cells {
+			c := &results[i].Cells[j]
+			if c.Err == "" && c.Runtime > 0 {
+				lat.Observe(c.Runtime.Nanoseconds())
+				hCellLatency.Observe(c.Runtime.Nanoseconds())
+			}
+		}
+	}
+	rep.CellLatency = lat.Snapshot()
 	return rep
 }

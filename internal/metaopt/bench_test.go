@@ -2,6 +2,7 @@ package metaopt
 
 import (
 	"testing"
+	"time"
 
 	"raha/internal/demand"
 	"raha/internal/milp"
@@ -73,3 +74,35 @@ func BenchmarkAnalyzeUninettSerial(b *testing.B) {
 func BenchmarkAnalyzeUninettParallel(b *testing.B) {
 	benchAnalyze(b, topology.Uninett2010(), 2010, 0)
 }
+
+// benchScaling runs the same analysis at Workers 1, 2, and 4 and reports
+// the speedup curve — the direct measure of ROADMAP item 2 ("Workers=4
+// slower than serial"). parallel-efficiency is speedup@4 divided by 4:
+// 1.0 is perfect scaling, 0.25 means four workers add nothing, and below
+// 0.25 the worker pool is actively losing to queue contention.
+func benchScaling(b *testing.B, top *topology.Topology, seed int64) {
+	cfg := benchConfig(b, top, seed, 1)
+	elapsed := map[int]time.Duration{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, workers := range []int{1, 2, 4} {
+			cfg.Solver.Workers = workers
+			start := time.Now()
+			if _, err := Analyze(cfg); err != nil {
+				b.Fatal(err)
+			}
+			elapsed[workers] += time.Since(start)
+		}
+	}
+	if elapsed[2] <= 0 || elapsed[4] <= 0 {
+		b.Fatal("scaling run too fast to time")
+	}
+	s2 := elapsed[1].Seconds() / elapsed[2].Seconds()
+	s4 := elapsed[1].Seconds() / elapsed[4].Seconds()
+	b.ReportMetric(s2, "speedup-w2")
+	b.ReportMetric(s4, "speedup-w4")
+	b.ReportMetric(s4/4, "parallel-efficiency")
+}
+
+func BenchmarkB4Scaling(b *testing.B)      { benchScaling(b, topology.B4(), 4) }
+func BenchmarkUninettScaling(b *testing.B) { benchScaling(b, topology.Uninett2010(), 2010) }

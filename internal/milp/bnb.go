@@ -28,6 +28,27 @@ var (
 	cPresolveBounds  = obs.Default.Counter("milp.presolve_tightened_bounds")
 	cPresolveCoefs   = obs.Default.Counter("milp.presolve_tightened_coefs")
 	cPropagationCuts = obs.Default.Counter("milp.propagation_prunes")
+
+	// Run-wide worker-utilization totals, accumulated once per solve from
+	// the per-worker accounting (cheap: three adds per solve, not per
+	// node). Together they answer "where did the worker-seconds go" for a
+	// whole process, e.g. at the end of a figure sweep.
+	cWorkerBusyNs = obs.Default.Counter("milp.worker_busy_ns")
+	cWorkerWaitNs = obs.Default.Counter("milp.worker_wait_ns")
+	cWorkerIdleNs = obs.Default.Counter("milp.worker_idle_ns")
+)
+
+// Hot-path latency histograms (obs.Default, published via /metrics and
+// expvar). Queue pop/push are the shared-queue contention signals; the LP
+// pair shows what warm starts buy per solve; node_ns is the overall unit of
+// work. Observe is a handful of atomic adds, covered by the nil-tracer
+// overhead budget test.
+var (
+	hQueuePop    = obs.Default.Histogram("milp.queue_pop_ns")
+	hQueuePush   = obs.Default.Histogram("milp.queue_push_ns")
+	hLPWarm      = obs.Default.Histogram("milp.lp_warm_ns")
+	hLPCold      = obs.Default.Histogram("milp.lp_cold_ns")
+	hNodeProcess = obs.Default.Histogram("milp.node_ns")
 )
 
 // Status reports the outcome of a MILP solve.
@@ -97,6 +118,15 @@ type Params struct {
 	// worker_sample trace events; 0 defaults to 250ms.
 	ProgressEvery time.Duration
 
+	// Timing turns on wall-clock attribution for a solve that has neither
+	// a Tracer nor OnProgress: per-worker busy/queue-wait/idle accounting,
+	// queue pop/push and LP warm/cold latency histograms, and the Stats
+	// *Ns fields. Observed solves (Tracer or OnProgress set) collect it
+	// implicitly. On an unobserved solve every per-node clock read is
+	// behind this flag, so the disabled cost is one predictable branch per
+	// site — the same contract as the nil Tracer.
+	Timing bool
+
 	// Check, when set, runs the modelcheck diagnostic pass (see
 	// internal/modelcheck) before the search starts — the stand-in for a
 	// commercial solver's presolve guardrails. Every diagnostic is emitted
@@ -159,6 +189,7 @@ type node struct {
 	lo, hi []float64
 	relax  float64   // bound inherited from the parent (model sense)
 	seq    int       // creation order; 0 is the root
+	depth  int       // tree depth; 0 is the root
 	basis  *lp.Basis // parent relaxation's optimal basis (nil: solve cold)
 
 	// The branch that created this node, for pseudocost accounting once its
@@ -250,10 +281,17 @@ type search struct {
 	objConst float64
 	start    time.Time
 	tracer   obs.Tracer // copy of p.Tracer; nil disables all emit sites
+	timed    bool       // wall-clock attribution on (Tracer, OnProgress, or Params.Timing)
 
 	// stats fields are updated atomically by workers (MaxOpen under mu);
 	// Result gets a quiescent copy after the pool drains.
 	stats Stats
+
+	// wstats is the per-worker utilization accounting, indexed by worker
+	// id. Workers write their own entry with atomics; the sampler reads
+	// all entries atomically for the worker_sample timeline. Folded into
+	// stats.PerWorker once the pool drains.
+	wstats []workerAcc
 
 	// probs holds one reusable lp.Problem per worker: the lowered rows and
 	// objective are bound-independent, so each node solve only copies its
@@ -313,35 +351,53 @@ func (s *search) better(a, b float64) bool {
 // basis when one is available (the parent node's optimal basis) and warm
 // starts are enabled. It holds no locks: the simplex builds a private
 // tableau per call and the lowered problem is per-worker scratch (wid), so
-// concurrent workers never share solver state.
-func (s *search) solveLP(wid int, lo, hi []float64, basis *lp.Basis) (*lp.Solution, error) {
+// concurrent workers never share solver state. The elapsed nanoseconds are
+// returned (and charged to the warm or cold LP bucket) so callers can
+// subtract LP time from their own phase accounting.
+func (s *search) solveLP(wid int, lo, hi []float64, basis *lp.Basis) (*lp.Solution, int64, error) {
 	prob := s.m.reuseLP(s.probs[wid], lo, hi)
 	s.probs[wid] = prob
 	warm := basis != nil && !s.p.DisableWarmStart
 	var sol *lp.Solution
 	var err error
+	var lpStart time.Time
+	if s.timed {
+		lpStart = time.Now()
+	}
 	if warm {
 		sol, err = lp.SolveFrom(prob, basis, nil)
 	} else {
 		sol, err = lp.Solve(prob, nil)
+	}
+	var ns int64
+	if s.timed {
+		ns = time.Since(lpStart).Nanoseconds()
 	}
 	if sol != nil {
 		atomic.AddInt64(&s.stats.LPSolves, 1)
 		atomic.AddInt64(&s.stats.LPIterations, int64(sol.Iters))
 		atomic.AddInt64(&s.stats.DegeneratePivots, int64(sol.DegeneratePivots))
 		atomic.AddInt64(&s.stats.BlandPivots, int64(sol.BlandPivots))
-		if warm {
-			if sol.WarmStarted {
-				atomic.AddInt64(&s.stats.WarmStarts, 1)
-				atomic.AddInt64(&s.stats.WarmIters, int64(sol.Iters))
-				cWarmStarts.Inc()
-			} else {
+		if warm && sol.WarmStarted {
+			atomic.AddInt64(&s.stats.WarmStarts, 1)
+			atomic.AddInt64(&s.stats.WarmIters, int64(sol.Iters))
+			cWarmStarts.Inc()
+			if s.timed {
+				atomic.AddInt64(&s.stats.LPWarmNs, ns)
+				hLPWarm.Observe(ns)
+			}
+		} else {
+			if warm {
 				atomic.AddInt64(&s.stats.ColdFallbacks, 1)
 				cColdFallbacks.Inc()
 			}
+			if s.timed {
+				atomic.AddInt64(&s.stats.LPColdNs, ns)
+				hLPCold.Observe(ns)
+			}
 		}
 	}
-	return sol, err
+	return sol, ns, err
 }
 
 // addFinite stores v under key only when it is finite: json.Marshal
@@ -396,8 +452,22 @@ func (s *search) offerIncumbent(obj float64, x []float64) {
 // tryRound fixes integers to rounded values and re-solves; a feasible
 // result becomes an incumbent candidate. The node relaxation's basis (when
 // available) warm-starts the heuristic LP too — fixing the integers is just
-// a batch of bound changes, exactly what the dual simplex absorbs.
-func (s *search) tryRound(wid int, nlo, nhi, x []float64, basis *lp.Basis) {
+// a batch of bound changes, exactly what the dual simplex absorbs. It
+// returns its total elapsed nanoseconds (so node processing can keep its
+// phase buckets disjoint); the slice excluding the inner LP solve is
+// charged to Stats.HeurNs.
+func (s *search) tryRound(wid int, nlo, nhi, x []float64, basis *lp.Basis) (totalNs int64) {
+	var heurStart time.Time
+	var lpNs int64
+	if s.timed {
+		heurStart = time.Now()
+		defer func() {
+			totalNs = time.Since(heurStart).Nanoseconds()
+			if ov := totalNs - lpNs; ov > 0 {
+				atomic.AddInt64(&s.stats.HeurNs, ov)
+			}
+		}()
+	}
 	atomic.AddInt64(&s.stats.HeuristicSolves, 1)
 	pool := &s.pools[wid]
 	lo := pool.get(nlo)
@@ -416,11 +486,13 @@ func (s *search) tryRound(wid int, nlo, nhi, x []float64, basis *lp.Basis) {
 		}
 		lo[v], hi[v] = r, r
 	}
-	sol, err := s.solveLP(wid, lo, hi, basis)
+	sol, ns, err := s.solveLP(wid, lo, hi, basis)
+	lpNs = ns
 	if err != nil || sol.Status != lp.Optimal {
 		return
 	}
 	s.offerIncumbent(s.toObj(sol.Objective), sol.X)
+	return
 }
 
 // fail records the first worker error and wakes everyone up.
@@ -503,7 +575,148 @@ func (s *search) sample(workers int) {
 		}
 		addFinite(f, "bound", pr.Bound)
 		addFinite(f, "gap", pr.Gap)
+		// Per-worker utilization timeline: cumulative counters indexed by
+		// worker id, read atomically from the live accounting. raha-trace
+		// differences consecutive samples to reconstruct the timeline.
+		if len(s.wstats) > 0 {
+			wn := make([]int64, len(s.wstats))
+			wb := make([]int64, len(s.wstats))
+			ww := make([]int64, len(s.wstats))
+			for i := range s.wstats {
+				wn[i] = atomic.LoadInt64(&s.wstats[i].nodes)
+				wb[i] = atomic.LoadInt64(&s.wstats[i].busyNs)
+				ww[i] = atomic.LoadInt64(&s.wstats[i].waitNs)
+			}
+			f["w_nodes"] = wn
+			f["w_busy_ns"] = wb
+			f["w_wait_ns"] = ww
+		}
 		s.tracer.Emit("milp", "worker_sample", f)
+	}
+}
+
+// workerAcc is one worker's live utilization accounting. The owning worker
+// writes its entry with atomics so the sampler goroutine can read a running
+// timeline; wallNs is stored once when the worker exits.
+type workerAcc struct {
+	nodes  int64 // nodes claimed and processed
+	busyNs int64 // inside process(): LP, heuristic, branching
+	waitNs int64 // claiming from / publishing to the shared queue
+	wallNs int64 // goroutine lifetime, set on exit
+}
+
+// claimStatus is the outcome of one claim attempt.
+type claimStatus int8
+
+const (
+	claimOK    claimStatus = iota // a node was claimed
+	claimRetry                    // the popped node was pre-pruned; try again
+	claimExit                     // the search is over for this worker
+)
+
+// claim makes one attempt to pop a workable node from the shared queue,
+// blocking while the queue is empty but other workers could still produce
+// children. The whole attempt latency — lock wait, cond.Wait starvation,
+// heap pop, bound bookkeeping — is charged to the worker's queue-wait
+// share; successful claims also feed the pop-latency histogram, the
+// shared-queue contention signal the Workers=4 regression investigation
+// needs.
+func (s *search) claim(id int) (n *node, claimNo int, st claimStatus) {
+	acc := &s.wstats[id]
+	if s.timed {
+		waitStart := time.Now()
+		defer func() {
+			ns := time.Since(waitStart).Nanoseconds()
+			atomic.AddInt64(&acc.waitNs, ns)
+			if st == claimOK {
+				atomic.AddInt64(&s.stats.QueuePopNs, ns)
+				hQueuePop.Observe(ns)
+			}
+		}()
+	}
+
+	s.mu.Lock()
+	for !s.stop && s.err == nil && len(s.open.nodes) == 0 && s.inflight > 0 {
+		s.cond.Wait()
+	}
+	if s.stop || s.err != nil || len(s.open.nodes) == 0 {
+		// Stopped, failed, or exhausted (no open nodes and nobody who
+		// could produce more).
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nil, 0, claimExit
+	}
+	if s.p.NodeLimit > 0 && s.nodes >= s.p.NodeLimit {
+		s.stop = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nil, 0, claimExit
+	}
+
+	n = heap.Pop(&s.open).(*node)
+
+	// Prune by inherited bound (does not count as an explored node).
+	if s.haveIncumbent && !s.better(n.relax, s.incObj) {
+		s.mu.Unlock()
+		atomic.AddInt64(&s.stats.PrePruned, 1)
+		s.pools[id].put(n.lo)
+		s.pools[id].put(n.hi)
+		return nil, 0, claimRetry
+	}
+
+	// Publish the global dual bound and test the gap target. The popped
+	// node is best-bound among open nodes, so the bound is it vs the
+	// in-flight nodes.
+	if s.haveIncumbent {
+		bound := s.globalBoundLocked(n.relax)
+		s.dualBound, s.haveBound = bound, true
+		if s.p.MIPGap > 0 && gapMet(s.incObj, bound, s.p.MIPGap) {
+			s.stop = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return nil, 0, claimExit
+		}
+	}
+
+	s.nodes++
+	claimNo = s.nodes
+	s.working[id] = n.relax
+	s.inflight++
+	s.mu.Unlock()
+	cNodes.Inc()
+	atomic.AddInt64(&acc.nodes, 1)
+	atomic.AddInt64(&s.stats.QueuePops, 1)
+	return n, claimNo, claimOK
+}
+
+// publish pushes a processed node's children onto the shared queue and
+// marks the worker idle again. The critical-section latency is charged to
+// the worker's queue-wait share and the push-latency histogram — at higher
+// worker counts this lock is the queue's other contention point.
+func (s *search) publish(id int, children []*node) {
+	var pushStart time.Time
+	if s.timed {
+		pushStart = time.Now()
+	}
+	s.mu.Lock()
+	for _, c := range children {
+		c.seq = s.nextSeq
+		s.nextSeq++
+		heap.Push(&s.open, c)
+	}
+	if depth := int64(len(s.open.nodes)); depth > s.stats.MaxOpen {
+		s.stats.MaxOpen = depth // guarded by mu, not atomics
+	}
+	s.working[id] = math.NaN()
+	s.inflight--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	atomic.AddInt64(&s.stats.QueuePushes, 1)
+	if s.timed {
+		ns := time.Since(pushStart).Nanoseconds()
+		atomic.AddInt64(&s.wstats[id].waitNs, ns)
+		atomic.AddInt64(&s.stats.QueuePushNs, ns)
+		hQueuePush.Observe(ns)
 	}
 }
 
@@ -514,57 +727,21 @@ func (s *search) sample(workers int) {
 // Workers 1, identical run to run) instead of depending on how a race for
 // the global counter interleaved.
 func (s *search) worker(id int) {
+	if s.timed {
+		workerStart := time.Now()
+		defer func() {
+			atomic.StoreInt64(&s.wstats[id].wallNs, time.Since(workerStart).Nanoseconds())
+		}()
+	}
 	claimed := 0
 	for {
-		s.mu.Lock()
-		for !s.stop && s.err == nil && len(s.open.nodes) == 0 && s.inflight > 0 {
-			s.cond.Wait()
-		}
-		if s.stop || s.err != nil || len(s.open.nodes) == 0 {
-			// Stopped, failed, or exhausted (no open nodes and nobody who
-			// could produce more).
-			s.cond.Broadcast()
-			s.mu.Unlock()
+		n, claimNo, st := s.claim(id)
+		if st == claimExit {
 			return
 		}
-		if s.p.NodeLimit > 0 && s.nodes >= s.p.NodeLimit {
-			s.stop = true
-			s.cond.Broadcast()
-			s.mu.Unlock()
-			return
-		}
-
-		n := heap.Pop(&s.open).(*node)
-
-		// Prune by inherited bound (does not count as an explored node).
-		if s.haveIncumbent && !s.better(n.relax, s.incObj) {
-			s.mu.Unlock()
-			atomic.AddInt64(&s.stats.PrePruned, 1)
-			s.pools[id].put(n.lo)
-			s.pools[id].put(n.hi)
+		if st == claimRetry {
 			continue
 		}
-
-		// Publish the global dual bound and test the gap target. The popped
-		// node is best-bound among open nodes, so the bound is it vs the
-		// in-flight nodes.
-		if s.haveIncumbent {
-			bound := s.globalBoundLocked(n.relax)
-			s.dualBound, s.haveBound = bound, true
-			if s.p.MIPGap > 0 && gapMet(s.incObj, bound, s.p.MIPGap) {
-				s.stop = true
-				s.cond.Broadcast()
-				s.mu.Unlock()
-				return
-			}
-		}
-
-		s.nodes++
-		claimNo := s.nodes
-		s.working[id] = n.relax
-		s.inflight++
-		s.mu.Unlock()
-		cNodes.Inc()
 		claimed++
 
 		children := s.process(id, n, claimNo, claimed)
@@ -574,30 +751,19 @@ func (s *search) worker(id int) {
 		s.pools[id].put(n.lo)
 		s.pools[id].put(n.hi)
 
-		s.mu.Lock()
-		for _, c := range children {
-			c.seq = s.nextSeq
-			s.nextSeq++
-			heap.Push(&s.open, c)
-		}
-		if depth := int64(len(s.open.nodes)); depth > s.stats.MaxOpen {
-			s.stats.MaxOpen = depth // guarded by mu, not atomics
-		}
-		s.working[id] = math.NaN()
-		s.inflight--
-		s.cond.Broadcast()
-		s.mu.Unlock()
+		s.publish(id, children)
 	}
 }
 
 // emitNode reports how one processed node ended. The reason strings match
 // the Stats prune counters: infeasible, unbounded, iterlimit, bound,
-// integral, branched.
-func (s *search) emitNode(claimNo int, reason string, obj float64) {
+// integral, branched. depth is the node's tree depth (raha-trace builds
+// the depth histogram from it).
+func (s *search) emitNode(claimNo, depth int, reason string, obj float64) {
 	if s.tracer == nil {
 		return
 	}
-	f := obs.F{"node": claimNo, "reason": reason}
+	f := obs.F{"node": claimNo, "depth": depth, "reason": reason}
 	addFinite(f, "obj", obj)
 	s.tracer.Emit("milp", "node", f)
 }
@@ -607,8 +773,27 @@ func (s *search) emitNode(claimNo int, reason string, obj float64) {
 // node ends in exactly one Stats outcome counter — the invariant the
 // stats regression test checks. claimed is the per-worker claim count
 // driving the rounding-heuristic cadence.
+//
+// Timing: the whole call is the worker's busy time and the node_ns
+// histogram's unit; whatever is not the LP relaxation or the rounding
+// heuristic (both accounted inside their own calls) lands in
+// Stats.BranchNs, keeping the phase buckets disjoint.
 func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
-	sol, err := s.solveLP(wid, n.lo, n.hi, n.basis)
+	var lpNs, heurNs int64
+	if s.timed {
+		nodeStart := time.Now()
+		defer func() {
+			nodeNs := time.Since(nodeStart).Nanoseconds()
+			atomic.AddInt64(&s.wstats[wid].busyNs, nodeNs)
+			hNodeProcess.Observe(nodeNs)
+			if b := nodeNs - lpNs - heurNs; b > 0 {
+				atomic.AddInt64(&s.stats.BranchNs, b)
+			}
+		}()
+	}
+
+	sol, ns, err := s.solveLP(wid, n.lo, n.hi, n.basis)
+	lpNs = ns
 	if err != nil {
 		s.fail(fmt.Errorf("milp: node relaxation: %w", err))
 		return nil
@@ -616,7 +801,7 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 	switch sol.Status {
 	case lp.Infeasible:
 		atomic.AddInt64(&s.stats.PrunedInfeasible, 1)
-		s.emitNode(claimNo, "infeasible", math.NaN())
+		s.emitNode(claimNo, n.depth, "infeasible", math.NaN())
 		return nil
 	case lp.Unbounded:
 		if n.seq == 0 {
@@ -628,14 +813,14 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 			s.mu.Unlock()
 		}
 		atomic.AddInt64(&s.stats.UnboundedNodes, 1)
-		s.emitNode(claimNo, "unbounded", math.NaN())
+		s.emitNode(claimNo, n.depth, "unbounded", math.NaN())
 		return nil
 	case lp.IterLimit:
 		s.mu.Lock()
 		s.clean = false
 		s.mu.Unlock()
 		atomic.AddInt64(&s.stats.PrunedIterLimit, 1)
-		s.emitNode(claimNo, "iterlimit", math.NaN())
+		s.emitNode(claimNo, n.depth, "iterlimit", math.NaN())
 		return nil
 	}
 
@@ -660,7 +845,7 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 	s.mu.Unlock()
 	if pruned {
 		atomic.AddInt64(&s.stats.PrunedBound, 1)
-		s.emitNode(claimNo, "bound", obj)
+		s.emitNode(claimNo, n.depth, "bound", obj)
 		return nil
 	}
 
@@ -668,7 +853,7 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 	if v < 0 {
 		// Integral: new incumbent.
 		atomic.AddInt64(&s.stats.Integral, 1)
-		s.emitNode(claimNo, "integral", obj)
+		s.emitNode(claimNo, n.depth, "integral", obj)
 		s.offerIncumbent(obj, sol.X)
 		return nil
 	}
@@ -677,11 +862,11 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 	}
 
 	if claimed == 1 || claimed%heurEvery == 0 {
-		s.tryRound(wid, n.lo, n.hi, sol.X, sol.Basis)
+		heurNs = s.tryRound(wid, n.lo, n.hi, sol.X, sol.Basis)
 	}
 
 	atomic.AddInt64(&s.stats.NodesBranched, 1)
-	s.emitNode(claimNo, "branched", obj)
+	s.emitNode(claimNo, n.depth, "branched", obj)
 
 	// Branch: child bounds inherit the node's LP bound, and — the warm
 	// start — its optimal basis: a child differs only in one variable's
@@ -692,7 +877,7 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 	frac := xf - math.Floor(xf)
 	pool := &s.pools[wid]
 	child := func(up bool) *node {
-		c := &node{lo: pool.get(n.lo), hi: pool.get(n.hi), relax: obj, basis: sol.Basis, bvar: v, bup: up}
+		c := &node{lo: pool.get(n.lo), hi: pool.get(n.hi), relax: obj, depth: n.depth + 1, basis: sol.Basis, bvar: v, bup: up}
 		if up {
 			c.lo[v] = math.Ceil(xf)
 			c.bdist = 1 - frac
@@ -760,8 +945,11 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 	sm := m
 	var pres *presolveResult
 	var post *postsolve
+	var presolveNs int64
 	if !p.DisablePresolve {
+		presolveStart := time.Now()
 		pres = presolve(m, p.IntTol)
+		presolveNs = time.Since(presolveStart).Nanoseconds()
 		cPresolveFixed.Add(pres.fixedVars)
 		cPresolveRows.Add(pres.removedRows)
 		cPresolveBounds.Add(pres.tightenedBounds)
@@ -779,11 +967,14 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		objConst: sm.obj.Const,
 		start:    start,
 		tracer:   p.Tracer,
+		timed:    p.Tracer != nil || p.OnProgress != nil || p.Timing,
 		working:  make([]float64, workers),
 		probs:    make([]*lp.Problem, workers),
 		pools:    make([]boundPool, workers),
+		wstats:   make([]workerAcc, workers),
 		clean:    true,
 	}
+	s.stats.PresolveNs = presolveNs
 	cSolves.Inc()
 	s.cond = sync.NewCond(&s.mu)
 	s.open.maximize = s.maximize
@@ -958,6 +1149,35 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		return nil, s.err
 	}
 
+	// Fold the per-worker accounting into the quiescent stats copy (workers
+	// and sampler have exited; plain reads are ordered after their writes).
+	// Idle is the remainder of the worker's wall clock, so the three shares
+	// always sum to the whole. An unobserved solve has no wall clocks to
+	// attribute, so it publishes no per-worker summary at all.
+	if s.timed {
+		s.stats.PerWorker = make([]WorkerStats, workers)
+		var busyTot, waitTot, idleTot int64
+		for i := range s.wstats {
+			a := &s.wstats[i]
+			w := WorkerStats{
+				Nodes:       a.nodes,
+				BusyNs:      a.busyNs,
+				QueueWaitNs: a.waitNs,
+				WallNs:      a.wallNs,
+			}
+			if idle := w.WallNs - w.BusyNs - w.QueueWaitNs; idle > 0 {
+				w.IdleNs = idle
+			}
+			s.stats.PerWorker[i] = w
+			busyTot += w.BusyNs
+			waitTot += w.QueueWaitNs
+			idleTot += w.IdleNs
+		}
+		cWorkerBusyNs.Add(busyTot)
+		cWorkerWaitNs.Add(waitTot)
+		cWorkerIdleNs.Add(idleTot)
+	}
+
 	res := &Result{
 		Objective: s.incObj,
 		Bound:     s.dualBound,
@@ -1012,6 +1232,28 @@ func (s *search) emitSolveEnd(res *Result) {
 		"presolve_bounds":     res.Stats.PresolveTightenedBounds,
 		"propagation_prunes":  res.Stats.PropagationPrunes,
 		"pseudocost_branches": res.Stats.PseudocostBranches,
+		"presolve_ns":         res.Stats.PresolveNs,
+		"lp_warm_ns":          res.Stats.LPWarmNs,
+		"lp_cold_ns":          res.Stats.LPColdNs,
+		"heur_ns":             res.Stats.HeurNs,
+		"branch_ns":           res.Stats.BranchNs,
+		"queue_pop_ns":        res.Stats.QueuePopNs,
+		"queue_pops":          res.Stats.QueuePops,
+		"queue_push_ns":       res.Stats.QueuePushNs,
+		"queue_pushes":        res.Stats.QueuePushes,
+	}
+	if len(res.Stats.PerWorker) > 0 {
+		pw := make([]obs.F, len(res.Stats.PerWorker))
+		for i, w := range res.Stats.PerWorker {
+			pw[i] = obs.F{
+				"nodes":   w.Nodes,
+				"busy_ns": w.BusyNs,
+				"wait_ns": w.QueueWaitNs,
+				"idle_ns": w.IdleNs,
+				"wall_ns": w.WallNs,
+			}
+		}
+		f["per_worker"] = pw
 	}
 	addFinite(f, "obj", res.Objective)
 	addFinite(f, "bound", res.Bound)

@@ -49,6 +49,68 @@ type Stats struct {
 	PresolveTightenedCoefs  int64 // big-M coefficients (or RHSs) shrunk
 	PropagationPrunes       int64 // children pruned by domain propagation before any LP (not in Result.Nodes)
 	PseudocostBranches      int64 // branch decisions scored by reliable pseudocosts (vs most-fractional fallback)
+
+	// Wall-clock attribution in nanoseconds, populated when the solve is
+	// observed (Params.Tracer, Params.OnProgress, or Params.Timing) and
+	// zero otherwise — an unobserved solve pays no per-node clock reads
+	// (TestNilTracerOverhead guards the budget). The first five buckets are
+	// disjoint: every nanosecond a worker spends inside a node lands in
+	// exactly one of LPWarmNs/LPColdNs (the simplex), HeurNs (rounding-
+	// heuristic overhead around its own LP solves), or BranchNs (everything
+	// else in node processing: status handling, pseudocost scoring, branch
+	// selection, child setup, domain propagation). PresolveNs is the root
+	// presolve, spent once before the workers start.
+	PresolveNs int64 // root presolve wall clock
+	LPWarmNs   int64 // LP solves that re-optimized from an inherited basis
+	LPColdNs   int64 // cold two-phase LP solves (incl. warm-start fallbacks)
+	HeurNs     int64 // rounding-heuristic time excluding its LP solves
+	BranchNs   int64 // node-processing time excluding LP and heuristic
+
+	// Shared-queue accounting, the Workers>1 contention signal: every
+	// claim pops under the search lock (QueuePopNs includes lock wait and
+	// any blocking on an empty queue) and every processed node publishes
+	// its children back under it (QueuePushNs).
+	QueuePopNs  int64 // total claim latency across successful claims
+	QueuePops   int64 // successful claims (== Nodes on a clean solve)
+	QueuePushNs int64 // total child-publish critical-section latency
+	QueuePushes int64 // publishes (== claims that ran process)
+
+	// PerWorker is the per-worker utilization summary, indexed by worker
+	// id. Empty when the solve was unobserved (see above) or never started
+	// its workers (presolve proved infeasibility), since without per-node
+	// clock reads there is nothing meaningful to attribute. Per-worker node
+	// counts partition Nodes: the sum of
+	// PerWorker[i].Nodes equals Nodes (asserted by the stats regression
+	// test at Workers 1 and 4).
+	PerWorker []WorkerStats
+}
+
+// WorkerStats is one branch-and-bound worker's utilization accounting.
+// BusyNs + QueueWaitNs + IdleNs == WallNs (IdleNs is computed as the
+// remainder, clamped at zero), so the three shares always sum to ~100% of
+// the worker's wall clock.
+type WorkerStats struct {
+	Nodes       int64 // nodes this worker claimed and processed
+	BusyNs      int64 // time inside node processing (LP, heuristic, branching)
+	QueueWaitNs int64 // time claiming from / publishing to the shared queue
+	IdleNs      int64 // remainder: started up, wound down, or starved
+	WallNs      int64 // worker goroutine lifetime
+}
+
+// BusyShare returns BusyNs as a fraction of WallNs (0 when WallNs is 0).
+func (w WorkerStats) BusyShare() float64 { return share(w.BusyNs, w.WallNs) }
+
+// WaitShare returns QueueWaitNs as a fraction of WallNs.
+func (w WorkerStats) WaitShare() float64 { return share(w.QueueWaitNs, w.WallNs) }
+
+// IdleShare returns IdleNs as a fraction of WallNs.
+func (w WorkerStats) IdleShare() float64 { return share(w.IdleNs, w.WallNs) }
+
+func share(part, whole int64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
 }
 
 // Progress is a point-in-time snapshot of a running solve, delivered to

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log-spaced histogram buckets. Bucket k counts
+// observations in [2^(k-1), 2^k) nanoseconds (bucket 0 holds sub-nanosecond
+// and zero observations); the last bucket is open-ended. 2^41 ns is about
+// 36 minutes, far beyond any per-event latency the solver records.
+const histBuckets = 42
+
+// Histogram is a lock-free latency histogram with fixed log-spaced
+// nanosecond buckets. Observe is a handful of uncontended atomic adds, cheap
+// enough for the solver hot path; Snapshot assembles a consistent-enough
+// view for reporting (buckets are read one by one, so a snapshot taken
+// during concurrent writes may be off by the writes in flight — fine for
+// diagnostics, which is all this is for).
+//
+// The zero value is ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	maxNs   atomic.Int64
+	minNsP1 atomic.Int64 // min+1 so the zero value means "no observations"
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIdx maps a nanosecond value to its bucket: the bit length of v, so
+// bucket k covers [2^(k-1), 2^k). Negative values clamp to bucket 0 and
+// huge values to the open-ended last bucket.
+func bucketIdx(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	idx := bits.Len64(uint64(ns))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper is the exclusive upper bound of bucket idx in nanoseconds.
+func bucketUpper(idx int) int64 {
+	if idx >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << idx
+}
+
+// Observe records one latency in nanoseconds. Negative values (possible
+// under clock adjustment) are clamped to zero rather than corrupting a
+// bucket index.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIdx(ns)].Add(1)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.minNsP1.Load()
+		if (cur != 0 && ns+1 >= cur) || h.minNsP1.CompareAndSwap(cur, ns+1) {
+			break
+		}
+	}
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count
+// observations with latency < UpperNs (and ≥ the previous bucket's bound).
+type Bucket struct {
+	UpperNs int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram with
+// precomputed summary quantiles. The quantiles are bucket-resolution
+// estimates (each bucket spans a factor of two), clamped to the observed
+// min/max — good enough to tell 2µs from 2ms, which is the job.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	SumNs   int64    `json:"sum_ns"`
+	MinNs   int64    `json:"min_ns"`
+	MaxNs   int64    `json:"max_ns"`
+	P50Ns   int64    `json:"p50_ns"`
+	P90Ns   int64    `json:"p90_ns"`
+	P99Ns   int64    `json:"p99_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the current distribution with non-empty buckets and
+// p50/p90/p99 estimates filled in.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		MaxNs: h.maxNs.Load(),
+	}
+	if p1 := h.minNsP1.Load(); p1 > 0 {
+		s.MinNs = p1 - 1
+	}
+	counts := make([]int64, histBuckets)
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			counts[i] = c
+			s.Buckets = append(s.Buckets, Bucket{UpperNs: bucketUpper(i), Count: c})
+		}
+	}
+	s.P50Ns = quantile(counts, s, 0.50)
+	s.P90Ns = quantile(counts, s, 0.90)
+	s.P99Ns = quantile(counts, s, 0.99)
+	return s
+}
+
+// Mean returns the mean latency in nanoseconds, 0 when empty.
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumNs / s.Count
+}
+
+// Quantile estimates the q-quantile (0..1) from the snapshot's buckets.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	counts := make([]int64, histBuckets)
+	for _, b := range s.Buckets {
+		counts[bucketIdx(b.UpperNs-1)] = b.Count
+	}
+	return quantile(counts, s, q)
+}
+
+// quantile walks the cumulative bucket counts and returns the geometric
+// midpoint of the bucket containing the q-th observation, clamped to the
+// observed [min, max] so single-bucket histograms report exact values.
+func quantile(counts []int64, s HistogramSnapshot, q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			var est int64
+			switch {
+			case i == 0:
+				est = 0
+			case i >= histBuckets-1:
+				est = s.MaxNs
+			default:
+				// Geometric midpoint of [2^(i-1), 2^i): 2^(i-0.5).
+				est = int64(float64(int64(1)<<i) / math.Sqrt2)
+			}
+			if est < s.MinNs {
+				est = s.MinNs
+			}
+			if s.MaxNs > 0 && est > s.MaxNs {
+				est = s.MaxNs
+			}
+			return est
+		}
+	}
+	return s.MaxNs
+}
+
+// Gauge is a last-write-wins int64 metric (instantaneous level, not a
+// monotone count): open-queue depth, in-flight workers, best bound in
+// millionths. The zero value is ready to use; all methods are safe for
+// concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketIdx(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, histBuckets - 1}, {1 << 60, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIdx(c.ns); got != c.want {
+			t.Errorf("bucketIdx(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramSnapshotSummary(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.P50Ns != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+
+	// 90 fast observations at ~1µs, 10 slow at ~1ms: p50 must land in the
+	// microsecond decade and p99 in the millisecond decade.
+	for i := 0; i < 90; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if want := int64(90*1000 + 10*1_000_000); s.SumNs != want {
+		t.Fatalf("SumNs = %d, want %d", s.SumNs, want)
+	}
+	if s.MinNs != 1000 || s.MaxNs != 1_000_000 {
+		t.Fatalf("Min/Max = %d/%d, want 1000/1000000", s.MinNs, s.MaxNs)
+	}
+	if s.P50Ns < 512 || s.P50Ns > 2048 {
+		t.Fatalf("P50Ns = %d, want ~1µs", s.P50Ns)
+	}
+	if s.P99Ns < 512*1024 || s.P99Ns > 2*1_000_000 {
+		t.Fatalf("P99Ns = %d, want ~1ms", s.P99Ns)
+	}
+	if m := s.Mean(); m != s.SumNs/100 {
+		t.Fatalf("Mean = %d, want %d", m, s.SumNs/100)
+	}
+	// Quantile on the snapshot agrees with the precomputed fields.
+	if q := s.Quantile(0.5); q != s.P50Ns {
+		t.Fatalf("Quantile(0.5) = %d, P50Ns = %d", q, s.P50Ns)
+	}
+	if q := s.Quantile(0.99); q != s.P99Ns {
+		t.Fatalf("Quantile(0.99) = %d, P99Ns = %d", q, s.P99Ns)
+	}
+	// Two non-empty buckets, each with the exact per-mode count.
+	if len(s.Buckets) != 2 || s.Buckets[0].Count != 90 || s.Buckets[1].Count != 10 {
+		t.Fatalf("Buckets = %+v", s.Buckets)
+	}
+}
+
+// TestHistogramSingleValue pins the min/max clamping: a constant latency
+// must report that exact value at every quantile.
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 7; i++ {
+		h.Observe(12345)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got := s.Quantile(q); got != 12345 {
+			t.Fatalf("Quantile(%g) = %d, want 12345", q, got)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket counts sum to %d, Count = %d", bucketSum, s.Count)
+	}
+	if s.MinNs != 0 || s.MaxNs != workers*per-1 {
+		t.Fatalf("Min/Max = %d/%d", s.MinNs, s.MaxNs)
+	}
+}
+
+func TestRegistryGaugeAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue.depth")
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Value())
+	}
+	if r.Gauge("queue.depth") != g {
+		t.Fatal("Gauge lookup is not stable")
+	}
+	h := r.Histogram("lat")
+	h.Observe(100)
+	if r.Histogram("lat") != h {
+		t.Fatal("Histogram lookup is not stable")
+	}
+
+	// Gauges ride along in the scalar Snapshot; histograms only in
+	// SnapshotAll.
+	snap := r.Snapshot()
+	if snap["queue.depth"] != 3 {
+		t.Fatalf("Snapshot gauge = %d, want 3", snap["queue.depth"])
+	}
+	if _, ok := snap["lat"]; ok {
+		t.Fatal("scalar Snapshot must not include histograms")
+	}
+	all := r.SnapshotAll()
+	hs, ok := all["lat"].(HistogramSnapshot)
+	if !ok || hs.Count != 1 {
+		t.Fatalf("SnapshotAll histogram = %#v", all["lat"])
+	}
+}
+
+// TestWriteJSONKinds pins the /metrics wire format: one JSON object, sorted
+// keys, scalars for counters/gauges, summary objects for histograms.
+func TestWriteJSONKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(2)
+	r.Gauge("b.level").Set(-7)
+	r.Histogram("c.lat").Observe(4096)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("WriteJSON output must end in newline")
+	}
+	if ai, bi, ci := strings.Index(out, `"a.count"`), strings.Index(out, `"b.level"`), strings.Index(out, `"c.lat"`); ai < 0 || bi < ai || ci < bi {
+		t.Fatalf("keys missing or unsorted: %s", out)
+	}
+	var decoded struct {
+		Count int64             `json:"a.count"`
+		Level int64             `json:"b.level"`
+		Lat   HistogramSnapshot `json:"c.lat"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if decoded.Count != 2 || decoded.Level != -7 || decoded.Lat.Count != 1 || decoded.Lat.MaxNs != 4096 {
+		t.Fatalf("decoded %+v from %s", decoded, out)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"expvar"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -24,17 +23,25 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Registry is a named collection of counters. Counter returns a stable
-// pointer, so a hot loop resolves its counters once (typically in a package
-// var) and pays only the atomic add per event.
+// Registry is a named collection of counters, gauges, and histograms. The
+// lookup methods return stable pointers, so a hot loop resolves its metrics
+// once (typically in a package var) and pays only the atomic ops per event.
+// Names must be unique across the three kinds; the combined snapshot is one
+// flat namespace.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter)}
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
 }
 
 // Default is the process-wide registry the solver layers record into. It is
@@ -43,7 +50,7 @@ func NewRegistry() *Registry {
 var Default = NewRegistry()
 
 func init() {
-	expvar.Publish("raha", expvar.Func(func() any { return Default.Snapshot() }))
+	expvar.Publish("raha", expvar.Func(func() any { return Default.SnapshotAll() }))
 }
 
 // Counter returns the counter registered under name, creating it on first
@@ -64,46 +71,83 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns the current value of every counter.
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns the current value of every counter and gauge. Histograms
+// are distributions, not scalars; they appear in SnapshotAll.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]int64, len(r.counters))
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
 	for name, c := range r.counters {
 		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
 	}
 	return out
 }
 
-// WriteJSON writes the snapshot as a single JSON object with sorted keys.
-func (r *Registry) WriteJSON(w io.Writer) error {
-	snap := r.Snapshot()
-	keys := make([]string, 0, len(snap))
-	for k := range snap {
-		keys = append(keys, k)
+// SnapshotAll returns every metric in one flat map: counters and gauges as
+// int64 values, histograms as HistogramSnapshot summaries. This is what
+// expvar and /metrics publish.
+func (r *Registry) SnapshotAll() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
 	}
-	sort.Strings(keys)
-	ordered := make([]kv, len(keys))
-	for i, k := range keys {
-		ordered[i] = kv{k, snap[k]}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
 	}
-	buf := []byte{'{'}
-	for i, e := range ordered {
-		if i > 0 {
-			buf = append(buf, ',')
-		}
-		name, _ := json.Marshal(e.k)
-		buf = append(buf, name...)
-		buf = append(buf, ':')
-		val, _ := json.Marshal(e.v)
-		buf = append(buf, val...)
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
 	}
-	buf = append(buf, '}', '\n')
-	_, err := w.Write(buf)
-	return err
+	return out
 }
 
-type kv struct {
-	k string
-	v int64
+// WriteJSON writes the combined snapshot as a single JSON object with
+// sorted keys (encoding/json sorts map keys), one line, trailing newline.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	buf, err := json.Marshal(r.SnapshotAll())
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
 }

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIsTerminal covers the TTY-vs-redirect decision behind the CLIs'
+// -progress default: a regular file and a pipe are not terminals, a
+// character device (when the environment has one) is.
+func TestIsTerminal(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "redirect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if IsTerminal(f) {
+		t.Error("regular file reported as terminal")
+	}
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	defer w.Close()
+	if IsTerminal(w) {
+		t.Error("pipe reported as terminal")
+	}
+
+	// /dev/null is a character device on every platform we run on; it is
+	// the positive case without needing a real pty.
+	if null, err := os.Open(os.DevNull); err == nil {
+		defer null.Close()
+		if !IsTerminal(null) {
+			t.Errorf("%s not reported as character device", os.DevNull)
+		}
+	}
+
+	// A closed file fails Stat and is defensively "not a terminal".
+	gone, err := os.Create(filepath.Join(t.TempDir(), "gone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone.Close()
+	if IsTerminal(gone) {
+		t.Error("closed file reported as terminal")
+	}
+}
+
+// TestProgressLineRewrite pins the carriage-return protocol: every Update
+// starts with \r, never emits \n, and pads with spaces when the new line is
+// shorter so stale characters from the previous draw cannot survive.
+func TestProgressLineRewrite(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgressLine(&sb)
+	p.Update("nodes 100 gap 50.0%")
+	p.Update("nodes 2000 gap 12.5%")
+	p.Update("done 9")
+	out := sb.String()
+
+	if strings.Contains(out, "\n") {
+		t.Fatalf("Update must not emit newlines: %q", out)
+	}
+	draws := strings.Split(out, "\r")
+	// Leading "" before the first \r, then one draw per Update.
+	if len(draws) != 4 || draws[0] != "" {
+		t.Fatalf("want 3 \\r-prefixed draws, got %q", out)
+	}
+	if draws[1] != "nodes 100 gap 50.0%" {
+		t.Fatalf("first draw = %q", draws[1])
+	}
+	// The short third line is padded to the length of the longest line so
+	// far ("nodes 2000 gap 12.5%", 20 chars).
+	if want := "done 9" + strings.Repeat(" ", len("nodes 2000 gap 12.5%")-len("done 9")); draws[3] != want {
+		t.Fatalf("short redraw not padded: %q (want %q)", draws[3], want)
+	}
+}
+
+// TestProgressLineFinalNewline pins the end-of-solve contract: Println
+// clears the live line and emits exactly one permanent, newline-terminated
+// line, and Done leaves the cursor on a clean line with no trailing draw.
+func TestProgressLineFinalNewline(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgressLine(&sb)
+	p.Update("working...")
+	p.Println("incumbent 42 found")
+	p.Done()
+	out := sb.String()
+
+	if !strings.Contains(out, "incumbent 42 found\n") {
+		t.Fatalf("permanent line not newline-terminated: %q", out)
+	}
+	// After the permanent line nothing but the (empty) cleanup remains:
+	// the last byte of output must be the newline or a clearing \r.
+	if !strings.HasSuffix(out, "\n") && !strings.HasSuffix(out, "\r") {
+		t.Fatalf("output does not end on a clean line: %q", out)
+	}
+	// The cleared live line must be fully blanked before the permanent
+	// line: between the last \r before "incumbent" and the text itself
+	// there are only spaces.
+	idx := strings.Index(out, "incumbent")
+	pre := out[:idx]
+	lastCR := strings.LastIndex(pre, "\r")
+	if blank := pre[lastCR+1:]; strings.TrimSpace(blank) != "" {
+		t.Fatalf("live line not cleared before Println: %q", out)
+	}
+
+	// Updates after Done are ignored — no further bytes.
+	n := len(out)
+	p.Update("zombie")
+	if sb.Len() != n {
+		t.Fatalf("Update after Done wrote %d bytes", sb.Len()-n)
+	}
+}
+
+// TestProgressLineNil covers the nil receiver contract all call sites rely
+// on (a disabled -progress flag yields a nil *ProgressLine).
+func TestProgressLineNil(t *testing.T) {
+	var p *ProgressLine
+	p.Update("x") // must not panic
+	p.Println("y")
+	p.Done()
+}

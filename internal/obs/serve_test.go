@@ -1,14 +1,17 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"testing"
+	"time"
 )
 
 // TestServeExpvarAndPprof is the acceptance check for -metrics-addr:
-// /debug/vars must return the live solver counters and the pprof index
+// /debug/vars must return the live solver metrics and the pprof index
 // must be mounted (the CPU profile endpoint is the same handler family;
 // fetching a real profile blocks for its duration, so the test settles
 // for the index that links it).
@@ -29,13 +32,19 @@ func TestServeExpvarAndPprof(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/debug/vars: %d", resp.StatusCode)
 	}
+	// The raha namespace mixes scalar counters/gauges with histogram
+	// objects, so decode values lazily and pick out the counter.
 	var vars struct {
-		Raha map[string]int64 `json:"raha"`
+		Raha map[string]json.RawMessage `json:"raha"`
 	}
 	if err := json.Unmarshal(body, &vars); err != nil {
 		t.Fatalf("/debug/vars is not JSON: %v", err)
 	}
-	if vars.Raha["test.serve"] < 7 {
+	var served int64
+	if err := json.Unmarshal(vars.Raha["test.serve"], &served); err != nil {
+		t.Fatalf("test.serve counter missing or non-scalar: %v", err)
+	}
+	if served < 7 {
 		t.Fatalf("raha counters missing from expvar: %v", vars.Raha)
 	}
 
@@ -48,4 +57,89 @@ func TestServeExpvarAndPprof(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/debug/pprof/: %d", resp.StatusCode)
 	}
+}
+
+// TestServeMetricsEndpoint exercises the /metrics JSON endpoint: counters
+// and gauges as scalars, histograms as summary objects, all in one flat
+// object from the Default registry.
+func TestServeMetricsEndpoint(t *testing.T) {
+	Default.Counter("test.metrics_counter").Add(3)
+	Default.Gauge("test.metrics_gauge").Set(-4)
+	h := Default.Histogram("test.metrics_hist")
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+	srv, addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics Content-Type = %q, want application/json", ct)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not a JSON object: %v\n%s", err, body)
+	}
+	var c int64
+	if err := json.Unmarshal(snap["test.metrics_counter"], &c); err != nil || c < 3 {
+		t.Fatalf("counter: got %d (err %v)", c, err)
+	}
+	var g int64
+	if err := json.Unmarshal(snap["test.metrics_gauge"], &g); err != nil || g != -4 {
+		t.Fatalf("gauge: got %d (err %v)", g, err)
+	}
+	var hs HistogramSnapshot
+	if err := json.Unmarshal(snap["test.metrics_hist"], &hs); err != nil {
+		t.Fatalf("histogram summary: %v", err)
+	}
+	if hs.Count < 100 || hs.P50Ns <= 0 || hs.P99Ns < hs.P50Ns {
+		t.Fatalf("histogram summary implausible: %+v", hs)
+	}
+}
+
+// TestServeGracefulShutdown is the leaked-listener regression test: after
+// Shutdown returns, the port must be closed (a fresh connection is refused)
+// and the serve goroutine has exited, so a CLI using -metrics-addr can
+// stop the server cleanly before main returns.
+func TestServeGracefulShutdown(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prove it is actually serving first.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case <-srv.done:
+	default:
+		t.Fatal("serve goroutine still running after Shutdown")
+	}
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Fatalf("port %s still accepting connections after Shutdown", addr)
+	}
+	// A second Shutdown must not hang or panic (error value is free to
+	// report the already-closed listener).
+	srv.Shutdown(context.Background()) //nolint:errcheck
 }

@@ -34,7 +34,6 @@ package raha
 import (
 	"context"
 	"io"
-	"net/http"
 
 	"raha/internal/augment"
 	"raha/internal/demand"
@@ -246,11 +245,26 @@ type JSONLTracer = obs.JSONLTracer
 // NewJSONLTracer returns a tracer writing one JSON object per event to w.
 func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
 
+// MetricsServer is a running metrics/profiling HTTP listener with a
+// graceful Shutdown(ctx) path (Close for an immediate stop).
+type MetricsServer = obs.Server
+
+// LatencySnapshot is a point-in-time latency distribution: count, sum,
+// min/max, p50/p90/p99 estimates, and the non-empty log-spaced buckets.
+// Solver histograms appear on /metrics and in SweepReport.CellLatency.
+type LatencySnapshot = obs.HistogramSnapshot
+
+// WorkerStats is one branch-and-bound worker's utilization summary
+// (busy/queue-wait/idle shares of its wall clock), exposed per solve on
+// SolveStats.PerWorker.
+type WorkerStats = milp.WorkerStats
+
 // ServeMetrics starts an HTTP listener exposing the process-wide solver
-// counters on /debug/vars (expvar) and profiles on /debug/pprof/. It
-// returns the server and the bound address (useful with ":0"); shut it
-// down with srv.Close.
-func ServeMetrics(addr string) (srv *http.Server, boundAddr string, err error) {
+// metrics on /metrics (one JSON object: counters, gauges, histogram
+// summaries) and /debug/vars (expvar), plus profiles on /debug/pprof/. It
+// returns the server and the bound address (useful with ":0"); stop it
+// with srv.Shutdown(ctx) for a clean drain or srv.Close for immediate.
+func ServeMetrics(addr string) (srv *MetricsServer, boundAddr string, err error) {
 	return obs.Serve(addr)
 }
 
