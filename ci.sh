@@ -22,14 +22,20 @@ fi
 go vet ./...
 go build ./...
 
-# Project-specific linter (cmd/raha-lint): float equality, wall-clock or
-# randomness in solver loops, context placement, mutex copies, unguarded
-# tracer Emits. Runs over the full tree including _test.go files; any
-# finding fails the build (suppressions need a //raha:lint-allow with a
-# reason).
-go run ./cmd/raha-lint ./...
+# Project-specific analyzer suite (cmd/raha-lint → internal/lint): five
+# style rules (float equality, wall-clock or randomness in solver loops,
+# context placement, mutex copies, unguarded tracer Emits) plus five
+# cross-function concurrency rules (atomic-mix, lock-order, goroutine-leak,
+# hot-alloc, err-drop). Runs over the full tree including _test.go files;
+# any finding fails the build (suppressions need a //raha:lint-allow with a
+# reason). -json keeps a machine-readable record on stdout while the
+# file:line findings still land on stderr for the failure log.
+go run ./cmd/raha-lint -json ./... >/dev/null
 
-go test -race "$@" ./...
+# -shuffle=on randomizes test order within each package so inter-test state
+# leaks cannot hide behind a fixed execution order (the seed is printed on
+# failure for reproduction).
+go test -race -shuffle=on "$@" ./...
 
 # Ten seconds of native fuzzing on the Topology Zoo GML parser, seeded from
 # the committed fixture corpus: a crash or invariant violation found here

@@ -216,8 +216,18 @@ func newMetricNotes(oldM, newM map[string]map[string]float64) []string {
 // report prints the old→new comparison for every benchmark present in both
 // records: one table per headline throughput metric, then the warm-start
 // metrics, then warnings for throughput regressions and growing
-// cold-fallback shares.
-func report(w io.Writer, oldPath, newPath string, oldM, newM map[string]map[string]float64) {
+// cold-fallback shares. The body renders into a builder (whose writes
+// cannot fail) and flushes once; a failed flush is reported on stderr but
+// keeps the advisory always-exit-0 contract.
+func report(out io.Writer, oldPath, newPath string, oldM, newM map[string]map[string]float64) {
+	w := &strings.Builder{}
+	writeReport(w, oldPath, newPath, oldM, newM)
+	if _, err := io.WriteString(out, w.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "raha-benchdiff:", err)
+	}
+}
+
+func writeReport(w *strings.Builder, oldPath, newPath string, oldM, newM map[string]map[string]float64) {
 	tables := 0
 	for _, metric := range headlineMetrics {
 		rows := diffMetric(oldM, newM, metric)

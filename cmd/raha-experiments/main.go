@@ -104,7 +104,9 @@ func main() {
 			if err := jsonl.Err(); err != nil {
 				fail(fmt.Errorf("-trace: %w", err))
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fail(fmt.Errorf("-trace: %w", err))
+			}
 		}()
 		jsonl = obs.NewJSONLTracer(f)
 		tracer = jsonl
@@ -118,7 +120,7 @@ func main() {
 			// Graceful: an in-flight /metrics scrape finishes, but exit is
 			// never held up for more than a moment.
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			srv.Shutdown(ctx) //nolint:errcheck // best-effort teardown on exit
+			_ = srv.Shutdown(ctx) // best-effort teardown on exit
 			cancel()
 		}()
 		log.Infof("metrics: http://%s/metrics  expvar: http://%s/debug/vars  profiles: http://%s/debug/pprof/", addr, addr, addr)

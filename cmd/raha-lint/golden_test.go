@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"raha/internal/lint"
+)
+
+// TestJSONGolden round-trips the -json output through a golden file: the
+// report for the golden fixture must match testdata/golden.json byte for
+// byte (stable IDs, relative paths, position order), and must parse back
+// into the same findings. Regenerate with:
+//
+//	go test ./cmd/raha-lint -run TestJSONGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestJSONGolden(t *testing.T) {
+	p := loadOne(t, "./testdata/src/golden")
+	res := run(t, []*lint.Package{p}, "float-cmp", "err-drop")
+	if len(res.Findings) == 0 {
+		t.Fatal("golden fixture produced no findings")
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, res.Findings, wd); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	goldenPath := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from golden file\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// Round-trip: the document must parse back into the same findings.
+	var doc struct {
+		Findings []struct {
+			ID   string `json:"id"`
+			Rule string `json:"rule"`
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Col  int    `json:"col"`
+			Msg  string `json:"msg"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("parsing -json output: %v", err)
+	}
+	if doc.Count != len(res.Findings) || len(doc.Findings) != len(res.Findings) {
+		t.Fatalf("count mismatch: doc %d/%d vs %d findings", doc.Count, len(doc.Findings), len(res.Findings))
+	}
+	for i, f := range res.Findings {
+		d := doc.Findings[i]
+		if d.ID != f.ID || d.Rule != f.Rule || d.Line != f.Pos.Line || d.Col != f.Pos.Column || d.Msg != f.Msg {
+			t.Errorf("finding %d did not round-trip: %+v vs %v", i, d, f)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Errorf("finding %d carries an absolute path %q; golden output must be machine-independent", i, d.File)
+		}
+	}
+}

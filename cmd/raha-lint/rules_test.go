@@ -1,0 +1,111 @@
+package main
+
+import (
+	"testing"
+
+	"raha/internal/lint"
+)
+
+// Each new rule gets its own fixture package so the legacy corpus stays
+// byte-stable; every test runs exactly the rule under test, so a fixture's
+// incidental violations of other rules cannot bleed in.
+
+func TestAtomicMixFixture(t *testing.T) {
+	p := loadOne(t, "./testdata/src/atomicmix")
+	pkgs := []*lint.Package{p}
+	compare(t, run(t, pkgs, "atomic-mix").Findings, collectMarkers(t, pkgs))
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	p := loadOne(t, "./testdata/src/lockorder")
+	pkgs := []*lint.Package{p}
+	compare(t, run(t, pkgs, "lock-order").Findings, collectMarkers(t, pkgs))
+}
+
+// TestLockOrderCrossPackage is the fact-propagation case: package a
+// acquires MuA→MuB, package b acquires MuB→MuA. Neither package alone has
+// a cycle; the two-package run must report exactly one.
+func TestLockOrderCrossPackage(t *testing.T) {
+	pkgs := loadPkgs(t, "./testdata/src/lockcross/...")
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	res := run(t, pkgs, "lock-order")
+	compare(t, res.Findings, collectMarkers(t, pkgs))
+	if len(res.Findings) != 1 {
+		t.Fatalf("cross-package cycle reported %d findings, want exactly 1", len(res.Findings))
+	}
+
+	// And each package alone must stay silent: the cycle does not exist on
+	// either side of the boundary.
+	for _, p := range pkgs {
+		solo := run(t, []*lint.Package{p}, "lock-order")
+		if len(solo.Findings) != 0 {
+			t.Errorf("package %s alone reported %d lock-order findings, want 0", p.Path, len(solo.Findings))
+		}
+	}
+}
+
+func TestGoroutineLeakFixture(t *testing.T) {
+	p := loadOne(t, "./testdata/src/goroleak")
+	pkgs := []*lint.Package{p}
+	compare(t, run(t, pkgs, "goroutine-leak").Findings, collectMarkers(t, pkgs))
+}
+
+// TestHotAllocFixture masquerades the fixture as internal/milp, the same
+// trick the legacy hot-loop-time corpus uses: the rule is dormant
+// elsewhere.
+func TestHotAllocFixture(t *testing.T) {
+	p := loadOne(t, "./testdata/src/hotalloc")
+	pkgs := []*lint.Package{p}
+
+	if res := run(t, pkgs, "hot-alloc"); len(res.Findings) != 0 {
+		t.Fatalf("hot-alloc fired outside the solver packages: %v", res.Findings)
+	}
+
+	saved := p.Path
+	p.Path = "raha/internal/milp"
+	defer func() { p.Path = saved }()
+	compare(t, run(t, pkgs, "hot-alloc").Findings, collectMarkers(t, pkgs))
+}
+
+func TestErrDropFixture(t *testing.T) {
+	p := loadOne(t, "./testdata/src/errdrop")
+	pkgs := []*lint.Package{p}
+	compare(t, run(t, pkgs, "err-drop").Findings, collectMarkers(t, pkgs))
+}
+
+// TestRulesFilter pins -rules semantics: an unknown rule is an error, and a
+// subset runs only that subset.
+func TestRulesFilter(t *testing.T) {
+	p := loadOne(t, "./testdata/src/errdrop")
+	if _, err := lint.Run([]*lint.Package{p}, []string{"no-such-rule"}); err == nil {
+		t.Error("unknown rule name did not error")
+	}
+	res := run(t, []*lint.Package{p}, "float-cmp")
+	if len(res.Findings) != 0 {
+		t.Errorf("float-cmp-only run on the errdrop fixture found %d findings, want 0", len(res.Findings))
+	}
+}
+
+// TestStableIDs pins the -json contract: finding IDs survive line drift
+// (they hash rule, file base name, message, and occurrence index — not the
+// line number), and distinct findings get distinct IDs.
+func TestStableIDs(t *testing.T) {
+	p := loadOne(t, "./testdata/src/golden")
+	first := run(t, []*lint.Package{p}, "float-cmp", "err-drop")
+	second := run(t, []*lint.Package{p}, "float-cmp", "err-drop")
+	if len(first.Findings) == 0 {
+		t.Fatal("golden fixture produced no findings")
+	}
+	seen := map[string]bool{}
+	for i := range first.Findings {
+		if first.Findings[i].ID != second.Findings[i].ID {
+			t.Errorf("ID not stable across runs: %q vs %q", first.Findings[i].ID, second.Findings[i].ID)
+		}
+		if seen[first.Findings[i].ID] {
+			t.Errorf("duplicate finding ID %q", first.Findings[i].ID)
+		}
+		seen[first.Findings[i].ID] = true
+	}
+}

@@ -1,0 +1,52 @@
+// Package atomicmix is the atomic-mix fixture: fields updated through
+// sync/atomic must never be accessed plainly, element accesses are a
+// separate dimension from the slice header, and address-taken pointers
+// handed to helpers are opaque.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64    // atomically updated; plain accesses below must be flagged
+	cold int64    // never touched atomically; plain accesses are legal
+	bits []uint64 // elements CAS-updated; header reads stay legal
+	opq  int64    // only ever addressed through a helper: opaque
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	c.cold++ // legal: cold is never accessed atomically
+	atomic.AddUint64(&c.bits[0], 7)
+}
+
+func load(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits) // legal: atomic read
+}
+
+func read(c *counters) int64 {
+	return c.hits // want:atomic-mix
+}
+
+func reset(c *counters) {
+	c.hits = 0 // want:atomic-mix
+}
+
+func header(c *counters) int {
+	return len(c.bits) // legal: reads the slice header, not the elements
+}
+
+func elem(c *counters) uint64 {
+	return c.bits[1] // want:atomic-mix
+}
+
+func viaHelper(c *counters) {
+	helperAdd(&c.opq, 1) // legal: opaque — the pointer's use is the helper's business
+}
+
+func readOpq(c *counters) int64 {
+	return c.opq // legal: opq has no direct sync/atomic access (documented limit)
+}
+
+func helperAdd(p *int64, v int64) {
+	atomic.AddInt64(p, v)
+}

@@ -1,0 +1,55 @@
+// Package errdrop is the err-drop fixture: bare call statements that
+// discard an error are flagged; explicit discards, defers, and the
+// cannot-fail writer allowlist stay legal.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func dropped(name string) {
+	os.Remove(name) // want:err-drop
+}
+
+func deliberate(name string) {
+	_ = os.Remove(name) // legal: explicit, greppable discard
+}
+
+func handled(name string) error {
+	return os.Remove(name) // legal: propagated
+}
+
+func closeDropped(f *os.File) {
+	f.Close() // want:err-drop
+}
+
+func deferClose(f *os.File) {
+	defer f.Close() // legal: defer is exempt by design
+}
+
+func printing(msg string) {
+	fmt.Fprintln(os.Stderr, msg) // legal: stderr allowlist
+	fmt.Println(msg)             // legal: fmt.Print* is stdout by definition
+}
+
+func builder(b *strings.Builder) {
+	fmt.Fprintf(b, "x") // legal: strings.Builder cannot fail
+}
+
+func cannotFailMethods(b *strings.Builder, buf *bytes.Buffer) {
+	b.WriteString("x")   // legal: strings.Builder methods never return an error
+	b.WriteByte('x')     // legal
+	buf.WriteString("x") // legal: bytes.Buffer methods never return an error
+}
+
+func genericWriter(w io.Writer) {
+	fmt.Fprintf(w, "x") // want:err-drop
+}
+
+func nonError(dst, src []int) {
+	copy(dst, src) // legal: no error in the result
+}

@@ -1,0 +1,14 @@
+// Package golden produces a small, deterministic finding set for the -json
+// golden-output test. Keep it stable: the golden file pins IDs, positions,
+// and messages.
+package golden
+
+import "os"
+
+func eq(a, b float64) bool {
+	return a == b // float-cmp
+}
+
+func drop() {
+	os.Remove("golden.tmp") // err-drop
+}

@@ -1,0 +1,92 @@
+// Package goroleak is the goroutine-leak fixture: every bounded pattern the
+// rule recognizes (WaitGroup join, ctx.Done, channel receive, close-join)
+// plus the leaks it must flag.
+package goroleak
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func leakLit() {
+	go func() { // want:goroutine-leak
+		for {
+			run()
+		}
+	}()
+}
+
+func spin() {
+	for {
+		run()
+	}
+}
+
+func leakNamed() {
+	go spin() // want:goroutine-leak
+}
+
+func boundedWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // legal: WaitGroup join
+		defer wg.Done()
+		run()
+	}()
+}
+
+func boundedCtx(ctx context.Context) {
+	go func() { // legal: ctx.Done select
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func boundedRecv(ch chan int) {
+	go func() { // legal: terminates when ch is closed
+		for range ch {
+		}
+	}()
+}
+
+func worker(ch chan int) {
+	for range ch {
+	}
+}
+
+func boundedNamed(ch chan int) {
+	go worker(ch) // legal: named callee's body receives
+}
+
+func externalCallee() {
+	go fmt.Println("external") // legal: callee outside the analyzed tree
+}
+
+type server struct {
+	done chan struct{}
+	dead chan struct{}
+}
+
+// start's goroutine closes s.done, and wait receives from it — the
+// close-join pattern, proven across function boundaries by facts.
+func (s *server) start() {
+	go func() { // legal: joined close (see wait)
+		defer close(s.done)
+		run()
+	}()
+}
+
+func (s *server) wait() {
+	<-s.done
+}
+
+// startDead closes a channel nothing ever receives from: not a join.
+func (s *server) startDead() {
+	go func() { // want:goroutine-leak
+		defer close(s.dead)
+		run()
+	}()
+}
+
+func run() {}

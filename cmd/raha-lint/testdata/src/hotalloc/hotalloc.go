@@ -1,0 +1,105 @@
+// Package hotalloc is the hot-alloc fixture. The rule only fires in the
+// solver packages, so the test lints this package under the
+// raha/internal/milp path (the same masquerade the legacy hot-loop-time
+// fixture uses).
+package hotalloc
+
+type vec struct {
+	xs []float64
+}
+
+func makeInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, 8) // want:hot-alloc
+		total += len(buf) + i
+	}
+	return total
+}
+
+func newInLoop(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		p := new(int) // want:hot-alloc
+		t += *p
+	}
+	return t
+}
+
+func amortizedAppend(work []int) []int {
+	var out []int
+	for _, w := range work {
+		out = append(out, w) // legal: amortized self-append to an outer var
+	}
+	return out
+}
+
+func freshAppend(work []int) int {
+	t := 0
+	var seed []int
+	for _, w := range work {
+		row := append(seed, w) // want:hot-alloc
+		t += len(row)
+	}
+	return t
+}
+
+func selfAppendLiteral(work []int) []vec {
+	var out []vec
+	for _, w := range work {
+		out = append(out, vec{xs: nil}) // legal: element copied by value into amortized storage
+		_ = w
+	}
+	return out
+}
+
+func selfAppendLiteralNestedAlloc(work []int) []vec {
+	var out []vec
+	for range work {
+		out = append(out, vec{xs: make([]float64, 4)}) // want:hot-alloc
+	}
+	return out
+}
+
+func literalInLoop(n int) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		v := vec{xs: nil} // want:hot-alloc
+		s += float64(len(v.xs)) + float64(i)
+	}
+	return s
+}
+
+func inPlaceWrite(rows []vec) {
+	for i := range rows {
+		rows[i] = vec{} // legal: writes into a pre-allocated slot
+	}
+}
+
+func closureBodyNotLoop(work []int) []func() []int {
+	var fns []func() []int
+	for range work {
+		fns = append(fns, func() []int { // want:hot-alloc
+			return make([]int, 4) // legal: the closure body is not the loop body
+		})
+	}
+	return fns
+}
+
+// sampleBuffers is exempt by name, like the hot-loop-time sampler carve-out.
+func sampleBuffers(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		b := make([]int, 4) // legal: "sample" in the enclosing function name
+		t += len(b) + i
+	}
+	return t
+}
+
+func outsideLoop(n int) []int {
+	buf := make([]int, n) // legal: outside any loop
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
+}

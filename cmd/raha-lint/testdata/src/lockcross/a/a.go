@@ -1,0 +1,20 @@
+// Package a establishes the canonical order for S's two locks: MuA before
+// MuB. Package b inverts it — the cycle only exists across the package
+// boundary, which is exactly what the fact propagation must see.
+package a
+
+import "sync"
+
+// S carries two ordered locks.
+type S struct {
+	MuA sync.Mutex
+	MuB sync.Mutex
+}
+
+// LockBoth acquires in the canonical order.
+func (s *S) LockBoth() {
+	s.MuA.Lock()
+	s.MuB.Lock() // want:lock-order
+	s.MuB.Unlock()
+	s.MuA.Unlock()
+}

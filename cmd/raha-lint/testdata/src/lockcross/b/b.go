@@ -1,0 +1,13 @@
+// Package b inverts the lock order package a established. Neither package
+// has a cycle alone; the whole-program join must find it.
+package b
+
+import "raha/cmd/raha-lint/testdata/src/lockcross/a"
+
+// Reverse acquires S's locks in the opposite order to a.LockBoth.
+func Reverse(s *a.S) {
+	s.MuB.Lock()
+	defer s.MuB.Unlock()
+	s.MuA.Lock()
+	s.MuA.Unlock()
+}

@@ -1,0 +1,80 @@
+// Package lockorder is the lock-order fixture: an A→B / B→A inversion on
+// two package-level mutexes, an interprocedural self-cycle through a
+// helper, and a consistently-ordered pair plus an interface dispatch that
+// must stay silent.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	mu  sync.Mutex
+)
+
+func aThenB() {
+	muA.Lock()
+	muB.Lock() // want:lock-order
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func bThenA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock()
+	muA.Unlock()
+}
+
+// outer holds mu across a call whose callee re-acquires mu: a self-deadlock
+// the graph sees as a one-node cycle, witnessed at the call site.
+func outer() {
+	mu.Lock()
+	defer mu.Unlock()
+	helper() // want:lock-order
+}
+
+func helper() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// C before A, on both paths: consistent order, no finding.
+func cThenA1() {
+	muC.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muC.Unlock()
+}
+
+func cThenA2() {
+	muC.Lock()
+	defer muC.Unlock()
+	muA.Lock()
+	muA.Unlock()
+}
+
+// Interface dispatch resolves to every analyzed method with a matching name
+// and arity; impl.Do only takes its own lock, so muD → impl.mu is an edge
+// but no cycle.
+type locker interface {
+	Do(x int)
+}
+
+type impl struct {
+	mu sync.Mutex
+}
+
+func (i *impl) Do(x int) {
+	i.mu.Lock()
+	_ = x
+	i.mu.Unlock()
+}
+
+func viaIface(l locker) {
+	muD.Lock()
+	defer muD.Unlock()
+	l.Do(1) // legal: acyclic edge muD → impl.mu
+}

@@ -12,7 +12,7 @@ import (
 
 func summarizeCmd(args []string) error {
 	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
-	fs.Parse(args) //nolint:errcheck // ExitOnError
+	_ = fs.Parse(args) // ExitOnError: flag errors exit instead of returning
 	if fs.NArg() != 1 {
 		return fmt.Errorf("summarize: want one trace path, got %d args", fs.NArg())
 	}
@@ -26,8 +26,10 @@ func summarizeCmd(args []string) error {
 // summarize prints the phase attribution: how the solve's worker-time
 // splits into presolve, LP, heuristic, branching, queue wait, and idle.
 // The denominator is root presolve plus every worker's wall clock, so the
-// shares sum to ~100%.
-func summarize(w io.Writer, tr *trace) error {
+// shares sum to ~100%. Like the other reports it renders into a builder
+// (whose writes cannot fail) and flushes once, so the only write error to
+// handle is the final one.
+func summarize(out io.Writer, tr *trace) error {
 	if tr.solves == 0 {
 		return fmt.Errorf("%s: no solve_end events — not a solver trace", tr.path)
 	}
@@ -36,6 +38,7 @@ func summarize(w io.Writer, tr *trace) error {
 		return fmt.Errorf("%s: zero attributed time — trace was written without timing instrumentation", tr.path)
 	}
 	denom := tr.presolveNs + tr.workerWallNs()
+	w := &strings.Builder{}
 
 	fmt.Fprintf(w, "trace: %s  (%d events: %s)\n", tr.path, tr.events, tr.sortedLayers())
 	fmt.Fprintf(w, "solves %d  nodes %d  lp solves %d  wall %.3fs",
@@ -68,13 +71,14 @@ func summarize(w io.Writer, tr *trace) error {
 			tr.queuePops, fmtNs(tr.queuePopNs/tr.queuePops),
 			tr.queuePushes, fmtNs(safeDiv(tr.queuePushNs, tr.queuePushes)))
 	}
-	return nil
+	_, err := io.WriteString(out, w.String())
+	return err
 }
 
 func workersCmd(args []string) error {
 	fs := flag.NewFlagSet("workers", flag.ExitOnError)
 	timeline := fs.Bool("timeline", false, "print the sampled per-worker busy-share timeline")
-	fs.Parse(args) //nolint:errcheck // ExitOnError
+	_ = fs.Parse(args) // ExitOnError: flag errors exit instead of returning
 	if fs.NArg() != 1 {
 		return fmt.Errorf("workers: want one trace path, got %d args", fs.NArg())
 	}
@@ -88,10 +92,11 @@ func workersCmd(args []string) error {
 // workersReport prints the per-worker utilization table — the direct
 // answer to "why is Workers=4 slower than serial": high wait shares mean
 // queue contention, high idle shares mean starvation.
-func workersReport(w io.Writer, tr *trace, timeline bool) error {
+func workersReport(out io.Writer, tr *trace, timeline bool) error {
 	if len(tr.workers) == 0 {
 		return fmt.Errorf("%s: no per-worker data (trace predates worker accounting or solve was unobserved)", tr.path)
 	}
+	w := &strings.Builder{}
 	fmt.Fprintf(w, "trace: %s  (%d solves, %d workers)\n\n", tr.path, tr.solves, len(tr.workers))
 	fmt.Fprintf(w, "worker    nodes       busy       wait       idle       wall\n")
 	var tot workerAgg
@@ -116,12 +121,13 @@ func workersReport(w io.Writer, tr *trace, timeline bool) error {
 	if timeline {
 		printTimeline(w, tr)
 	}
-	return nil
+	_, err := io.WriteString(out, w.String())
+	return err
 }
 
 // printTimeline differences consecutive worker_sample events into interval
 // busy shares: one row per sample, one column per worker.
-func printTimeline(w io.Writer, tr *trace) {
+func printTimeline(w *strings.Builder, tr *trace) {
 	if len(tr.samples) < 2 {
 		fmt.Fprintf(w, "\nno sampled timeline (fewer than two worker_sample events)\n")
 		return
@@ -147,7 +153,7 @@ func printTimeline(w io.Writer, tr *trace) {
 
 func treeCmd(args []string) error {
 	fs := flag.NewFlagSet("tree", flag.ExitOnError)
-	fs.Parse(args) //nolint:errcheck // ExitOnError
+	_ = fs.Parse(args) // ExitOnError: flag errors exit instead of returning
 	if fs.NArg() != 1 {
 		return fmt.Errorf("tree: want one trace path, got %d args", fs.NArg())
 	}
@@ -160,10 +166,11 @@ func treeCmd(args []string) error {
 
 // treeReport prints the search-tree shape: how deep the tree grew, how
 // nodes were fathomed, and when incumbents arrived.
-func treeReport(w io.Writer, tr *trace) error {
+func treeReport(out io.Writer, tr *trace) error {
 	if len(tr.depths) == 0 {
 		return fmt.Errorf("%s: no node events — trace has no search tree", tr.path)
 	}
+	w := &strings.Builder{}
 	var total, maxCount int64
 	maxDepth := 0
 	for d, c := range tr.depths {
@@ -213,12 +220,13 @@ func treeReport(w io.Writer, tr *trace) error {
 		}
 		fmt.Fprintf(w, "  %8.3fs  obj %-12g after %d nodes\n", p.t, p.obj, p.nodes)
 	}
-	return nil
+	_, err := io.WriteString(out, w.String())
+	return err
 }
 
 func diffCmd(args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
-	fs.Parse(args) //nolint:errcheck // ExitOnError
+	_ = fs.Parse(args) // ExitOnError: flag errors exit instead of returning
 	if fs.NArg() != 2 {
 		return fmt.Errorf("diff: want two trace paths, got %d args", fs.NArg())
 	}
@@ -235,11 +243,12 @@ func diffCmd(args []string) error {
 
 // diffReport prints the two traces' headline numbers side by side —
 // enough to see whether a change moved time between phases.
-func diffReport(w io.Writer, old, cur *trace) error {
+func diffReport(out io.Writer, old, cur *trace) error {
 	if old.solves == 0 || cur.solves == 0 {
 		return fmt.Errorf("diff: both traces must contain solve_end events (%s: %d, %s: %d)",
 			old.path, old.solves, cur.path, cur.solves)
 	}
+	w := &strings.Builder{}
 	fmt.Fprintf(w, "old: %s\nnew: %s\n\n", old.path, cur.path)
 	fmt.Fprintf(w, "%-14s %12s %12s %9s\n", "metric", "old", "new", "delta")
 	num := func(name string, o, n float64, format string) {
@@ -266,7 +275,8 @@ func diffReport(w io.Writer, old, cur *trace) error {
 	ns("idle", old.idleNs(), cur.idleNs())
 	num("pop avg ns", avg(old.queuePopNs, old.queuePops), avg(cur.queuePopNs, cur.queuePops), "%.0f")
 	num("push avg ns", avg(old.queuePushNs, old.queuePushes), avg(cur.queuePushNs, cur.queuePushes), "%.0f")
-	return nil
+	_, err := io.WriteString(out, w.String())
+	return err
 }
 
 func pct(part, whole int64) float64 {

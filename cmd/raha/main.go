@@ -205,7 +205,7 @@ func (c *commonFlags) setup() (*raha.Topology, []raha.DemandPaths, raha.Matrix, 
 func probe(args []string) error {
 	fs := flag.NewFlagSet("probe", flag.ExitOnError)
 	topo := fs.String("topology", "smallwan", "built-in topology name or GML file path")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: flag errors exit instead of returning
 	top, err := loadTopology(*topo)
 	if err != nil {
 		return err
@@ -223,19 +223,19 @@ func probe(args []string) error {
 
 func analyze(ctx context.Context, args []string) error {
 	c := newCommon("analyze")
-	c.fs.Parse(args)
+	_ = c.fs.Parse(args) // ExitOnError: flag errors exit instead of returning
 	o, err := c.obs.start()
 	if err != nil {
 		return err
 	}
 	top, dps, _, env, err := c.setup()
 	if err != nil {
-		o.close()
+		_ = o.close() // the setup error wins; teardown is best-effort
 		return err
 	}
 	solver, err := c.solver(o)
 	if err != nil {
-		o.close()
+		_ = o.close() // the setup error wins; teardown is best-effort
 		return err
 	}
 	o.log.Infof("analyzing %s: %d demands, %d LAGs, threshold %.0e, budget %v",
@@ -345,7 +345,7 @@ func augmentCmd(args []string) (err error) {
 	newLAGs := c.fs.Bool("new-lags", false, "add new LAGs (Appendix C) instead of augmenting existing ones")
 	candidates := c.fs.Int("candidates", 8, "candidate new-LAG count (with -new-lags)")
 	canFail := c.fs.Bool("can-fail", false, "added capacity can itself fail")
-	c.fs.Parse(args)
+	_ = c.fs.Parse(args) // ExitOnError: flag errors exit instead of returning
 	o, err := c.obs.start()
 	if err != nil {
 		return err
@@ -421,7 +421,7 @@ func alert(ctx context.Context, args []string) (err error) {
 	c := newCommon("alert")
 	tolerance := c.fs.Float64("tolerance", 0.5, "alert when degradation exceeds this multiple of mean LAG capacity")
 	sw := newSweepFlags(c.fs)
-	c.fs.Parse(args)
+	_ = c.fs.Parse(args) // ExitOnError: flag errors exit instead of returning
 	if *sw.all {
 		return alertAll(ctx, c, sw, *tolerance)
 	}

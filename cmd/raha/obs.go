@@ -66,7 +66,7 @@ func (f *obsFlags) start() (*runObs, error) {
 	if *f.metricsAddr != "" {
 		srv, addr, err := raha.ServeMetrics(*f.metricsAddr)
 		if err != nil {
-			o.close()
+			_ = o.close() // the listen error wins; teardown is best-effort
 			return nil, fmt.Errorf("-metrics-addr: %w", err)
 		}
 		o.metrics = srv
@@ -109,7 +109,7 @@ func (o *runObs) close() error {
 		// Graceful: let an in-flight /metrics scrape finish, but never
 		// stall CLI exit for more than a moment.
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		o.metrics.Shutdown(ctx) //nolint:errcheck // best-effort teardown on exit
+		_ = o.metrics.Shutdown(ctx) // best-effort teardown on exit
 		cancel()
 	}
 	return err

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// ruleGoroutineLeak flags `go` statements whose goroutine has no visible
+// lifetime bound. A goroutine is considered bounded when its body (or, for
+// `go f(...)`, the named callee's body) shows any of:
+//
+//   - a sync.WaitGroup Done call — the conc.ForEach / worker-pool join;
+//   - a receive from any channel (<-ch, range ch, a select receive case),
+//     which covers ctx.Done() selects and done-channel joins alike — the
+//     spawner can always terminate it by closing or sending;
+//   - a context.Context Done() call (even outside an immediate receive);
+//   - the close-join pattern: the goroutine closes a channel *field* that
+//     some other analyzed function receives from — the obs.Server shape,
+//     where `go ... close(s.done) ...` pairs with `<-s.done` in Shutdown.
+//     This needs whole-program facts: the receive usually lives in another
+//     function, often another file.
+//
+// _test.go files are exempt (test goroutines die with the process). A `go`
+// call of a function outside the analyzed tree is assumed bounded — the
+// rule only reports what it can see.
+//
+// Known false negatives (DESIGN.md §2.12): boundedness through a function
+// the goroutine calls (evidence is looked for one level deep: the spawned
+// body itself, or a named callee's body — not transitively); goroutines
+// bounded by process exit by design (main's servers) need an allow
+// directive stating that.
+var ruleGoroutineLeak = &Rule{
+	Name: "goroutine-leak",
+	Doc:  "every go statement needs a visible lifetime bound (WaitGroup, channel receive, ctx.Done, or close-join)",
+	New: func(p *Pass) (func(*ast.File), func()) {
+		facts := goroLeakFacts(p.Prog)
+		return func(f *ast.File) {
+			testFile := strings.HasSuffix(p.Position(f.Pos()).Filename, "_test.go")
+			// Record boundedness evidence for every declared function (so
+			// `go pkg.worker(...)` can be resolved at Join), and receives
+			// from channel fields anywhere (for close-join).
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					ev := scanEvidence(p, fd.Body)
+					facts.setFunc(funcKey(obj), ev)
+				}
+			}
+			recordFieldReceives(p, f, facts)
+			if testFile {
+				return
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				pos := g.Pos()
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					ev := scanEvidence(p, lit.Body)
+					facts.addCandidate(goroCandidate{
+						pos: p.Position(pos), desc: "func literal", evidence: ev,
+					})
+					return true
+				}
+				if callee := calleeFunc(p.Pkg.Info, g.Call); callee != nil {
+					facts.addCandidate(goroCandidate{
+						pos: p.Position(pos), desc: callee.FullName(), calleeKey: funcKey(callee),
+					})
+				}
+				// Dynamic spawn (function value, interface method): nothing
+				// to inspect — assumed bounded.
+				return true
+			})
+		}, nil
+	},
+	Join: func(prog *Program) {
+		facts := goroLeakFacts(prog)
+		facts.mu.Lock()
+		defer facts.mu.Unlock()
+		for _, c := range facts.candidates {
+			ev := c.evidence
+			if c.calleeKey != "" {
+				fe, known := facts.funcs[c.calleeKey]
+				if !known {
+					continue // spawned function outside the analyzed tree
+				}
+				ev = fe
+			}
+			if ev.bounded {
+				continue
+			}
+			joined := false
+			for _, ch := range ev.closedFields {
+				if facts.receivedFields[ch] {
+					joined = true
+					break
+				}
+			}
+			if joined {
+				continue
+			}
+			prog.Report(c.pos, "goroutine-leak",
+				"goroutine (%s) has no visible lifetime bound: no WaitGroup Done, channel receive, ctx.Done, or joined close", c.desc)
+		}
+	},
+}
+
+// goroEvidence summarizes one function body's lifetime-bound signals.
+type goroEvidence struct {
+	bounded      bool     // WaitGroup Done / channel receive / ctx.Done seen
+	closedFields []string // chan-typed fields this body closes (close-join)
+}
+
+type goroCandidate struct {
+	pos       token.Position
+	desc      string
+	evidence  goroEvidence // for literals, scanned at the spawn site
+	calleeKey string       // for go f(...): resolve evidence at Join
+}
+
+type goroLeakStore struct {
+	mu             sync.Mutex
+	funcs          map[string]goroEvidence
+	receivedFields map[string]bool
+	candidates     []goroCandidate
+}
+
+func goroLeakFacts(prog *Program) *goroLeakStore {
+	return prog.Facts("goroutine-leak", func() any {
+		return &goroLeakStore{funcs: map[string]goroEvidence{}, receivedFields: map[string]bool{}}
+	}).(*goroLeakStore)
+}
+
+func (s *goroLeakStore) setFunc(key string, ev goroEvidence) {
+	s.mu.Lock()
+	s.funcs[key] = ev
+	s.mu.Unlock()
+}
+
+func (s *goroLeakStore) addCandidate(c goroCandidate) {
+	s.mu.Lock()
+	s.candidates = append(s.candidates, c)
+	s.mu.Unlock()
+}
+
+func (s *goroLeakStore) addReceived(key string) {
+	s.mu.Lock()
+	s.receivedFields[key] = true
+	s.mu.Unlock()
+}
+
+// scanEvidence walks one body for lifetime-bound signals.
+func scanEvidence(p *Pass, body ast.Node) goroEvidence {
+	var ev goroEvidence
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ev.bounded = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Pkg.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					ev.bounded = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				t := p.Pkg.Info.Types[sel.X].Type
+				switch sel.Sel.Name {
+				case "Done":
+					if t != nil && (isNamed(t, "sync", "WaitGroup") || isNamed(t, "context", "Context")) {
+						ev.bounded = true
+					}
+				case "Wait":
+					// conc.ForEach-style helpers that block on a group are a
+					// join for whoever runs them, not a bound for this
+					// goroutine — ignored.
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if sel, ok := ast.Unparen(n.Args[0]).(*ast.SelectorExpr); ok {
+						if tsel, ok := p.Pkg.Info.Selections[sel]; ok && tsel.Kind() == types.FieldVal {
+							if k := fieldKey(tsel); k != "" {
+								ev.closedFields = append(ev.closedFields, k)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+// recordFieldReceives indexes every receive from a chan-typed struct field
+// in f — the join side of the close-join pattern.
+func recordFieldReceives(p *Pass, f *ast.File, facts *goroLeakStore) {
+	record := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			if tsel, ok := p.Pkg.Info.Selections[sel]; ok && tsel.Kind() == types.FieldVal {
+				if k := fieldKey(tsel); k != "" {
+					facts.addReceived(k)
+				}
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				record(n.X)
+			}
+		case *ast.RangeStmt:
+			if t := p.Pkg.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					record(n.X)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// jsonFinding is the machine-readable shape of one finding. IDs are stable
+// across unrelated edits (see Finding.ID); File is relative to the base
+// directory handed to WriteJSON, so output is machine-independent and
+// golden-testable.
+type jsonFinding struct {
+	ID   string `json:"id"`
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Count    int           `json:"count"`
+}
+
+// WriteJSON renders findings as the -json document: one indented JSON
+// object, findings in position order (the order Run returns), file paths
+// relative to baseDir where possible.
+func WriteJSON(w io.Writer, findings []Finding, baseDir string) error {
+	rep := jsonReport{Findings: []jsonFinding{}, Count: len(findings)}
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if baseDir != "" {
+			if rel, err := filepath.Rel(baseDir, file); err == nil && !filepath.IsAbs(rel) {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		rep.Findings = append(rep.Findings, jsonFinding{
+			ID: f.ID, Rule: f.Rule, File: file, Line: f.Pos.Line, Col: f.Pos.Column, Msg: f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

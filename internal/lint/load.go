@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"bytes"
@@ -30,8 +30,8 @@ type listPkg struct {
 	Error      *struct{ Err string }
 }
 
-// pkg is one fully type-checked lint target.
-type pkg struct {
+// Package is one fully type-checked lint target.
+type Package struct {
 	Path  string // the source import path (test variants collapse onto it)
 	Dir   string
 	Fset  *token.FileSet
@@ -40,7 +40,7 @@ type pkg struct {
 	Types *types.Package
 }
 
-// load resolves patterns to packages and type-checks each from source.
+// Load resolves patterns to packages and type-checks each from source.
 //
 // It shells out to `go list -export -deps -test` once: the -export build
 // produces compiler export data for every dependency (standard library
@@ -49,7 +49,14 @@ type pkg struct {
 // its test variant so _test.go files are linted too. The matched packages
 // themselves are then parsed and type-checked from source, importing
 // dependencies through their export files.
-func load(patterns []string) ([]*pkg, error) {
+//
+// The returned slice preserves `go list -deps`'s depth-first post-order, so
+// a package always appears after the packages it imports — the dependency
+// order the analyzer framework runs in. Two kinds of test variant exist:
+// the in-package variant (same package name, _test.go files added), which
+// supersedes the plain package, and the external _test package, which
+// becomes a lint target of its own.
+func Load(patterns []string) ([]*Package, error) {
 	args := append([]string{
 		"list", "-e",
 		"-json=ImportPath,Dir,Name,GoFiles,Export,ImportMap,Standard,DepOnly,ForTest,Error",
@@ -82,28 +89,38 @@ func load(patterns []string) ([]*pkg, error) {
 			exports[p.ImportPath] = p.Export
 		}
 		// Lint targets are the pattern-matched packages — not their deps,
-		// not the synthesized .test mains. When a test variant of a matched
-		// package exists it supersedes the plain one: its file list is the
-		// plain list plus the in-package _test.go files.
+		// not the synthesized .test mains.
 		if p.Standard || p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") {
 			continue
 		}
-		src := p.ImportPath
-		if p.ForTest != "" {
-			src = p.ForTest
-		}
 		q := p
-		if i, ok := seen[src]; ok {
-			if p.ForTest != "" {
-				targets[i] = &q
+		if p.ForTest == "" {
+			if _, ok := seen[p.ImportPath]; !ok {
+				seen[p.ImportPath] = len(targets)
+				targets = append(targets, &q)
 			}
 			continue
 		}
-		seen[src] = len(targets)
-		targets = append(targets, &q)
+		if strings.HasSuffix(p.Name, "_test") {
+			// External test package (package foo_test): its own target.
+			src := variantSource(p.ImportPath)
+			if _, ok := seen[src]; !ok {
+				seen[src] = len(targets)
+				targets = append(targets, &q)
+			}
+			continue
+		}
+		// In-package test variant: its file list is the plain list plus the
+		// in-package _test.go files, so it supersedes the plain package.
+		if i, ok := seen[p.ForTest]; ok {
+			targets[i] = &q
+		} else {
+			seen[p.ForTest] = len(targets)
+			targets = append(targets, &q)
+		}
 	}
 
-	var pkgs []*pkg
+	var pkgs []*Package
 	for _, t := range targets {
 		if len(t.GoFiles) == 0 {
 			continue
@@ -117,9 +134,19 @@ func load(patterns []string) ([]*pkg, error) {
 	return pkgs, nil
 }
 
+// variantSource maps a test-variant import path onto the path the target is
+// analyzed under: "raha_test [raha.test]" -> "raha_test", and in-package
+// variants onto their ForTest source path.
+func variantSource(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
 // typeCheck parses and checks one target package, resolving imports through
 // the export files `go list -export` produced.
-func typeCheck(t *listPkg, exports map[string]string) (*pkg, error) {
+func typeCheck(t *listPkg, exports map[string]string) (*Package, error) {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(t.GoFiles))
 	for _, name := range t.GoFiles {
@@ -142,19 +169,24 @@ func typeCheck(t *listPkg, exports map[string]string) (*pkg, error) {
 	}
 	src := t.ImportPath
 	if t.ForTest != "" {
-		src = t.ForTest
+		if strings.HasSuffix(t.Name, "_test") {
+			src = variantSource(t.ImportPath)
+		} else {
+			src = t.ForTest
+		}
 	}
 	conf := types.Config{
 		Importer: importer.ForCompiler(fset, "gc", lookup),
 	}
 	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	tpkg, err := conf.Check(src, fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", src, err)
 	}
-	return &pkg{Path: src, Dir: t.Dir, Fset: fset, Files: files, Info: info, Types: tpkg}, nil
+	return &Package{Path: src, Dir: t.Dir, Fset: fset, Files: files, Info: info, Types: tpkg}, nil
 }

@@ -1,0 +1,408 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ruleLockOrder builds the program's mutex-acquisition graph and reports
+// every cycle as a potential deadlock. Two locks acquired in opposite
+// orders on two paths deadlock only under a scheduler coincidence; the
+// graph proves the acyclicity `-race` cannot.
+//
+// Model:
+//
+//   - A lock *class* is the identity of the mutex's declaration: a struct
+//     field ("pkg.Type.field"), a package-level var ("pkg.var"), or a local
+//     (keyed within its function). Distinct instances of one class are
+//     merged — locking two elements of the same type in sequence reports a
+//     self-cycle, a deliberate over-approximation this codebase has no
+//     counterexample to.
+//   - Each function body yields an ordered op list: Acquire(class) for
+//     Lock/RLock, Release(class) for Unlock/RUnlock (a deferred unlock
+//     releases nothing during the scan — the lock is held to function
+//     end), Call(funcKey) for static calls, IfaceCall(name, arity) for
+//     interface dispatch. TryLock never blocks and is ignored. A function
+//     literal merges into its enclosing function, except under `go`, where
+//     it becomes a goroutine root with its own empty held-set (a spawned
+//     goroutine does not inherit its creator's locks).
+//   - Join computes each function's transitive may-acquire set by fixpoint
+//     (interface calls resolve to every analyzed concrete method with a
+//     matching name and parameter count), then replays each op list: an
+//     acquisition — direct or via call — while classes are held adds
+//     held→acquired edges. Tarjan's SCC over the edge set finds cycles;
+//     each SCC is reported once, at its lexicographically first witness.
+//
+// Known false negatives (DESIGN.md §2.12): locks acquired through function
+// values or reflection; channel-based ordering; methods outside the
+// analyzed tree (interface dispatch resolves only to methods the run saw).
+var ruleLockOrder = &Rule{
+	Name: "lock-order",
+	Doc:  "the interprocedural mutex-acquisition graph must be acyclic",
+	New: func(p *Pass) (func(*ast.File), func()) {
+		facts := lockOrderFacts(p.Prog)
+		return func(f *ast.File) {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(obj)
+				if fd.Recv != nil {
+					sig := obj.Type().(*types.Signature)
+					facts.registerMethod(fd.Name.Name, sig.Params().Len(), key)
+				}
+				var ops []lockOp
+				collectLockOps(p, fd.Body, key, false, &ops, facts)
+				facts.setOps(key, ops)
+			}
+		}, nil
+	},
+	Join: func(prog *Program) {
+		facts := lockOrderFacts(prog)
+		facts.mu.Lock()
+		defer facts.mu.Unlock()
+
+		// Fixpoint: transitive may-acquire sets.
+		acq := map[string]map[string]bool{}
+		for fn := range facts.funcs {
+			acq[fn] = map[string]bool{}
+		}
+		resolve := func(op lockOp) []string {
+			if op.kind == opCall {
+				return []string{op.callee}
+			}
+			return facts.methods[ifaceKey{op.method, op.arity}]
+		}
+		for changed := true; changed; {
+			changed = false
+			for fn, ops := range facts.funcs {
+				set := acq[fn]
+				for _, op := range ops {
+					switch op.kind {
+					case opAcquire:
+						if !set[op.class] {
+							set[op.class] = true
+							changed = true
+						}
+					case opCall, opIfaceCall:
+						for _, callee := range resolve(op) {
+							for c := range acq[callee] {
+								if !set[c] {
+									set[c] = true
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Replay each function with a held stack, collecting edges.
+		type edge struct{ from, to string }
+		edges := map[edge]token.Position{}
+		addEdge := func(from, to string, pos token.Position) {
+			e := edge{from, to}
+			if old, ok := edges[e]; !ok || posLess(pos, old) {
+				edges[e] = pos
+			}
+		}
+		for _, ops := range facts.funcs {
+			var held []string
+			for _, op := range ops {
+				switch op.kind {
+				case opAcquire:
+					for _, h := range held {
+						addEdge(h, op.class, op.pos)
+					}
+					held = append(held, op.class)
+				case opRelease:
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == op.class {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				case opCall, opIfaceCall:
+					if len(held) == 0 {
+						continue
+					}
+					for _, callee := range resolve(op) {
+						for c := range acq[callee] {
+							for _, h := range held {
+								addEdge(h, c, op.pos)
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Tarjan SCC over the class graph; any SCC with an internal edge
+		// (two+ nodes, or a self-loop) is a cycle.
+		adj := map[string][]string{}
+		nodes := map[string]bool{}
+		for e := range edges {
+			adj[e.from] = append(adj[e.from], e.to)
+			nodes[e.from], nodes[e.to] = true, true
+		}
+		for _, ts := range adj {
+			sort.Strings(ts)
+		}
+		sccs := tarjan(nodes, adj)
+		for _, scc := range sccs {
+			inSCC := map[string]bool{}
+			for _, n := range scc {
+				inSCC[n] = true
+			}
+			var witnesses []string
+			var first token.Position
+			haveFirst := false
+			var es []edge
+			for e := range edges {
+				if inSCC[e.from] && inSCC[e.to] && (len(scc) > 1 || e.from == e.to) {
+					es = append(es, e)
+				}
+			}
+			if len(es) == 0 {
+				continue
+			}
+			sort.Slice(es, func(i, j int) bool {
+				if es[i].from != es[j].from {
+					return es[i].from < es[j].from
+				}
+				return es[i].to < es[j].to
+			})
+			for _, e := range es {
+				pos := edges[e]
+				if !haveFirst || posLess(pos, first) {
+					first, haveFirst = pos, true
+				}
+				witnesses = append(witnesses, fmt.Sprintf("%s -> %s (%s:%d)", e.from, e.to, shortPos(pos), pos.Line))
+			}
+			sort.Strings(scc)
+			prog.Report(first, "lock-order",
+				"lock-order cycle among {%s}: %s; acquire these locks in one consistent order",
+				strings.Join(scc, ", "), strings.Join(witnesses, ", "))
+		}
+	},
+}
+
+type opKind int
+
+const (
+	opAcquire opKind = iota
+	opRelease
+	opCall
+	opIfaceCall
+)
+
+type lockOp struct {
+	kind   opKind
+	class  string // opAcquire / opRelease
+	callee string // opCall
+	method string // opIfaceCall
+	arity  int    // opIfaceCall
+	pos    token.Position
+}
+
+type ifaceKey struct {
+	method string
+	arity  int
+}
+
+type lockOrderStore struct {
+	mu      sync.Mutex
+	funcs   map[string][]lockOp
+	methods map[ifaceKey][]string
+}
+
+func lockOrderFacts(prog *Program) *lockOrderStore {
+	return prog.Facts("lock-order", func() any {
+		return &lockOrderStore{funcs: map[string][]lockOp{}, methods: map[ifaceKey][]string{}}
+	}).(*lockOrderStore)
+}
+
+func (s *lockOrderStore) setOps(key string, ops []lockOp) {
+	s.mu.Lock()
+	s.funcs[key] = ops
+	s.mu.Unlock()
+}
+
+func (s *lockOrderStore) registerMethod(name string, arity int, key string) {
+	s.mu.Lock()
+	k := ifaceKey{name, arity}
+	s.methods[k] = append(s.methods[k], key)
+	sort.Strings(s.methods[k])
+	s.mu.Unlock()
+}
+
+// collectLockOps walks body in lexical order, appending ops. deferred marks
+// a deferred context (releases there do not release during the scan —
+// modeled by dropping them; the lock reads as held to function end).
+// Goroutine literals become separate roots named after their position.
+func collectLockOps(p *Pass, body ast.Node, fnKey string, deferred bool, ops *[]lockOp, facts *lockOrderStore) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			for _, a := range n.Call.Args {
+				collectLockOps(p, a, fnKey, deferred, ops, facts)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				collectLockOps(p, lit.Body, fnKey, true, ops, facts)
+			} else {
+				appendCallOp(p, n.Call, fnKey, true, ops)
+			}
+			return false
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				collectLockOps(p, a, fnKey, deferred, ops, facts)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				pos := p.Position(lit.Pos())
+				rootKey := fmt.Sprintf("%s$go@%s:%d", fnKey, shortPos(pos), pos.Line)
+				var rootOps []lockOp
+				collectLockOps(p, lit.Body, rootKey, false, &rootOps, facts)
+				facts.setOps(rootKey, rootOps)
+			}
+			// A spawned goroutine holds none of its creator's locks, so no
+			// op is recorded in the creator — named or literal alike.
+			return false
+		case *ast.CallExpr:
+			appendCallOp(p, n, fnKey, deferred, ops)
+			return true // arguments may contain further calls
+		}
+		return true
+	})
+}
+
+// appendCallOp classifies one call: mutex acquire/release, static call, or
+// interface dispatch.
+func appendCallOp(p *Pass, call *ast.CallExpr, fnKey string, deferred bool, ops *[]lockOp) {
+	pos := p.Position(call.Pos())
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+			t := p.Pkg.Info.Types[sel.X].Type
+			if t != nil && (isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")) {
+				class := lockClass(p, sel.X, fnKey)
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					*ops = append(*ops, lockOp{kind: opAcquire, class: class, pos: pos})
+				} else if !deferred {
+					*ops = append(*ops, lockOp{kind: opRelease, class: class, pos: pos})
+				}
+				return
+			}
+		case "TryLock", "TryRLock":
+			t := p.Pkg.Info.Types[sel.X].Type
+			if t != nil && (isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")) {
+				return // never blocks: not an ordering hazard
+			}
+		}
+	}
+	if callee := calleeFunc(p.Pkg.Info, call); callee != nil {
+		*ops = append(*ops, lockOp{kind: opCall, callee: funcKey(callee), pos: pos})
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tsel, ok := p.Pkg.Info.Selections[sel]; ok && tsel.Kind() == types.MethodVal {
+			if _, isIface := tsel.Recv().Underlying().(*types.Interface); isIface {
+				sig := tsel.Obj().(*types.Func).Type().(*types.Signature)
+				*ops = append(*ops, lockOp{kind: opIfaceCall, method: sel.Sel.Name, arity: sig.Params().Len(), pos: pos})
+			}
+		}
+	}
+}
+
+// lockClass derives the lock-class key of a mutex expression: the declaring
+// field, a package-level var, or a function-scoped local.
+func lockClass(p *Pass, x ast.Expr, fnKey string) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if tsel, ok := p.Pkg.Info.Selections[x]; ok && tsel.Kind() == types.FieldVal {
+			if k := fieldKey(tsel); k != "" {
+				return k
+			}
+		}
+		// Qualified package-level var: pkg.Mu.
+		if v, ok := p.Pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			if k := varKey(v); k != "" {
+				return k
+			}
+		}
+	case *ast.Ident:
+		if v, ok := p.Pkg.Info.Uses[x].(*types.Var); ok {
+			if k := varKey(v); k != "" {
+				return k
+			}
+			return fnKey + "$" + x.Name
+		}
+	}
+	return fnKey + "$" + types.ExprString(x)
+}
+
+// tarjan returns the strongly connected components of (nodes, adj), each
+// component sorted, components in a deterministic order.
+func tarjan(nodes map[string]bool, adj map[string][]string) [][]string {
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range sorted {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}

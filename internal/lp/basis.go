@@ -213,6 +213,7 @@ func buildWarm(p *Problem, bs *Basis) (*tableau, bool) {
 		if r.Rel == GE {
 			s = -1
 		}
+		//raha:lint-allow hot-alloc each dense row is retained as tableau storage; the build is once per refactorization, not per pivot
 		row := make([]float64, n)
 		for k, j := range r.Idx {
 			row[j] += s * r.Coef[k]

@@ -346,6 +346,7 @@ func build(p *Problem) (*tableau, int, error) {
 	// Fill rows: sign·a·x + slack (+ artificial) = sign·rhs.
 	art := nStr + m
 	for i, r := range p.Rows {
+		//raha:lint-allow hot-alloc each dense row is retained as tableau storage; the build is once per solve, not per pivot
 		row := make([]float64, n)
 		for k, j := range r.Idx {
 			row[j] += sign[i] * r.Coef[k]

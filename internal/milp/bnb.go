@@ -283,9 +283,10 @@ type search struct {
 	tracer   obs.Tracer // copy of p.Tracer; nil disables all emit sites
 	timed    bool       // wall-clock attribution on (Tracer, OnProgress, or Params.Timing)
 
-	// stats fields are updated atomically by workers (MaxOpen under mu);
-	// Result gets a quiescent copy after the pool drains.
-	stats Stats
+	// stats is the live accumulator: concurrent counters are typed atomics,
+	// maxOpen is guarded by mu, and the presolve figures are written before
+	// the pool starts. Result gets a plain snapshot after the pool drains.
+	stats statsAcc
 
 	// wstats is the per-worker utilization accounting, indexed by worker
 	// id. Workers write their own entry with atomics; the sampler reads
@@ -374,25 +375,25 @@ func (s *search) solveLP(wid int, lo, hi []float64, basis *lp.Basis) (*lp.Soluti
 		ns = time.Since(lpStart).Nanoseconds()
 	}
 	if sol != nil {
-		atomic.AddInt64(&s.stats.LPSolves, 1)
-		atomic.AddInt64(&s.stats.LPIterations, int64(sol.Iters))
-		atomic.AddInt64(&s.stats.DegeneratePivots, int64(sol.DegeneratePivots))
-		atomic.AddInt64(&s.stats.BlandPivots, int64(sol.BlandPivots))
+		s.stats.lpSolves.Add(1)
+		s.stats.lpIterations.Add(int64(sol.Iters))
+		s.stats.degeneratePivots.Add(int64(sol.DegeneratePivots))
+		s.stats.blandPivots.Add(int64(sol.BlandPivots))
 		if warm && sol.WarmStarted {
-			atomic.AddInt64(&s.stats.WarmStarts, 1)
-			atomic.AddInt64(&s.stats.WarmIters, int64(sol.Iters))
+			s.stats.warmStarts.Add(1)
+			s.stats.warmIters.Add(int64(sol.Iters))
 			cWarmStarts.Inc()
 			if s.timed {
-				atomic.AddInt64(&s.stats.LPWarmNs, ns)
+				s.stats.lpWarmNs.Add(ns)
 				hLPWarm.Observe(ns)
 			}
 		} else {
 			if warm {
-				atomic.AddInt64(&s.stats.ColdFallbacks, 1)
+				s.stats.coldFallbacks.Add(1)
 				cColdFallbacks.Inc()
 			}
 			if s.timed {
-				atomic.AddInt64(&s.stats.LPColdNs, ns)
+				s.stats.lpColdNs.Add(ns)
 				hLPCold.Observe(ns)
 			}
 		}
@@ -436,7 +437,7 @@ func (s *search) offerIncumbent(obj float64, x []float64) {
 		s.haveIncumbent = true
 		s.incObj = obj
 		s.incX = x
-		atomic.AddInt64(&s.stats.IncumbentUpdates, 1)
+		s.stats.incumbentUpdates.Add(1)
 		cIncumbents.Inc()
 		if s.tracer != nil {
 			f := obs.F{"obj": obj, "nodes": s.nodes}
@@ -464,11 +465,11 @@ func (s *search) tryRound(wid int, nlo, nhi, x []float64, basis *lp.Basis) (tota
 		defer func() {
 			totalNs = time.Since(heurStart).Nanoseconds()
 			if ov := totalNs - lpNs; ov > 0 {
-				atomic.AddInt64(&s.stats.HeurNs, ov)
+				s.stats.heurNs.Add(ov)
 			}
 		}()
 	}
-	atomic.AddInt64(&s.stats.HeuristicSolves, 1)
+	s.stats.heuristicSolves.Add(1)
 	pool := &s.pools[wid]
 	lo := pool.get(nlo)
 	hi := pool.get(nhi)
@@ -544,7 +545,7 @@ func (s *search) sample(workers int) {
 		Open:          len(s.open.nodes),
 		Inflight:      s.inflight,
 		Workers:       workers,
-		Incumbents:    atomic.LoadInt64(&s.stats.IncumbentUpdates),
+		Incumbents:    s.stats.incumbentUpdates.Load(),
 		HaveIncumbent: s.haveIncumbent,
 		Incumbent:     s.incObj,
 		Bound:         s.globalBoundLocked(s.toObj(math.Inf(1))),
@@ -583,9 +584,9 @@ func (s *search) sample(workers int) {
 			wb := make([]int64, len(s.wstats))
 			ww := make([]int64, len(s.wstats))
 			for i := range s.wstats {
-				wn[i] = atomic.LoadInt64(&s.wstats[i].nodes)
-				wb[i] = atomic.LoadInt64(&s.wstats[i].busyNs)
-				ww[i] = atomic.LoadInt64(&s.wstats[i].waitNs)
+				wn[i] = s.wstats[i].nodes.Load()
+				wb[i] = s.wstats[i].busyNs.Load()
+				ww[i] = s.wstats[i].waitNs.Load()
 			}
 			f["w_nodes"] = wn
 			f["w_busy_ns"] = wb
@@ -595,14 +596,15 @@ func (s *search) sample(workers int) {
 	}
 }
 
-// workerAcc is one worker's live utilization accounting. The owning worker
-// writes its entry with atomics so the sampler goroutine can read a running
-// timeline; wallNs is stored once when the worker exits.
+// workerAcc is one worker's live utilization accounting. The fields are
+// typed atomics because the sampler goroutine reads a running timeline
+// while the owning worker is still writing; wallNs is stored once when the
+// worker exits.
 type workerAcc struct {
-	nodes  int64 // nodes claimed and processed
-	busyNs int64 // inside process(): LP, heuristic, branching
-	waitNs int64 // claiming from / publishing to the shared queue
-	wallNs int64 // goroutine lifetime, set on exit
+	nodes  atomic.Int64 // nodes claimed and processed
+	busyNs atomic.Int64 // inside process(): LP, heuristic, branching
+	waitNs atomic.Int64 // claiming from / publishing to the shared queue
+	wallNs atomic.Int64 // goroutine lifetime, set on exit
 }
 
 // claimStatus is the outcome of one claim attempt.
@@ -627,9 +629,9 @@ func (s *search) claim(id int) (n *node, claimNo int, st claimStatus) {
 		waitStart := time.Now()
 		defer func() {
 			ns := time.Since(waitStart).Nanoseconds()
-			atomic.AddInt64(&acc.waitNs, ns)
+			acc.waitNs.Add(ns)
 			if st == claimOK {
-				atomic.AddInt64(&s.stats.QueuePopNs, ns)
+				s.stats.queuePopNs.Add(ns)
 				hQueuePop.Observe(ns)
 			}
 		}()
@@ -658,7 +660,7 @@ func (s *search) claim(id int) (n *node, claimNo int, st claimStatus) {
 	// Prune by inherited bound (does not count as an explored node).
 	if s.haveIncumbent && !s.better(n.relax, s.incObj) {
 		s.mu.Unlock()
-		atomic.AddInt64(&s.stats.PrePruned, 1)
+		s.stats.prePruned.Add(1)
 		s.pools[id].put(n.lo)
 		s.pools[id].put(n.hi)
 		return nil, 0, claimRetry
@@ -684,8 +686,8 @@ func (s *search) claim(id int) (n *node, claimNo int, st claimStatus) {
 	s.inflight++
 	s.mu.Unlock()
 	cNodes.Inc()
-	atomic.AddInt64(&acc.nodes, 1)
-	atomic.AddInt64(&s.stats.QueuePops, 1)
+	acc.nodes.Add(1)
+	s.stats.queuePops.Add(1)
 	return n, claimNo, claimOK
 }
 
@@ -704,18 +706,18 @@ func (s *search) publish(id int, children []*node) {
 		s.nextSeq++
 		heap.Push(&s.open, c)
 	}
-	if depth := int64(len(s.open.nodes)); depth > s.stats.MaxOpen {
-		s.stats.MaxOpen = depth // guarded by mu, not atomics
+	if depth := int64(len(s.open.nodes)); depth > s.stats.maxOpen {
+		s.stats.maxOpen = depth // guarded by mu, not atomics
 	}
 	s.working[id] = math.NaN()
 	s.inflight--
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	atomic.AddInt64(&s.stats.QueuePushes, 1)
+	s.stats.queuePushes.Add(1)
 	if s.timed {
 		ns := time.Since(pushStart).Nanoseconds()
-		atomic.AddInt64(&s.wstats[id].waitNs, ns)
-		atomic.AddInt64(&s.stats.QueuePushNs, ns)
+		s.wstats[id].waitNs.Add(ns)
+		s.stats.queuePushNs.Add(ns)
 		hQueuePush.Observe(ns)
 	}
 }
@@ -730,7 +732,7 @@ func (s *search) worker(id int) {
 	if s.timed {
 		workerStart := time.Now()
 		defer func() {
-			atomic.StoreInt64(&s.wstats[id].wallNs, time.Since(workerStart).Nanoseconds())
+			s.wstats[id].wallNs.Store(time.Since(workerStart).Nanoseconds())
 		}()
 	}
 	claimed := 0
@@ -784,10 +786,10 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 		nodeStart := time.Now()
 		defer func() {
 			nodeNs := time.Since(nodeStart).Nanoseconds()
-			atomic.AddInt64(&s.wstats[wid].busyNs, nodeNs)
+			s.wstats[wid].busyNs.Add(nodeNs)
 			hNodeProcess.Observe(nodeNs)
 			if b := nodeNs - lpNs - heurNs; b > 0 {
-				atomic.AddInt64(&s.stats.BranchNs, b)
+				s.stats.branchNs.Add(b)
 			}
 		}()
 	}
@@ -800,7 +802,7 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 	}
 	switch sol.Status {
 	case lp.Infeasible:
-		atomic.AddInt64(&s.stats.PrunedInfeasible, 1)
+		s.stats.prunedInfeasible.Add(1)
 		s.emitNode(claimNo, n.depth, "infeasible", math.NaN())
 		return nil
 	case lp.Unbounded:
@@ -812,14 +814,14 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 			s.cond.Broadcast()
 			s.mu.Unlock()
 		}
-		atomic.AddInt64(&s.stats.UnboundedNodes, 1)
+		s.stats.unboundedNodes.Add(1)
 		s.emitNode(claimNo, n.depth, "unbounded", math.NaN())
 		return nil
 	case lp.IterLimit:
 		s.mu.Lock()
 		s.clean = false
 		s.mu.Unlock()
-		atomic.AddInt64(&s.stats.PrunedIterLimit, 1)
+		s.stats.prunedIterLimit.Add(1)
 		s.emitNode(claimNo, n.depth, "iterlimit", math.NaN())
 		return nil
 	}
@@ -844,7 +846,7 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 	pruned := s.haveIncumbent && !s.better(obj, s.incObj)
 	s.mu.Unlock()
 	if pruned {
-		atomic.AddInt64(&s.stats.PrunedBound, 1)
+		s.stats.prunedBound.Add(1)
 		s.emitNode(claimNo, n.depth, "bound", obj)
 		return nil
 	}
@@ -852,20 +854,20 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 	v, scored := s.branchVar(sol.X)
 	if v < 0 {
 		// Integral: new incumbent.
-		atomic.AddInt64(&s.stats.Integral, 1)
+		s.stats.integral.Add(1)
 		s.emitNode(claimNo, n.depth, "integral", obj)
 		s.offerIncumbent(obj, sol.X)
 		return nil
 	}
 	if scored {
-		atomic.AddInt64(&s.stats.PseudocostBranches, 1)
+		s.stats.pseudocostBranches.Add(1)
 	}
 
 	if claimed == 1 || claimed%heurEvery == 0 {
 		heurNs = s.tryRound(wid, n.lo, n.hi, sol.X, sol.Basis)
 	}
 
-	atomic.AddInt64(&s.stats.NodesBranched, 1)
+	s.stats.nodesBranched.Add(1)
 	s.emitNode(claimNo, n.depth, "branched", obj)
 
 	// Branch: child bounds inherit the node's LP bound, and — the warm
@@ -886,7 +888,7 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 			c.bdist = frac
 		}
 		if s.props != nil && !s.propagate(wid, v, c.lo, c.hi) {
-			atomic.AddInt64(&s.stats.PropagationPrunes, 1)
+			s.stats.propagationPrunes.Add(1)
 			cPropagationCuts.Inc()
 			pool.put(c.lo)
 			pool.put(c.hi)
@@ -974,7 +976,7 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		wstats:   make([]workerAcc, workers),
 		clean:    true,
 	}
-	s.stats.PresolveNs = presolveNs
+	s.stats.presolveNs = presolveNs
 	cSolves.Inc()
 	s.cond = sync.NewCond(&s.mu)
 	s.open.maximize = s.maximize
@@ -987,10 +989,10 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		}
 	}
 	if pres != nil {
-		s.stats.PresolveFixedVars = pres.fixedVars
-		s.stats.PresolveRemovedRows = pres.removedRows
-		s.stats.PresolveTightenedBounds = pres.tightenedBounds
-		s.stats.PresolveTightenedCoefs = pres.tightenedCoefs
+		s.stats.presolveFixedVars = pres.fixedVars
+		s.stats.presolveRemovedRows = pres.removedRows
+		s.stats.presolveTightenedBounds = pres.tightenedBounds
+		s.stats.presolveTightenedCoefs = pres.tightenedCoefs
 	}
 
 	if s.tracer != nil {
@@ -1024,7 +1026,7 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 			Objective: s.incObj,
 			Bound:     s.dualBound,
 			Runtime:   time.Since(start),
-			Stats:     s.stats,
+			Stats:     s.stats.snapshot(),
 		}
 		s.emitSolveEnd(res)
 		return res, nil
@@ -1082,7 +1084,7 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 	}
 
 	heap.Push(&s.open, root)
-	s.stats.MaxOpen = 1
+	s.stats.maxOpen = 1
 
 	// A context that is already dead halts the search before any node is
 	// claimed instead of racing the watcher goroutine's first wake-up.
@@ -1131,13 +1133,16 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		}()
 	}
 
+	// One shared closure for the whole pool (not a fresh literal per
+	// iteration): the body only needs the id argument.
 	var wg sync.WaitGroup
+	runWorker := func(id int) {
+		defer wg.Done()
+		s.worker(id)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			s.worker(id)
-		}(w)
+		go runWorker(w)
 	}
 	wg.Wait()
 	close(watchDone)
@@ -1149,26 +1154,27 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		return nil, s.err
 	}
 
-	// Fold the per-worker accounting into the quiescent stats copy (workers
-	// and sampler have exited; plain reads are ordered after their writes).
-	// Idle is the remainder of the worker's wall clock, so the three shares
-	// always sum to the whole. An unobserved solve has no wall clocks to
-	// attribute, so it publishes no per-worker summary at all.
+	// Snapshot the accumulator and fold the per-worker accounting into it
+	// (workers and sampler have exited, so the copy is quiescent). Idle is
+	// the remainder of the worker's wall clock, so the three shares always
+	// sum to the whole. An unobserved solve has no wall clocks to attribute,
+	// so it publishes no per-worker summary at all.
+	stats := s.stats.snapshot()
 	if s.timed {
-		s.stats.PerWorker = make([]WorkerStats, workers)
+		stats.PerWorker = make([]WorkerStats, workers)
 		var busyTot, waitTot, idleTot int64
 		for i := range s.wstats {
 			a := &s.wstats[i]
-			w := WorkerStats{
-				Nodes:       a.nodes,
-				BusyNs:      a.busyNs,
-				QueueWaitNs: a.waitNs,
-				WallNs:      a.wallNs,
+			stats.PerWorker[i] = WorkerStats{
+				Nodes:       a.nodes.Load(),
+				BusyNs:      a.busyNs.Load(),
+				QueueWaitNs: a.waitNs.Load(),
+				WallNs:      a.wallNs.Load(),
 			}
+			w := &stats.PerWorker[i]
 			if idle := w.WallNs - w.BusyNs - w.QueueWaitNs; idle > 0 {
 				w.IdleNs = idle
 			}
-			s.stats.PerWorker[i] = w
 			busyTot += w.BusyNs
 			waitTot += w.QueueWaitNs
 			idleTot += w.IdleNs
@@ -1184,7 +1190,7 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		X:         s.incX,
 		Nodes:     s.nodes,
 		Runtime:   time.Since(start),
-		Stats:     s.stats, // workers have exited; plain copy is quiescent
+		Stats:     stats,
 	}
 	if post != nil {
 		// Back to the caller's variable space: re-insert the presolve-fixed

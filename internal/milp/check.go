@@ -78,6 +78,7 @@ func runCheck(m *Model, tracer obs.Tracer) error {
 	rep := m.Check()
 	if tracer != nil {
 		for _, d := range rep {
+			//raha:lint-allow hot-alloc one trace event map per diagnostic, retained by Emit; runs once per solve gate
 			f := obs.F{
 				"id":       d.ID,
 				"severity": d.Severity.String(),

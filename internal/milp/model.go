@@ -283,8 +283,8 @@ func (m *Model) toLP(lo, hi []float64) *lp.Problem {
 	}
 	for i := range m.cons {
 		c := &m.cons[i]
-		idx := make([]int, len(c.expr.Terms))
-		coef := make([]float64, len(c.expr.Terms))
+		//raha:lint-allow hot-alloc AddRow retains both slices as the row's storage; lowering runs once per solve (reuseLP skips it per node)
+		idx, coef := make([]int, len(c.expr.Terms)), make([]float64, len(c.expr.Terms))
 		for k, t := range c.expr.Terms {
 			idx[k] = int(t.V)
 			coef[k] = t.C

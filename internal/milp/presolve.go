@@ -270,6 +270,7 @@ func presolve(m *Model, intTol float64) *presolveResult {
 	rows := make([]prow, 0, len(m.cons))
 	for i := range m.cons {
 		c := &m.cons[i]
+		//raha:lint-allow hot-alloc each row's term snapshot is retained in the presolve working set; runs once per solve
 		terms := make([]Term, 0, len(c.expr.Terms))
 		for _, t := range c.expr.Terms {
 			if t.C != 0 {
@@ -467,6 +468,7 @@ func presolve(m *Model, intTol float64) *presolveResult {
 		if r.dead {
 			continue
 		}
+		//raha:lint-allow hot-alloc each reduced row's terms are retained by the rebuilt model; runs once per solve
 		terms := make([]Term, 0, len(r.terms))
 		rhs := r.rhs
 		for _, t := range r.terms {

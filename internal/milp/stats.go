@@ -3,13 +3,15 @@ package milp
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 )
 
 // Stats aggregates the work one branch-and-bound solve performed — the
-// accounting a commercial solver prints in its log. Workers update the
-// int64 fields atomically during the search; the struct in Result is a
-// quiescent copy taken after every worker has exited.
+// accounting a commercial solver prints in its log. During the search the
+// counters live in the internal statsAcc accumulator (typed atomics);
+// Result carries a plain snapshot taken after every worker has exited, so
+// every field here is an ordinary value readable without synchronization.
 //
 // Every node counted by Result.Nodes ends in exactly one of the six
 // outcomes, so
@@ -83,6 +85,104 @@ type Stats struct {
 	// PerWorker[i].Nodes equals Nodes (asserted by the stats regression
 	// test at Workers 1 and 4).
 	PerWorker []WorkerStats
+}
+
+// statsAcc is the live accumulator behind Stats while a solve is running.
+// Counters that workers and the sampler touch concurrently are typed
+// atomics, so no word is ever mixed between atomic and plain access; the
+// remaining fields are either guarded by the search mutex (maxOpen) or
+// written serially before the worker pool starts (the presolve figures).
+// snapshot flattens the accumulator into the plain Stats that Result
+// carries, after which every consumer read is an ordinary field access.
+type statsAcc struct {
+	lpSolves         atomic.Int64
+	lpIterations     atomic.Int64
+	degeneratePivots atomic.Int64
+	blandPivots      atomic.Int64
+
+	warmStarts    atomic.Int64
+	warmIters     atomic.Int64
+	coldFallbacks atomic.Int64
+
+	nodesBranched    atomic.Int64
+	prunedInfeasible atomic.Int64
+	prunedBound      atomic.Int64
+	prunedIterLimit  atomic.Int64
+	integral         atomic.Int64
+	unboundedNodes   atomic.Int64
+
+	prePruned        atomic.Int64
+	incumbentUpdates atomic.Int64
+	heuristicSolves  atomic.Int64
+
+	propagationPrunes  atomic.Int64
+	pseudocostBranches atomic.Int64
+
+	lpWarmNs    atomic.Int64
+	lpColdNs    atomic.Int64
+	heurNs      atomic.Int64
+	branchNs    atomic.Int64
+	queuePopNs  atomic.Int64
+	queuePops   atomic.Int64
+	queuePushNs atomic.Int64
+	queuePushes atomic.Int64
+
+	maxOpen int64 // high-water mark of the open queue; guarded by search.mu
+
+	// Root-presolve figures: written once before the workers start, read
+	// only after they exit. Plain on purpose.
+	presolveNs              int64
+	presolveFixedVars       int64
+	presolveRemovedRows     int64
+	presolveTightenedBounds int64
+	presolveTightenedCoefs  int64
+}
+
+// snapshot copies the accumulator into a plain Stats. The typed atomics
+// make the loads race-free even mid-solve, though callers take it after the
+// pool drains so the copy is quiescent. PerWorker is folded in separately
+// by the caller (it needs the workerAcc slice).
+func (a *statsAcc) snapshot() Stats {
+	return Stats{
+		LPSolves:         a.lpSolves.Load(),
+		LPIterations:     a.lpIterations.Load(),
+		DegeneratePivots: a.degeneratePivots.Load(),
+		BlandPivots:      a.blandPivots.Load(),
+
+		WarmStarts:    a.warmStarts.Load(),
+		WarmIters:     a.warmIters.Load(),
+		ColdFallbacks: a.coldFallbacks.Load(),
+
+		NodesBranched:    a.nodesBranched.Load(),
+		PrunedInfeasible: a.prunedInfeasible.Load(),
+		PrunedBound:      a.prunedBound.Load(),
+		PrunedIterLimit:  a.prunedIterLimit.Load(),
+		Integral:         a.integral.Load(),
+		UnboundedNodes:   a.unboundedNodes.Load(),
+
+		PrePruned:        a.prePruned.Load(),
+		IncumbentUpdates: a.incumbentUpdates.Load(),
+		HeuristicSolves:  a.heuristicSolves.Load(),
+		MaxOpen:          a.maxOpen,
+
+		PresolveFixedVars:       a.presolveFixedVars,
+		PresolveRemovedRows:     a.presolveRemovedRows,
+		PresolveTightenedBounds: a.presolveTightenedBounds,
+		PresolveTightenedCoefs:  a.presolveTightenedCoefs,
+		PropagationPrunes:       a.propagationPrunes.Load(),
+		PseudocostBranches:      a.pseudocostBranches.Load(),
+
+		PresolveNs: a.presolveNs,
+		LPWarmNs:   a.lpWarmNs.Load(),
+		LPColdNs:   a.lpColdNs.Load(),
+		HeurNs:     a.heurNs.Load(),
+		BranchNs:   a.branchNs.Load(),
+
+		QueuePopNs:  a.queuePopNs.Load(),
+		QueuePops:   a.queuePops.Load(),
+		QueuePushNs: a.queuePushNs.Load(),
+		QueuePushes: a.queuePushes.Load(),
+	}
 }
 
 // WorkerStats is one branch-and-bound worker's utilization accounting.

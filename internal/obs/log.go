@@ -43,7 +43,7 @@ func (l *Logger) printf(min Level, format string, args ...any) {
 		return
 	}
 	l.mu.Lock()
-	fmt.Fprintf(l.w, format+"\n", args...)
+	_, _ = fmt.Fprintf(l.w, format+"\n", args...) // console logging is best-effort
 	l.mu.Unlock()
 }
 

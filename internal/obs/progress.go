@@ -50,7 +50,7 @@ func (p *ProgressLine) Update(line string) {
 	if n := p.lastLen - len(line); n > 0 {
 		pad = strings.Repeat(" ", n)
 	}
-	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	_, _ = fmt.Fprintf(p.w, "\r%s%s", line, pad) // terminal status is best-effort
 	p.lastLen = len(line)
 }
 
@@ -62,7 +62,7 @@ func (p *ProgressLine) Println(line string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.clearLocked()
-	fmt.Fprintln(p.w, line)
+	_, _ = fmt.Fprintln(p.w, line) // terminal status is best-effort
 }
 
 // Done clears the status line; further Updates are ignored.
@@ -78,7 +78,7 @@ func (p *ProgressLine) Done() {
 
 func (p *ProgressLine) clearLocked() {
 	if p.lastLen > 0 {
-		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.lastLen))
+		_, _ = fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.lastLen)) // terminal status is best-effort
 		p.lastLen = 0
 	}
 }

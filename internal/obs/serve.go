@@ -39,7 +39,7 @@ func Serve(addr string) (*Server, string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		Default.WriteJSON(w) //nolint:errcheck // client went away
+		_ = Default.WriteJSON(w) // a failed write means the client went away
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -54,7 +54,7 @@ func Serve(addr string) (*Server, string, error) {
 	}
 	go func() {
 		defer close(s.done)
-		s.http.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+		_ = s.http.Serve(ln) // returns ErrServerClosed on shutdown
 	}()
 	return s, s.addr, nil
 }
