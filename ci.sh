@@ -48,6 +48,12 @@ go test ./internal/topology -run '^$' -fuzz '^FuzzParseGML$' -fuzztime 10s
 # presolve bug can never hide behind the reductions (and vice versa).
 go test ./internal/milp -run 'TestRandomMILPsAgainstBruteForce' -short -presolve=off
 
+# And once more on the legacy dense tableau (RAHA_LP_DENSE forces the
+# fallback LP core): the ground-truth solver the sparse revised simplex is
+# checked against must itself stay green, or the dense-vs-sparse
+# equivalence tests silently lose their referee.
+RAHA_LP_DENSE=1 go test ./internal/milp -run 'TestRandomMILPsAgainstBruteForce' -short
+
 # Static model check over a real paper model: -check runs the
 # internal/modelcheck diagnostic pass before the solve and exits non-zero
 # on any error-severity diagnostic, so a regression in the §5 encodings

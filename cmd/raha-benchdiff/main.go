@@ -3,17 +3,20 @@
 // `go test -json -bench` streams). It extracts every benchmark's custom
 // metrics — nodes/sec (the branch-and-bound throughput figure the
 // performance roadmap tracks), the fleet-sweep breadth figures cells/min
-// and topos/min, warmstarts/solve, and coldfallbacks/solve — and prints the
-// old→new change side by side, with a warning for any regression beyond a
-// tolerance.
+// and topos/min, bytes/solve (allocated heap per analysis, the memory
+// figure the sparse-LP rewrite is pinned by), warmstarts/solve, and
+// coldfallbacks/solve — and prints the old→new change side by side, with a
+// warning for any regression beyond a tolerance.
 //
 //	raha-benchdiff BENCH_old.json BENCH_new.json
 //
-// Two regressions are flagged: a throughput drop beyond regressTol on any
-// headline metric (nodes/sec, cells/min, topos/min), and a growing
-// cold-fallback share (cold / (warm + cold)) — the silent failure mode
-// where warm starts still "work" but more and more node LPs quietly fall
-// back to cold two-phase solves.
+// Three regressions are flagged: a throughput drop beyond regressTol on any
+// higher-is-better headline metric (nodes/sec, cells/min, topos/min,
+// parallel-efficiency), growth beyond the same tolerance on a
+// lower-is-better headline (bytes/solve), and a growing cold-fallback share
+// (cold / (warm + cold)) — the silent failure mode where warm starts still
+// "work" but more and more node LPs quietly fall back to cold two-phase
+// solves.
 //
 // The comparison is advisory: single-iteration CI benchmarks are a smoke
 // signal, not a statistically stable measurement, so the tool always exits
@@ -191,6 +194,12 @@ func coldShare(m map[string]float64) (float64, bool) {
 // (speedup@4 / 4, from the *Scaling benchmarks).
 var headlineMetrics = []string{"nodes/sec", "cells/min", "topos/min", "parallel-efficiency"}
 
+// lowerBetterMetrics are the headline figures where DOWN is good: allocated
+// bytes per analysis (from the Analyze* benchmarks). They get the same
+// per-benchmark diff table and the same regressTol advisory warning, with
+// the sign flipped — growth is the regression.
+var lowerBetterMetrics = []string{"bytes/solve"}
+
 // newMetricNotes lists what the new record measures that the old one does
 // not: whole benchmarks without a baseline, and new metrics on existing
 // benchmarks. Without the note, a freshly added metric would be silently
@@ -229,7 +238,7 @@ func report(out io.Writer, oldPath, newPath string, oldM, newM map[string]map[st
 
 func writeReport(w *strings.Builder, oldPath, newPath string, oldM, newM map[string]map[string]float64) {
 	tables := 0
-	for _, metric := range headlineMetrics {
+	for _, metric := range append(append([]string{}, headlineMetrics...), lowerBetterMetrics...) {
 		rows := diffMetric(oldM, newM, metric)
 		if len(rows) == 0 {
 			continue
@@ -267,6 +276,14 @@ func writeReport(w *strings.Builder, oldPath, newPath string, oldM, newM map[str
 			if r.change < -regressTol {
 				fmt.Fprintf(w, "WARNING: %s %s regressed %.1f%% vs the last committed record (advisory; single-shot CI benchmarks are noisy)\n",
 					r.name, metric, -100*r.change)
+			}
+		}
+	}
+	for _, metric := range lowerBetterMetrics {
+		for _, r := range diffMetric(oldM, newM, metric) {
+			if r.change > regressTol {
+				fmt.Fprintf(w, "WARNING: %s %s grew %.1f%% vs the last committed record (advisory; single-shot CI benchmarks are noisy)\n",
+					r.name, metric, 100*r.change)
 			}
 		}
 	}

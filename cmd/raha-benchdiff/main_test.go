@@ -269,3 +269,38 @@ func TestReportDiffsParallelEfficiency(t *testing.T) {
 		t.Errorf("missing regression warning:\n%s", out)
 	}
 }
+
+// TestReportDiffsBytesPerSolve pins bytes/solve as the lower-is-better
+// headline metric: it gets its own diff table, and the advisory warning
+// fires on growth past the tolerance — the sign opposite to the
+// throughput metrics.
+func TestReportDiffsBytesPerSolve(t *testing.T) {
+	mem := func(v float64) map[string]float64 { return map[string]float64{"bytes/solve": v} }
+	oldM := map[string]map[string]float64{
+		"BenchmarkAnalyzeGrew":   mem(1_000_000), // +50%: warn
+		"BenchmarkAnalyzeStable": mem(1_000_000), // +5%: inside tolerance, quiet
+		"BenchmarkAnalyzeShrank": mem(1_000_000), // -99%: an improvement, quiet
+	}
+	newM := map[string]map[string]float64{
+		"BenchmarkAnalyzeGrew":   mem(1_500_000),
+		"BenchmarkAnalyzeStable": mem(1_050_000),
+		"BenchmarkAnalyzeShrank": mem(10_000),
+	}
+	var buf strings.Builder
+	report(&buf, "old.json", "new.json", oldM, newM)
+	out := buf.String()
+
+	if !strings.Contains(out, "(bytes/solve)") {
+		t.Errorf("missing bytes/solve diff table:\n%s", out)
+	}
+	if !strings.Contains(out, "WARNING: BenchmarkAnalyzeGrew bytes/solve grew 50.0%") {
+		t.Errorf("missing growth warning for BenchmarkAnalyzeGrew:\n%s", out)
+	}
+	if n := strings.Count(out, "WARNING:"); n != 1 {
+		t.Errorf("got %d warnings, want exactly 1 (growth only; shrinking memory is the goal):\n%s", n, out)
+	}
+	// The table itself still shows the improvement row.
+	if !strings.Contains(out, "BenchmarkAnalyzeShrank") || !strings.Contains(out, "-99.0%") {
+		t.Errorf("improvement row missing from the bytes/solve table:\n%s", out)
+	}
+}

@@ -1,10 +1,6 @@
 package lp
 
-import (
-	"math"
-
-	"raha/internal/obs"
-)
+import "raha/internal/obs"
 
 // BasisStatus is the bound status of one column in a simplex basis: resting
 // at its lower bound, resting at its upper bound, or basic.
@@ -59,37 +55,16 @@ func (b *Basis) valid(m, n int) bool {
 	return true
 }
 
-// exportBasis converts the tableau's final state into a Basis over the
-// structural+slack columns. It returns nil when an artificial variable is
-// still basic (a degenerate phase-1 leftover): such a basis cannot be
-// expressed without the artificial column and is not worth repairing.
-func (t *tableau) exportBasis() *Basis {
-	n := t.nStr + t.m
-	for i := 0; i < t.m; i++ {
-		if t.bvar[i] >= n {
-			return nil
-		}
-	}
-	b := &Basis{Basic: make([]int, t.m), Stat: make([]BasisStatus, n)}
-	copy(b.Basic, t.bvar)
-	for j := 0; j < n; j++ {
-		switch t.stat[j] {
-		case basic:
-			b.Stat[j] = BasisBasic
-		case atUpper:
-			b.Stat[j] = BasisAtUpper
-		default:
-			b.Stat[j] = BasisAtLower
-		}
-	}
-	return b
-}
-
-// warmPivTol is the minimum acceptable pivot magnitude while refactorizing
+// warmPivTol is the minimum acceptable pivot magnitude while factorizing
 // an inherited basis. It is deliberately coarser than pivTol: a basis this
 // close to singular is numerically untrustworthy and the cold two-phase
 // path is the safe answer.
 const warmPivTol = 1e-7
+
+// dualFeasTol is the reduced-cost tolerance for accepting an inherited
+// basis as dual-feasible. Looser than costTol: refactorization drift on a
+// genuinely dual-feasible parent basis must not force a cold fallback.
+const dualFeasTol = 1e-6
 
 // Warm-path counters (obs.Default, exported through expvar as raha.lp.*).
 var (
@@ -100,7 +75,8 @@ var (
 // SolveFrom re-optimizes p starting from a basis exported by a previous
 // solve of a problem with the same rows and objective (typically the parent
 // node of a branch-and-bound search, which differs only in one variable's
-// bounds). The tableau is rebuilt by refactorizing the basis; if the
+// bounds). The basis is refactorized — an LU factorization with partial
+// pivoting on the sparse core, Gauss-Jordan on the dense one; if the
 // inherited point is primal-infeasible under the new bounds — the normal
 // case after a branching bound change — a bounded-variable dual simplex
 // phase restores feasibility before the primal phase finishes the solve.
@@ -118,309 +94,17 @@ func SolveFrom(p *Problem, b *Basis, opt *Options) (*Solution, error) {
 	if !b.valid(m, nStr+m) {
 		return Solve(p, opt)
 	}
-	t, ok := buildWarm(p, b)
+	var sol *Solution
+	var ok bool
+	if denseMode.Load() {
+		sol, ok = solveFromDense(p, b, opt)
+	} else {
+		sol, ok = solveFromSparse(p, b, opt)
+	}
 	if !ok {
 		return Solve(p, opt)
 	}
-	if opt != nil && opt.MaxIters > 0 {
-		t.cap = opt.MaxIters
-	}
-	if !t.dualFeasible() {
-		return Solve(p, opt)
-	}
-
-	st := t.dualSimplex()
-	if st == Optimal {
-		// The dual phase left a primal- and dual-feasible point; the primal
-		// phase normally confirms optimality in zero iterations and only
-		// pivots to clean up tolerance-level drift.
-		st = t.run()
-	}
-	sol := t.telemetry(&Solution{Status: st, X: t.structX(p), Iters: t.iters}, 0)
-	sol.WarmStarted = true
-	sol.DualIters = t.dualIters
-	if st == Optimal {
-		sol.Objective = dot(p.Cost, sol.X)
-		sol.Basis = t.exportBasis()
-	}
 	cWarm.Inc()
-	cDualIters.Add(int64(t.dualIters))
+	cDualIters.Add(int64(sol.DualIters))
 	return record(sol), nil
-}
-
-// buildWarm assembles a tableau for p directly in the given basis: no
-// artificial columns, the real objective from the start. It reports ok =
-// false when the basis is singular (beyond warmPivTol) under Gauss-Jordan
-// refactorization.
-func buildWarm(p *Problem, bs *Basis) (*tableau, bool) {
-	m := len(p.Rows)
-	nStr := p.NumVars
-	n := nStr + m
-	t := &tableau{
-		m: m, n: n, nStr: nStr,
-		rows: make([][]float64, m),
-		d:    make([]float64, n),
-		cost: make([]float64, n),
-		lo:   make([]float64, n),
-		hi:   make([]float64, n),
-		stat: make([]vstat, n),
-		xval: make([]float64, n),
-		bvar: make([]int, m),
-		brow: make([]int, n),
-	}
-	t.cap = 50*(m+n) + 1000
-	for j := range t.brow {
-		t.brow[j] = -1
-	}
-
-	// Bounds: structural from the problem, slack [0,+Inf) or fixed 0 for EQ.
-	for j := 0; j < nStr; j++ {
-		t.lo[j], t.hi[j] = p.Lo[j], p.Hi[j]
-	}
-	for i := 0; i < m; i++ {
-		if p.Rows[i].Rel != EQ {
-			t.hi[nStr+i] = math.Inf(1)
-		}
-	}
-
-	// Statuses from the basis. A nonbasic-at-upper column whose upper bound
-	// is infinite under the new problem (cannot happen when bounds only
-	// tighten, as in branch and bound, but legal for arbitrary callers)
-	// drops to its lower bound.
-	for j := 0; j < n; j++ {
-		switch bs.Stat[j] {
-		case BasisBasic:
-			t.stat[j] = basic
-		case BasisAtUpper:
-			if math.IsInf(t.hi[j], 1) {
-				t.stat[j] = atLower
-				t.xval[j] = t.lo[j]
-			} else {
-				t.stat[j] = atUpper
-				t.xval[j] = t.hi[j]
-			}
-		default:
-			t.stat[j] = atLower
-			t.xval[j] = t.lo[j]
-		}
-	}
-
-	// Rows in the canonical build form (GE negated into LE, slack +1), with
-	// an explicit right-hand side carried through the refactorization.
-	rhs := make([]float64, m)
-	for i, r := range p.Rows {
-		s := 1.0
-		if r.Rel == GE {
-			s = -1
-		}
-		//raha:lint-allow hot-alloc each dense row is retained as tableau storage; the build is once per refactorization, not per pivot
-		row := make([]float64, n)
-		for k, j := range r.Idx {
-			row[j] += s * r.Coef[k]
-		}
-		row[nStr+i] = 1
-		t.rows[i] = row
-		rhs[i] = s * r.RHS
-	}
-
-	// Gauss-Jordan refactorization onto the basic columns: each basic column
-	// is reduced to a unit vector, pairing it with the still-unassigned row
-	// holding its largest pivot. A pivot below warmPivTol means the basis is
-	// (numerically) singular.
-	assigned := make([]bool, m)
-	for _, q := range bs.Basic {
-		r, piv := -1, warmPivTol
-		for i := 0; i < m; i++ {
-			if assigned[i] {
-				continue
-			}
-			if a := math.Abs(t.rows[i][q]); a > piv {
-				r, piv = i, a
-			}
-		}
-		if r < 0 {
-			return nil, false
-		}
-		prow := t.rows[r]
-		inv := 1 / prow[q]
-		if inv != 1 {
-			for j := range prow {
-				prow[j] *= inv
-			}
-			rhs[r] *= inv
-		}
-		prow[q] = 1 // exact
-		for i := 0; i < m; i++ {
-			if i == r {
-				continue
-			}
-			row := t.rows[i]
-			f := row[q]
-			if f == 0 {
-				continue
-			}
-			for j := range row {
-				row[j] -= f * prow[j]
-			}
-			row[q] = 0 // exact
-			rhs[i] -= f * rhs[r]
-		}
-		assigned[r] = true
-		t.bvar[r] = q
-		t.brow[q] = r
-	}
-
-	// Basic values: xB_r = rhs_r − Σ_{nonbasic j} a_rj·x_j.
-	for r := 0; r < m; r++ {
-		v := rhs[r]
-		row := t.rows[r]
-		for j := 0; j < n; j++ {
-			if t.stat[j] != basic && t.xval[j] != 0 {
-				v -= row[j] * t.xval[j]
-			}
-		}
-		t.xval[t.bvar[r]] = v
-	}
-
-	// Reduced costs under the real objective and the inherited basis.
-	copy(t.cost, p.Cost)
-	copy(t.d, t.cost)
-	for i := 0; i < m; i++ {
-		cb := t.cost[t.bvar[i]]
-		if cb == 0 {
-			continue
-		}
-		row := t.rows[i]
-		for j := 0; j < n; j++ {
-			t.d[j] -= cb * row[j]
-		}
-	}
-	return t, true
-}
-
-// dualFeasTol is the reduced-cost tolerance for accepting an inherited
-// basis as dual-feasible. Looser than costTol: refactorization drift on a
-// genuinely dual-feasible parent basis must not force a cold fallback.
-const dualFeasTol = 1e-6
-
-// dualFeasible reports whether the current reduced costs are consistent
-// with every nonbasic column's bound status (the precondition of the dual
-// simplex). Fixed columns are exempt: their reduced-cost sign is free.
-func (t *tableau) dualFeasible() bool {
-	for j := 0; j < t.n; j++ {
-		if t.hi[j]-t.lo[j] < feasTol {
-			continue
-		}
-		switch t.stat[j] {
-		case atLower:
-			if t.d[j] < -dualFeasTol {
-				return false
-			}
-		case atUpper:
-			if t.d[j] > dualFeasTol {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// dualSimplex restores primal feasibility while preserving dual
-// feasibility: repeatedly drive the most-violating basic variable to the
-// bound it violates, choosing the entering column by the bounded-variable
-// dual ratio test (minimum |d_j/a_rj| over sign-eligible columns, ties
-// toward the larger pivot). Returns Optimal once every basic variable is
-// within its bounds, Infeasible when no eligible entering column exists
-// (the dual is unbounded, so the primal is infeasible — the common fate of
-// a branch-and-bound child), or IterLimit at the iteration cap.
-func (t *tableau) dualSimplex() Status {
-	for {
-		if t.iters >= t.cap {
-			return IterLimit
-		}
-
-		// Leaving row: the basic variable with the largest bound violation.
-		r := -1
-		viol := feasTol
-		below := false
-		for i := 0; i < t.m; i++ {
-			b := t.bvar[i]
-			if v := t.lo[b] - t.xval[b]; v > viol {
-				r, viol, below = i, v, true
-			}
-			if v := t.xval[b] - t.hi[b]; v > viol {
-				r, viol, below = i, v, false
-			}
-		}
-		if r < 0 {
-			return Optimal
-		}
-		out := t.bvar[r]
-		row := t.rows[r]
-
-		// Entering column: dual ratio test. When the leaving variable sits
-		// below its lower bound, row r's value must increase, so a column at
-		// its lower bound enters with a negative row coefficient and a
-		// column at its upper bound with a positive one; mirrored otherwise.
-		q := -1
-		best := math.Inf(1)
-		bestAbs := 0.0
-		for j := 0; j < t.n; j++ {
-			if t.stat[j] == basic || t.hi[j]-t.lo[j] < feasTol {
-				continue
-			}
-			a := row[j]
-			var ok bool
-			if below {
-				ok = (t.stat[j] == atLower && a < -pivTol) || (t.stat[j] == atUpper && a > pivTol)
-			} else {
-				ok = (t.stat[j] == atLower && a > pivTol) || (t.stat[j] == atUpper && a < -pivTol)
-			}
-			if !ok {
-				continue
-			}
-			abs := math.Abs(a)
-			ratio := math.Abs(t.d[j]) / abs
-			if ratio < best-pivTol || (ratio < best+pivTol && abs > bestAbs) {
-				best, q, bestAbs = ratio, j, abs
-			}
-		}
-		if q < 0 {
-			return Infeasible
-		}
-
-		t.iters++
-		t.dualIters++
-
-		// Pivot: the leaving variable lands exactly on the bound it
-		// violated; the entering variable moves off its bound by dx.
-		beta := t.lo[out]
-		if !below {
-			beta = t.hi[out]
-		}
-		dx := (t.xval[out] - beta) / row[q]
-		for i := 0; i < t.m; i++ {
-			if i == r {
-				continue
-			}
-			if a := t.rows[i][q]; a != 0 {
-				t.xval[t.bvar[i]] -= a * dx
-			}
-		}
-		t.xval[q] += dx
-		t.xval[out] = beta
-		if below {
-			t.stat[out] = atLower
-		} else {
-			t.stat[out] = atUpper
-		}
-		t.brow[out] = -1
-		t.bvar[r] = q
-		t.brow[q] = r
-		t.stat[q] = basic
-		if math.Abs(dx) < feasTol {
-			t.degenPivots++
-		}
-		t.eliminate(r, q)
-	}
 }

@@ -1,6 +1,6 @@
 // Package lp implements a self-contained linear-programming solver: a
-// two-phase primal simplex method with bounded variables on a dense
-// tableau.
+// revised simplex method with bounded variables over a sparse
+// column-oriented (CSC) constraint matrix.
 //
 // It is the foundation of the repository's optimization stack and stands in
 // for the LP core of the commercial solver (Gurobi) that the Raha paper
@@ -8,9 +8,26 @@
 // variables may rest at either bound), so branch-and-bound in package milp
 // can tighten bounds without growing the constraint matrix.
 //
+// The default path (sparse.go) maintains an LU factorization of the basis
+// with partial pivoting plus a product-form eta file that absorbs basis
+// changes between refactorizations; refactorization triggers on eta-chain
+// length, a small eta pivot, or accumulated growth (lu.go). Ratio tests use
+// a Harris-style two-pass scheme that trades bounded infeasibility within
+// the feasibility tolerance for larger, more stable pivots, and problems
+// are equilibrated at load with power-of-two geometric-mean row/column
+// scaling that is undone exactly on extraction. Per-Problem workspaces
+// (Problem.sp) amortize all of this to near-zero allocation per re-solve
+// under branch and bound. DESIGN.md §2.13 is the full writeup.
+//
+// The original dense-tableau two-phase solver is retained in dense.go as
+// executable ground truth: the dense-vs-sparse equivalence tests run every
+// corpus instance on both cores, the RAHA_LP_DENSE environment variable (or
+// SetDense) forces the dense core at runtime, and a sparse factorization
+// failure silently falls back to it so callers never see the seam.
+//
 // Optimal solutions carry their final simplex basis (Solution.Basis), and
 // SolveFrom re-solves a problem from such a basis: it refactorizes the
-// tableau and runs bounded-variable dual simplex instead of the two-phase
+// basis and runs bounded-variable dual simplex instead of the two-phase
 // method, which is how branch-and-bound warm-starts child nodes after a
 // single bound change. When a basis cannot be reused — wrong shape,
 // singular after the bound change, or dual-infeasible — SolveFrom falls

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"sync/atomic"
 
 	"raha/internal/obs"
 )
@@ -43,11 +45,23 @@ type Row struct {
 //	minimize c·x  subject to  rows, Lo ≤ x ≤ Hi.
 //
 // Lower bounds must be finite; upper bounds may be +Inf.
+//
+// A Problem caches its sparse lowering (the scaled CSC matrix and the
+// solver workspace, see sparse.go) across solves: branch and bound re-solves
+// the same rows under different bounds thousands of times per search, and
+// the cache is what makes those re-solves allocation-free. The cache keys on
+// the row and variable counts, so appending rows or growing the variable set
+// rebuilds it — but mutating an existing row's coefficients in place between
+// solves does not, and is therefore not supported. A Problem must not be
+// solved from multiple goroutines concurrently (the MILP layer keeps one
+// Problem per worker for exactly this reason).
 type Problem struct {
 	NumVars int
 	Cost    []float64
 	Rows    []Row
 	Lo, Hi  []float64
+
+	sp *spCache // lazily built sparse lowering + reusable solver workspace
 }
 
 // NewProblem returns a problem with n variables, zero objective, and default
@@ -172,7 +186,7 @@ func record(sol *Solution) *Solution {
 	return sol
 }
 
-// variable status within the simplex.
+// variable status within the simplex (shared by the dense and sparse cores).
 type vstat int8
 
 const (
@@ -181,71 +195,45 @@ const (
 	basic
 )
 
-// tableau is the dense working state of the simplex.
-type tableau struct {
-	m, n  int         // constraint rows; total columns (struct+slack+artificial)
-	nStr  int         // structural variables
-	rows  [][]float64 // m rows × n cols: B⁻¹·A
-	d     []float64   // reduced costs, length n
-	cost  []float64   // current phase objective, length n
-	lo    []float64
-	hi    []float64
-	stat  []vstat
-	xval  []float64 // current value of every variable
-	bvar  []int     // basic variable per row
-	brow  []int     // row of a basic variable, -1 otherwise
-	iters int
-	cap   int // iteration cap
+// denseMode selects the legacy dense-tableau core instead of the sparse
+// revised simplex. It exists so the dense solver — the rewrite's ground
+// truth — stays compiled, tested, and reachable: CI runs the MILP corpus
+// once with RAHA_LP_DENSE=1, and the equivalence tests flip it per trial.
+var denseMode atomic.Bool
 
-	degenPivots int // cumulative near-zero-step pivots (both phases)
-	blandPivots int // cumulative pivots priced under Bland's rule
-	dualIters   int // dual-simplex pivots (warm-start path only)
+func init() {
+	if os.Getenv("RAHA_LP_DENSE") != "" {
+		denseMode.Store(true)
+	}
 }
 
-// telemetry copies the tableau's pivot accounting into a solution.
-func (t *tableau) telemetry(sol *Solution, phase1Iters int) *Solution {
-	sol.Phase1Iters = phase1Iters
-	sol.DegeneratePivots = t.degenPivots
-	sol.BlandPivots = t.blandPivots
-	return sol
+// SetDense switches every subsequent Solve/SolveFrom in the process onto
+// the dense tableau core (true) or the sparse revised simplex (false,
+// the default), returning the previous setting. The two cores agree on
+// status and objective to solver tolerance — that equivalence is pinned by
+// the dense-vs-sparse corpus tests — so the knob is a ground-truth and
+// debugging lever, not a semantics switch.
+func SetDense(on bool) (prev bool) {
+	prev = denseMode.Load()
+	denseMode.Store(on)
+	return prev
 }
 
-// Solve runs the two-phase bounded simplex on p.
+// Solve minimizes p. The default core is the sparse revised simplex
+// (sparse.go); the legacy dense two-phase tableau (dense.go) serves when
+// RAHA_LP_DENSE is set and as a silent last-resort fallback should the
+// sparse core's factorization collapse numerically.
 func Solve(p *Problem, opt *Options) (*Solution, error) {
 	if err := validate(p); err != nil {
 		return nil, err
 	}
-	t, nArt, err := build(p)
-	if err != nil {
-		return nil, err
+	if denseMode.Load() {
+		return record(solveDense(p, opt)), nil
 	}
-	if opt != nil && opt.MaxIters > 0 {
-		t.cap = opt.MaxIters
+	if sol, ok := solveSparse(p, opt); ok {
+		return record(sol), nil
 	}
-
-	// Phase 1: minimize the sum of artificial variables.
-	phase1Iters := 0
-	if nArt > 0 {
-		st := t.run()
-		phase1Iters = t.iters
-		if st == IterLimit {
-			return record(t.telemetry(&Solution{Status: IterLimit, X: t.structX(p), Iters: t.iters}, phase1Iters)), nil
-		}
-		if t.phaseObjective() > 1e-6 {
-			return record(t.telemetry(&Solution{Status: Infeasible, X: t.structX(p), Iters: t.iters}, phase1Iters)), nil
-		}
-		t.pinArtificials(p)
-	}
-
-	// Phase 2: minimize the real objective.
-	t.setCost(p)
-	st := t.run()
-	sol := t.telemetry(&Solution{Status: st, X: t.structX(p), Iters: t.iters}, phase1Iters)
-	if st == Optimal {
-		sol.Objective = dot(p.Cost, sol.X)
-		sol.Basis = t.exportBasis()
-	}
-	return record(sol), nil
+	return record(solveDense(p, opt)), nil
 }
 
 func validate(p *Problem) error {
@@ -268,368 +256,6 @@ func validate(p *Problem) error {
 		}
 	}
 	return nil
-}
-
-// build assembles the initial tableau: structural variables at their lower
-// bounds, slack per row, artificials where the slack alone cannot supply a
-// feasible basic value. GE rows are negated into LE form first.
-func build(p *Problem) (*tableau, int, error) {
-	m := len(p.Rows)
-	nStr := p.NumVars
-
-	// Residual of each row at the initial point (all structurals at Lo).
-	resid := make([]float64, m)
-	sign := make([]float64, m) // +1 keep, -1 negated (GE)
-	for i, r := range p.Rows {
-		s := 1.0
-		if r.Rel == GE {
-			s = -1
-		}
-		sign[i] = s
-		acc := s * r.RHS
-		for k, j := range r.Idx {
-			acc -= s * r.Coef[k] * p.Lo[j]
-		}
-		resid[i] = acc
-	}
-
-	// Decide artificials.
-	needArt := make([]bool, m)
-	nArt := 0
-	for i, r := range p.Rows {
-		switch {
-		case r.Rel == EQ && math.Abs(resid[i]) > feasTol:
-			needArt[i] = true
-		case r.Rel != EQ && resid[i] < -feasTol:
-			needArt[i] = true
-		}
-		if needArt[i] {
-			nArt++
-		}
-	}
-
-	n := nStr + m + nArt
-	t := &tableau{
-		m: m, n: n, nStr: nStr,
-		rows: make([][]float64, m),
-		d:    make([]float64, n),
-		cost: make([]float64, n),
-		lo:   make([]float64, n),
-		hi:   make([]float64, n),
-		stat: make([]vstat, n),
-		xval: make([]float64, n),
-		bvar: make([]int, m),
-		brow: make([]int, n),
-	}
-	t.cap = 50*(m+n) + 1000
-	for j := range t.brow {
-		t.brow[j] = -1
-	}
-
-	// Structural variables: nonbasic at lower bound.
-	for j := 0; j < nStr; j++ {
-		t.lo[j], t.hi[j] = p.Lo[j], p.Hi[j]
-		t.stat[j] = atLower
-		t.xval[j] = p.Lo[j]
-	}
-	// Slack variables: [0,+Inf) for inequality rows, fixed 0 for EQ.
-	for i := 0; i < m; i++ {
-		j := nStr + i
-		if p.Rows[i].Rel == EQ {
-			t.hi[j] = 0
-		} else {
-			t.hi[j] = math.Inf(1)
-		}
-		t.stat[j] = atLower
-	}
-
-	// Fill rows: sign·a·x + slack (+ artificial) = sign·rhs.
-	art := nStr + m
-	for i, r := range p.Rows {
-		//raha:lint-allow hot-alloc each dense row is retained as tableau storage; the build is once per solve, not per pivot
-		row := make([]float64, n)
-		for k, j := range r.Idx {
-			row[j] += sign[i] * r.Coef[k]
-		}
-		row[nStr+i] = 1
-		t.rows[i] = row
-
-		if needArt[i] {
-			// The artificial must form an identity column in the initial
-			// basis; when the residual is negative, negate the whole row so
-			// the artificial's coefficient is +1 and its value |resid| ≥ 0.
-			if resid[i] < 0 {
-				for j := range row {
-					row[j] = -row[j]
-				}
-			}
-			j := art
-			art++
-			row[j] = 1
-			t.hi[j] = math.Inf(1)
-			t.cost[j] = 1 // phase-1 objective
-			t.setBasic(i, j, math.Abs(resid[i]))
-		} else {
-			t.setBasic(i, nStr+i, resid[i])
-		}
-	}
-
-	// Phase-1 reduced costs: d = cost − cost_B·rows.
-	copy(t.d, t.cost)
-	for i := 0; i < m; i++ {
-		cb := t.cost[t.bvar[i]]
-		if cb == 0 {
-			continue
-		}
-		row := t.rows[i]
-		for j := 0; j < n; j++ {
-			t.d[j] -= cb * row[j]
-		}
-	}
-	return t, nArt, nil
-}
-
-func (t *tableau) setBasic(row, j int, val float64) {
-	t.bvar[row] = j
-	t.brow[j] = row
-	t.stat[j] = basic
-	t.xval[j] = val
-}
-
-func (t *tableau) phaseObjective() float64 {
-	var s float64
-	for j := t.nStr + t.m; j < t.n; j++ {
-		s += t.xval[j]
-	}
-	return s
-}
-
-// pinArtificials fixes every artificial variable to zero so that phase 2
-// cannot move it. Basic artificials at value zero are harmless degenerate
-// basis members.
-func (t *tableau) pinArtificials(p *Problem) {
-	for j := t.nStr + t.m; j < t.n; j++ {
-		t.lo[j], t.hi[j] = 0, 0
-		if t.stat[j] != basic {
-			t.xval[j] = 0
-		}
-	}
-}
-
-// setCost installs the phase-2 objective and recomputes reduced costs under
-// the current basis.
-func (t *tableau) setCost(p *Problem) {
-	for j := range t.cost {
-		t.cost[j] = 0
-	}
-	copy(t.cost, p.Cost)
-	copy(t.d, t.cost)
-	for i := 0; i < t.m; i++ {
-		cb := t.cost[t.bvar[i]]
-		if cb == 0 {
-			continue
-		}
-		row := t.rows[i]
-		for j := 0; j < t.n; j++ {
-			t.d[j] -= cb * row[j]
-		}
-	}
-}
-
-// run iterates the bounded simplex to optimality for the current cost row.
-func (t *tableau) run() Status {
-	degenerate := 0
-	for {
-		if t.iters >= t.cap {
-			return IterLimit
-		}
-		bland := degenerate > 2*(t.m+10)
-		q, dir := t.price(bland)
-		if q < 0 {
-			return Optimal
-		}
-		t.iters++
-		if bland {
-			t.blandPivots++
-		}
-		step, st := t.step(q, dir)
-		if st == Unbounded {
-			return Unbounded
-		}
-		if step < feasTol {
-			degenerate++
-			t.degenPivots++
-		} else {
-			degenerate = 0
-		}
-	}
-}
-
-// price selects an entering variable and its direction: +1 to increase from
-// the lower bound, -1 to decrease from the upper bound. Returns q = -1 when
-// the current point is optimal.
-func (t *tableau) price(bland bool) (q int, dir float64) {
-	best := costTol
-	q = -1
-	for j := 0; j < t.n; j++ {
-		if t.stat[j] == basic || t.hi[j]-t.lo[j] < feasTol {
-			continue // basic or fixed
-		}
-		var improve float64
-		var d float64
-		if t.stat[j] == atLower {
-			improve = -t.d[j] // want d<0
-			d = 1
-		} else {
-			improve = t.d[j] // want d>0
-			d = -1
-		}
-		if improve > best {
-			if bland {
-				return j, d
-			}
-			best = improve
-			q, dir = j, d
-		}
-	}
-	return q, dir
-}
-
-// step performs the bounded-variable ratio test for entering variable q
-// moving in direction dir, then either flips q to its opposite bound or
-// pivots. It returns the step length taken.
-func (t *tableau) step(q int, dir float64) (float64, Status) {
-	// Own-bound limit.
-	tMax := t.hi[q] - t.lo[q] // may be +Inf
-	leave := -1               // pivot row; -1 means bound flip
-	leaveAtUpper := false
-	pivAbs := 0.0
-
-	for i := 0; i < t.m; i++ {
-		a := dir * t.rows[i][q] // xB_i decreases at rate a
-		b := t.bvar[i]
-		var lim float64
-		var hitsUpper bool
-		switch {
-		case a > pivTol: // basic decreases toward its lower bound
-			lim = (t.xval[b] - t.lo[b]) / a
-		case a < -pivTol: // basic increases toward its upper bound
-			if math.IsInf(t.hi[b], 1) {
-				continue
-			}
-			lim = (t.hi[b] - t.xval[b]) / (-a)
-			hitsUpper = true
-		default:
-			continue
-		}
-		if lim < 0 {
-			lim = 0
-		}
-		// Prefer strictly smaller limits; break ties toward bigger pivots
-		// for numerical stability.
-		if lim < tMax-pivTol || (lim < tMax+pivTol && math.Abs(t.rows[i][q]) > pivAbs) {
-			tMax = lim
-			leave = i
-			leaveAtUpper = hitsUpper
-			pivAbs = math.Abs(t.rows[i][q])
-		}
-	}
-
-	if math.IsInf(tMax, 1) {
-		return 0, Unbounded
-	}
-
-	// Update basic values and the entering variable's value.
-	if tMax > 0 {
-		for i := 0; i < t.m; i++ {
-			a := dir * t.rows[i][q]
-			if a != 0 {
-				t.xval[t.bvar[i]] -= tMax * a
-			}
-		}
-		t.xval[q] += dir * tMax
-	}
-
-	if leave < 0 {
-		// Bound flip: q travels to its opposite bound; basis unchanged.
-		if dir > 0 {
-			t.stat[q] = atUpper
-			t.xval[q] = t.hi[q]
-		} else {
-			t.stat[q] = atLower
-			t.xval[q] = t.lo[q]
-		}
-		return tMax, Optimal
-	}
-
-	// Pivot: q becomes basic in row `leave`; the old basic leaves at the
-	// bound it hit.
-	out := t.bvar[leave]
-	if leaveAtUpper {
-		t.stat[out] = atUpper
-		t.xval[out] = t.hi[out]
-	} else {
-		t.stat[out] = atLower
-		t.xval[out] = t.lo[out]
-	}
-	t.brow[out] = -1
-	t.bvar[leave] = q
-	t.brow[q] = leave
-	t.stat[q] = basic
-
-	t.eliminate(leave, q)
-	return tMax, Optimal
-}
-
-// eliminate performs the Gauss-Jordan pivot on (r, q) over all tableau rows
-// and the reduced-cost row.
-func (t *tableau) eliminate(r, q int) {
-	prow := t.rows[r]
-	inv := 1 / prow[q]
-	if inv != 1 {
-		for j := range prow {
-			prow[j] *= inv
-		}
-	}
-	prow[q] = 1 // exact
-	for i := 0; i < t.m; i++ {
-		if i == r {
-			continue
-		}
-		row := t.rows[i]
-		f := row[q]
-		if f == 0 {
-			continue
-		}
-		for j := range row {
-			row[j] -= f * prow[j]
-		}
-		row[q] = 0 // exact
-	}
-	f := t.d[q]
-	if f != 0 {
-		for j := range t.d {
-			t.d[j] -= f * prow[j]
-		}
-		t.d[q] = 0
-	}
-}
-
-// structX extracts structural variable values, clamped to bounds to shed
-// round-off.
-func (t *tableau) structX(p *Problem) []float64 {
-	x := make([]float64, t.nStr)
-	for j := 0; j < t.nStr; j++ {
-		v := t.xval[j]
-		if v < p.Lo[j] {
-			v = p.Lo[j]
-		}
-		if v > p.Hi[j] {
-			v = p.Hi[j]
-		}
-		x[j] = v
-	}
-	return x
 }
 
 func dot(c, x []float64) float64 {

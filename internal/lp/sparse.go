@@ -1,0 +1,1163 @@
+package lp
+
+// The sparse revised simplex core — the default solver. The constraint
+// matrix is held column-wise (CSC) after geometric-mean scaling; the basis
+// is an LU factorization with a product-form eta file (lu.go); pricing and
+// the ratio test work against FTRAN/BTRAN solves instead of a dense
+// tableau. The dense core (dense.go) defines the pivot-rule semantics this
+// file reproduces and remains the ground truth in the equivalence tests.
+//
+// Column layout, shared with the dense core and the exported Basis:
+// structural variables 0..nStr-1 (stored CSC columns), one slack per row
+// nStr..nStr+m-1 (implicit +1 unit columns; the row scaling is absorbed
+// into the slack variable itself, so the stored coefficient stays exactly
+// 1), then any phase-1 artificials (implicit ±1 unit columns).
+
+import (
+	"math"
+
+	"raha/internal/obs"
+)
+
+// harrisDelta is the bound-relaxation used by the first pass of the Harris
+// ratio test: basic variables may overshoot their bounds by up to this much
+// so the second pass can pick the largest pivot among the near-ties. The
+// accumulated shift is shed whenever the basis is refactorized (basic
+// values are recomputed from true bounds) and at extraction (clamp).
+const harrisDelta = 1e-8
+
+// Sparse-core counters and gauges (obs.Default, exported as raha.lp.*).
+var (
+	cRefacs = obs.Default.Counter("lp.refactorizations")
+	gEtaLen = obs.Default.Gauge("lp.eta_len")
+	gFill   = obs.Default.Gauge("lp.lu_fill_permille")
+)
+
+// spCache is a Problem's sparse lowering, built once per (rows, vars) shape
+// and reused across solves: the scaled CSC matrix, the scaling vectors, the
+// scaled right-hand side, and the solver workspace. Branch and bound
+// re-solves one Problem thousands of times with only bound changes
+// (Model.reuseLP), so everything here amortizes to zero allocations per
+// solve. Not safe for concurrent solves of the same Problem.
+type spCache struct {
+	nVars, nRows int // shape stamp; a mismatch rebuilds the cache
+
+	// Scaled structural columns, CSC: column j's entries are
+	// rix/val[ptr[j]:ptr[j+1]], row-sorted, duplicates merged. GE rows are
+	// sign-folded into LE form here, like the dense build.
+	ptr []int32
+	rix []int32
+	val []float64
+
+	rowScale []float64 // R: scaled row i = R_i · sign_i · (original row i)
+	colScale []float64 // C: original x_j = C_j · scaled x̂_j
+	bhat     []float64 // scaled right-hand side R·sign·RHS
+	eqRow    []bool    // row is EQ (its slack is fixed at 0)
+
+	s spSolver // reusable solver workspace
+}
+
+// cache returns the problem's sparse lowering, rebuilding it when the shape
+// changed (reuseLP keeps the shape, so the rebuild happens once per model).
+func (p *Problem) cache() *spCache {
+	if p.sp != nil && p.sp.nVars == p.NumVars && p.sp.nRows == len(p.Rows) {
+		return p.sp
+	}
+	p.sp = buildCache(p)
+	return p.sp
+}
+
+// pow2Round rounds a positive scale factor to the nearest power of two:
+// scaling then becomes exact in floating point (exponent shifts only), so
+// it cannot itself introduce rounding error into the matrix.
+func pow2Round(x float64) float64 {
+	if !(x > 0) || math.IsInf(x, 1) {
+		return 1
+	}
+	return math.Exp2(math.Round(math.Log2(x)))
+}
+
+// clampScale caps scales at 2^±20 so a single pathological coefficient
+// cannot drive the rest of the matrix to the edge of the exponent range.
+func clampScale(s float64) float64 {
+	const maxScale = 1 << 20
+	if s > maxScale {
+		return maxScale
+	}
+	if s < 1.0/maxScale {
+		return 1.0 / maxScale
+	}
+	return s
+}
+
+// buildCache lowers p to scaled CSC form: merge duplicate indices, fold GE
+// signs, then two passes of geometric-mean row/column equilibration with
+// power-of-two scales.
+func buildCache(p *Problem) *spCache {
+	m, n := len(p.Rows), p.NumVars
+	c := &spCache{nVars: n, nRows: m}
+
+	sign := make([]float64, m)
+	for i, r := range p.Rows {
+		if r.Rel == GE {
+			sign[i] = -1
+		} else {
+			sign[i] = 1
+		}
+	}
+
+	// Count merged nonzeros per column (rows may repeat an index; the milp
+	// lowering does, and the dense build summed them with +=).
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	ptr := make([]int32, n+1)
+	for i, r := range p.Rows {
+		for _, j := range r.Idx {
+			if mark[j] != int32(i) {
+				mark[j] = int32(i)
+				ptr[j+1]++
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		ptr[j+1] += ptr[j]
+	}
+	nnz := ptr[n]
+	rix := make([]int32, nnz)
+	val := make([]float64, nnz)
+	next := make([]int32, n)
+	copy(next, ptr[:n])
+	epos := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for i, r := range p.Rows {
+		for k, j := range r.Idx {
+			v := sign[i] * r.Coef[k]
+			if mark[j] != int32(i) {
+				mark[j] = int32(i)
+				epos[j] = next[j]
+				rix[next[j]] = int32(i)
+				val[next[j]] = v
+				next[j]++
+			} else {
+				val[epos[j]] += v
+			}
+		}
+	}
+
+	// Geometric-mean equilibration: alternate row and column passes, each
+	// scale the reciprocal root of the min·max magnitude in its line,
+	// rounded to a power of two. Two passes bring the B4/Uninett models
+	// within a decade of unit magnitude, which is all the LU pivoting
+	// needs; more passes buy nothing measurable.
+	rs := make([]float64, m)
+	cs := make([]float64, n)
+	for i := range rs {
+		rs[i] = 1
+	}
+	for j := range cs {
+		cs[j] = 1
+	}
+	rmin := make([]float64, m)
+	rmax := make([]float64, m)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < m; i++ {
+			rmin[i] = math.Inf(1)
+			rmax[i] = 0
+		}
+		for j := 0; j < n; j++ {
+			for e := ptr[j]; e < ptr[j+1]; e++ {
+				a := math.Abs(val[e]) * rs[rix[e]] * cs[j]
+				if a == 0 {
+					continue
+				}
+				i := rix[e]
+				if a < rmin[i] {
+					rmin[i] = a
+				}
+				if a > rmax[i] {
+					rmax[i] = a
+				}
+			}
+		}
+		for i := 0; i < m; i++ {
+			if rmax[i] > 0 {
+				rs[i] = clampScale(rs[i] * pow2Round(1/math.Sqrt(rmin[i]*rmax[i])))
+			}
+		}
+		for j := 0; j < n; j++ {
+			cmin, cmax := math.Inf(1), 0.0
+			for e := ptr[j]; e < ptr[j+1]; e++ {
+				a := math.Abs(val[e]) * rs[rix[e]] * cs[j]
+				if a == 0 {
+					continue
+				}
+				if a < cmin {
+					cmin = a
+				}
+				if a > cmax {
+					cmax = a
+				}
+			}
+			if cmax > 0 {
+				cs[j] = clampScale(cs[j] * pow2Round(1/math.Sqrt(cmin*cmax)))
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		for e := ptr[j]; e < ptr[j+1]; e++ {
+			val[e] *= rs[rix[e]] * cs[j]
+		}
+	}
+
+	bhat := make([]float64, m)
+	eq := make([]bool, m)
+	for i, r := range p.Rows {
+		bhat[i] = sign[i] * rs[i] * r.RHS
+		eq[i] = r.Rel == EQ
+	}
+
+	c.ptr, c.rix, c.val = ptr, rix, val
+	c.rowScale, c.colScale = rs, cs
+	c.bhat, c.eqRow = bhat, eq
+	return c
+}
+
+// spSolver is the revised-simplex working state. It lives inside the
+// spCache so repeated solves of one Problem reuse every slice.
+type spSolver struct {
+	c    *spCache
+	m    int // constraint rows (= basis size)
+	nStr int // structural variables
+	nArt int // artificial columns this solve
+	nTot int // nStr + m + nArt
+
+	// Per-column state, length nTot, in scaled space.
+	lo, hi []float64
+	cost   []float64 // current phase objective
+	xval   []float64
+	d      []float64 // reduced costs (dual path only; primal reprices)
+	arow   []float64 // BTRANned pivot row (dual path scratch)
+	stat   []vstat
+	slotOf []int32 // basis slot of a basic column, -1 otherwise
+
+	basic   []int32   // basic column per slot, length m
+	artRow  []int32   // constraint row of each artificial
+	artSign []float64 // ±1 coefficient of each artificial
+
+	// Length-m scratch.
+	w     []float64 // original-row-indexed FTRAN input / residual buffer
+	alpha []float64 // slot-indexed FTRAN output (entering column)
+	cbuf  []float64 // slot-indexed BTRAN input
+	y     []float64 // original-row-indexed BTRAN output (duals)
+
+	fac luFactor
+
+	iters int
+	cap   int
+
+	degenPivots int
+	blandPivots int
+	dualIters   int
+
+	// fail marks a numerical catastrophe (the basis would not factorize
+	// mid-solve): the caller abandons the sparse attempt and the dispatcher
+	// falls back to the dense ground-truth core.
+	fail bool
+}
+
+// sizeFor (re)sizes the workspace for this solve's column count.
+func (s *spSolver) sizeFor(m, nTot int) {
+	if cap(s.lo) < nTot {
+		s.lo = make([]float64, nTot)
+		s.hi = make([]float64, nTot)
+		s.cost = make([]float64, nTot)
+		s.xval = make([]float64, nTot)
+		s.d = make([]float64, nTot)
+		s.arow = make([]float64, nTot)
+		s.stat = make([]vstat, nTot)
+		s.slotOf = make([]int32, nTot)
+	}
+	s.lo = s.lo[:nTot]
+	s.hi = s.hi[:nTot]
+	s.cost = s.cost[:nTot]
+	s.xval = s.xval[:nTot]
+	s.d = s.d[:nTot]
+	s.arow = s.arow[:nTot]
+	s.stat = s.stat[:nTot]
+	s.slotOf = s.slotOf[:nTot]
+	if cap(s.basic) < m {
+		s.basic = make([]int32, m)
+		s.alpha = make([]float64, m)
+		s.cbuf = make([]float64, m)
+		s.y = make([]float64, m)
+	}
+	// w is sized separately: initCold borrows it as a residual buffer
+	// before sizeFor runs, and that aliasing must survive this call.
+	if cap(s.w) < m {
+		s.w = make([]float64, m)
+	}
+	s.basic = s.basic[:m]
+	s.w = s.w[:m]
+	s.alpha = s.alpha[:m]
+	s.cbuf = s.cbuf[:m]
+	s.y = s.y[:m]
+	s.iters = 0
+	s.degenPivots = 0
+	s.blandPivots = 0
+	s.dualIters = 0
+	s.fail = false
+}
+
+// scatterColToW writes column j (scaled) into the original-row-indexed
+// working vector w, zeroing it first.
+func (s *spSolver) scatterColToW(j int) {
+	for i := range s.w {
+		s.w[i] = 0
+	}
+	switch {
+	case j < s.nStr:
+		c := s.c
+		for e := c.ptr[j]; e < c.ptr[j+1]; e++ {
+			s.w[c.rix[e]] = c.val[e]
+		}
+	case j < s.nStr+s.m:
+		s.w[j-s.nStr] = 1
+	default:
+		a := j - s.nStr - s.m
+		s.w[s.artRow[a]] = s.artSign[a]
+	}
+}
+
+// colDotY returns column j's dot product with the original-row-indexed
+// vector y (i.e. yᵀA_j).
+func (s *spSolver) colDotY(j int) float64 {
+	switch {
+	case j < s.nStr:
+		c := s.c
+		sum := 0.0
+		for e := c.ptr[j]; e < c.ptr[j+1]; e++ {
+			sum += c.val[e] * s.y[c.rix[e]]
+		}
+		return sum
+	case j < s.nStr+s.m:
+		return s.y[j-s.nStr]
+	default:
+		a := j - s.nStr - s.m
+		return s.artSign[a] * s.y[s.artRow[a]]
+	}
+}
+
+// factorize rebuilds the LU of the current basis from scratch, clearing the
+// eta file. It reports false when the basis is numerically singular at the
+// given pivot floor.
+func (s *spSolver) factorize(minPiv float64) bool {
+	f := &s.fac
+	f.reset(s.m)
+	nnz := 0
+	for k := 0; k < s.m; k++ {
+		j := int(s.basic[k])
+		f.beginColumn()
+		switch {
+		case j < s.nStr:
+			c := s.c
+			for e := c.ptr[j]; e < c.ptr[j+1]; e++ {
+				f.setW(c.rix[e], c.val[e])
+				nnz++
+			}
+		case j < s.nStr+s.m:
+			f.setW(int32(j-s.nStr), 1)
+			nnz++
+		default:
+			a := j - s.nStr - s.m
+			f.setW(s.artRow[a], s.artSign[a])
+			nnz++
+		}
+		if !f.factorColumn(k, minPiv) {
+			return false
+		}
+	}
+	f.basisNnz = nnz
+	return true
+}
+
+// refactor rebuilds the basis factorization mid-solve and recomputes the
+// basic values from true bounds — which is also what sheds the Harris
+// bound shifts. Reports false on a numerically singular basis (the
+// caller's catastrophe path).
+func (s *spSolver) refactor() bool {
+	cRefacs.Inc()
+	gEtaLen.Set(int64(s.fac.nEtas()))
+	if !s.factorize(luPivotFloor) {
+		return false
+	}
+	gFill.Set(s.fac.fillPermille())
+	s.recomputeXB()
+	return true
+}
+
+// recomputeXB snaps every nonbasic variable to its bound and recomputes the
+// basic values as B⁻¹(b̂ − Σ_nonbasic A_j·x_j) through the fresh factors.
+func (s *spSolver) recomputeXB() {
+	for j := 0; j < s.nTot; j++ {
+		switch s.stat[j] {
+		case atLower:
+			s.xval[j] = s.lo[j]
+		case atUpper:
+			s.xval[j] = s.hi[j]
+		}
+	}
+	copy(s.w, s.c.bhat)
+	c := s.c
+	for j := 0; j < s.nStr; j++ {
+		if s.stat[j] == basic {
+			continue
+		}
+		xj := s.xval[j]
+		if xj == 0 {
+			continue
+		}
+		for e := c.ptr[j]; e < c.ptr[j+1]; e++ {
+			s.w[c.rix[e]] -= c.val[e] * xj
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		j := s.nStr + i
+		if s.stat[j] != basic && s.xval[j] != 0 {
+			s.w[i] -= s.xval[j]
+		}
+	}
+	for a := 0; a < s.nArt; a++ {
+		j := s.nStr + s.m + a
+		if s.stat[j] != basic && s.xval[j] != 0 {
+			s.w[s.artRow[a]] -= s.artSign[a] * s.xval[j]
+		}
+	}
+	s.fac.ftran(s.w, s.alpha)
+	for k := 0; k < s.m; k++ {
+		s.xval[s.basic[k]] = s.alpha[k]
+	}
+}
+
+// setBasic installs column j as the basic variable of slot k with value v.
+func (s *spSolver) setBasic(k, j int, v float64) {
+	s.basic[k] = int32(j)
+	s.slotOf[j] = int32(k)
+	s.stat[j] = basic
+	s.xval[j] = v
+}
+
+// initCold prepares a cold solve: structurals at their (scaled) lower
+// bounds, slack basis, artificials where a row's residual cannot be carried
+// by its slack — the same rule as the dense build, applied in scaled space.
+func (s *spSolver) initCold(p *Problem, c *spCache) {
+	m, nStr := len(p.Rows), p.NumVars
+	s.c = c
+	s.m, s.nStr = m, nStr
+	// Residual of each row at the all-at-lower point, using w as scratch
+	// (sizeFor has not run yet, so size the length-m slices first).
+	if cap(s.w) < m {
+		s.w = make([]float64, m)
+	}
+	s.w = s.w[:m]
+	resid := s.w
+	copy(resid, c.bhat)
+	for j := 0; j < nStr; j++ {
+		lj := p.Lo[j] / c.colScale[j]
+		if lj == 0 {
+			continue
+		}
+		for e := c.ptr[j]; e < c.ptr[j+1]; e++ {
+			resid[c.rix[e]] -= c.val[e] * lj
+		}
+	}
+	nArt := 0
+	for i := 0; i < m; i++ {
+		if c.eqRow[i] {
+			if math.Abs(resid[i]) > feasTol {
+				nArt++
+			}
+		} else if resid[i] < -feasTol {
+			nArt++
+		}
+	}
+	nTot := nStr + m + nArt
+	s.nArt, s.nTot = nArt, nTot
+	s.sizeFor(m, nTot) // keeps w's backing array, so resid stays valid
+	s.artRow = s.artRow[:0]
+	s.artSign = s.artSign[:0]
+
+	inf := math.Inf(1)
+	for j := 0; j < nStr; j++ {
+		csj := c.colScale[j]
+		s.lo[j] = p.Lo[j] / csj
+		s.hi[j] = p.Hi[j] / csj
+		s.stat[j] = atLower
+		s.xval[j] = s.lo[j]
+		s.slotOf[j] = -1
+		s.cost[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		j := nStr + i
+		s.lo[j] = 0
+		if c.eqRow[i] {
+			s.hi[j] = 0
+		} else {
+			s.hi[j] = inf
+		}
+		s.stat[j] = atLower
+		s.xval[j] = 0
+		s.slotOf[j] = -1
+		s.cost[j] = 0
+	}
+	a := 0
+	for i := 0; i < m; i++ {
+		need := false
+		if c.eqRow[i] {
+			need = math.Abs(resid[i]) > feasTol
+		} else {
+			need = resid[i] < -feasTol
+		}
+		if need {
+			j := nStr + m + a
+			s.artRow = append(s.artRow, int32(i))
+			if resid[i] >= 0 {
+				s.artSign = append(s.artSign, 1)
+			} else {
+				s.artSign = append(s.artSign, -1)
+			}
+			s.lo[j] = 0
+			s.hi[j] = inf
+			s.cost[j] = 1 // phase-1 objective
+			s.slotOf[j] = -1
+			s.setBasic(i, j, math.Abs(resid[i]))
+			a++
+		} else {
+			s.setBasic(i, nStr+i, resid[i])
+		}
+	}
+	s.cap = 50*(m+nTot) + 1000
+}
+
+// initWarm prepares a warm solve directly in the inherited basis: no
+// artificials, the real objective from the start.
+func (s *spSolver) initWarm(p *Problem, c *spCache, b *Basis) {
+	m, nStr := len(p.Rows), p.NumVars
+	s.c = c
+	s.m, s.nStr = m, nStr
+	s.nArt = 0
+	nTot := nStr + m
+	s.nTot = nTot
+	s.sizeFor(m, nTot)
+	s.artRow = s.artRow[:0]
+	s.artSign = s.artSign[:0]
+
+	inf := math.Inf(1)
+	for j := 0; j < nStr; j++ {
+		csj := c.colScale[j]
+		s.lo[j] = p.Lo[j] / csj
+		s.hi[j] = p.Hi[j] / csj
+		s.cost[j] = p.Cost[j] * csj
+	}
+	for i := 0; i < m; i++ {
+		j := nStr + i
+		s.lo[j] = 0
+		if c.eqRow[i] {
+			s.hi[j] = 0
+		} else {
+			s.hi[j] = inf
+		}
+		s.cost[j] = 0
+	}
+	// Statuses from the basis; a nonbasic-at-upper column with an infinite
+	// upper bound under the new problem drops to its lower bound (same rule
+	// as the dense warm build).
+	for j := 0; j < nTot; j++ {
+		s.slotOf[j] = -1
+		switch b.Stat[j] {
+		case BasisBasic:
+			s.stat[j] = basic
+			s.xval[j] = 0 // recomputeXB fills it
+		case BasisAtUpper:
+			if math.IsInf(s.hi[j], 1) {
+				s.stat[j] = atLower
+				s.xval[j] = s.lo[j]
+			} else {
+				s.stat[j] = atUpper
+				s.xval[j] = s.hi[j]
+			}
+		default:
+			s.stat[j] = atLower
+			s.xval[j] = s.lo[j]
+		}
+	}
+	for k, q := range b.Basic {
+		s.basic[k] = int32(q)
+		s.slotOf[q] = int32(k)
+	}
+	s.cap = 50*(m+nTot) + 1000
+}
+
+// setPhase2Cost installs the (scaled) real objective.
+func (s *spSolver) setPhase2Cost(p *Problem) {
+	for j := 0; j < s.nStr; j++ {
+		s.cost[j] = p.Cost[j] * s.c.colScale[j]
+	}
+	for j := s.nStr; j < s.nTot; j++ {
+		s.cost[j] = 0
+	}
+}
+
+func (s *spSolver) phaseObjective() float64 {
+	var sum float64
+	for j := s.nStr + s.m; j < s.nTot; j++ {
+		sum += s.xval[j]
+	}
+	return sum
+}
+
+// pinArtificials fixes every artificial at zero so phase 2 cannot move it;
+// basic artificials at value zero stay as harmless degenerate members.
+func (s *spSolver) pinArtificials() {
+	for j := s.nStr + s.m; j < s.nTot; j++ {
+		s.lo[j], s.hi[j] = 0, 0
+		if s.stat[j] != basic {
+			s.xval[j] = 0
+			s.stat[j] = atLower
+		}
+	}
+}
+
+// price selects an entering column and direction by Dantzig pricing over
+// freshly BTRANned duals (the revised simplex reprices every iteration
+// instead of carrying an updated reduced-cost row). Returns q = -1 at
+// optimality; under Bland's rule it returns the first improving column.
+func (s *spSolver) price(bland bool) (int, float64) {
+	needY := false
+	for k := 0; k < s.m; k++ {
+		cb := s.cost[s.basic[k]]
+		s.cbuf[k] = cb
+		if cb != 0 {
+			needY = true
+		}
+	}
+	if needY {
+		s.fac.btran(s.cbuf, s.y)
+	} else {
+		for i := range s.y {
+			s.y[i] = 0
+		}
+	}
+	best := costTol
+	q := -1
+	dir := 1.0
+	for j := 0; j < s.nTot; j++ {
+		if s.stat[j] == basic || s.hi[j]-s.lo[j] < feasTol {
+			continue // basic or fixed
+		}
+		dj := s.cost[j] - s.colDotY(j)
+		var improve, dr float64
+		if s.stat[j] == atLower {
+			improve = -dj // want d<0
+			dr = 1
+		} else {
+			improve = dj // want d>0
+			dr = -1
+		}
+		if improve > best {
+			if bland {
+				return j, dr
+			}
+			best = improve
+			q, dir = j, dr
+		}
+	}
+	return q, dir
+}
+
+// primal iterates the bounded primal simplex to optimality for the current
+// phase objective, mirroring the dense run(): Dantzig pricing with a Bland
+// fallback after a long degenerate streak.
+func (s *spSolver) primal() Status {
+	degenerate := 0
+	for {
+		if s.iters >= s.cap {
+			return IterLimit
+		}
+		bland := degenerate > 2*(s.m+10)
+		q, dir := s.price(bland)
+		if q < 0 {
+			return Optimal
+		}
+		s.iters++
+		if bland {
+			s.blandPivots++
+		}
+		step, st := s.step(q, dir)
+		if s.fail || st == Unbounded {
+			return st
+		}
+		if step < feasTol {
+			degenerate++
+			s.degenPivots++
+		} else {
+			degenerate = 0
+		}
+	}
+}
+
+// step runs the Harris two-pass ratio test for entering column q moving in
+// direction dir, then flips q to its opposite bound or pivots, updating the
+// basis factorization (eta push or refactorization).
+//
+// Pass 1 finds the largest step under bounds relaxed by harrisDelta; pass 2
+// picks, among the rows whose exact ratio fits under that relaxed step, the
+// one with the largest pivot magnitude. Degenerate vertices usually offer
+// several near-zero ratios, and the classic test's smallest-ratio rule is
+// forced to take whichever pivot that row happens to have; paying up to
+// harrisDelta of bound violation buys the numerically best pivot instead.
+func (s *spSolver) step(q int, dir float64) (float64, Status) {
+	s.scatterColToW(q)
+	s.fac.ftran(s.w, s.alpha)
+	m := s.m
+	own := s.hi[q] - s.lo[q] // may be +Inf
+
+	// Pass 1: relaxed limits.
+	theta := own
+	for i := 0; i < m; i++ {
+		a := dir * s.alpha[i] // xB_i decreases at rate a
+		b := s.basic[i]
+		var lim float64
+		if a > pivTol {
+			lim = (s.xval[b] - s.lo[b] + harrisDelta) / a
+		} else if a < -pivTol {
+			if math.IsInf(s.hi[b], 1) {
+				continue
+			}
+			lim = (s.hi[b] - s.xval[b] + harrisDelta) / (-a)
+		} else {
+			continue
+		}
+		if lim < theta {
+			theta = lim
+		}
+	}
+	if math.IsInf(theta, 1) {
+		return 0, Unbounded
+	}
+	if theta < 0 {
+		theta = 0
+	}
+
+	// Pass 2: biggest pivot whose exact ratio fits under theta. The row
+	// that defined theta always qualifies (its exact ratio is theta minus
+	// its share of the relaxation), so leave is found whenever theta < own.
+	leave := -1
+	leaveAtUpper := false
+	pivAbs := 0.0
+	step := own
+	if theta < own {
+		for i := 0; i < m; i++ {
+			a := dir * s.alpha[i]
+			b := s.basic[i]
+			var lim float64
+			var up bool
+			if a > pivTol {
+				lim = (s.xval[b] - s.lo[b]) / a
+			} else if a < -pivTol {
+				if math.IsInf(s.hi[b], 1) {
+					continue
+				}
+				lim = (s.hi[b] - s.xval[b]) / (-a)
+				up = true
+			} else {
+				continue
+			}
+			if lim < 0 {
+				lim = 0
+			}
+			if lim <= theta {
+				if ab := math.Abs(s.alpha[i]); ab > pivAbs {
+					leave, pivAbs, step, leaveAtUpper = i, ab, lim, up
+				}
+			}
+		}
+	}
+
+	// Move the basics and the entering variable.
+	if step > 0 {
+		for i := 0; i < m; i++ {
+			a := dir * s.alpha[i]
+			if a != 0 {
+				s.xval[s.basic[i]] -= step * a
+			}
+		}
+		s.xval[q] += dir * step
+	}
+
+	if leave < 0 {
+		// Bound flip: q travels to its opposite bound; basis unchanged.
+		if dir > 0 {
+			s.stat[q] = atUpper
+			s.xval[q] = s.hi[q]
+		} else {
+			s.stat[q] = atLower
+			s.xval[q] = s.lo[q]
+		}
+		return step, Optimal
+	}
+
+	// Pivot: q becomes basic in slot leave; the old basic leaves at the
+	// bound it hit.
+	out := int(s.basic[leave])
+	if leaveAtUpper {
+		s.stat[out] = atUpper
+		s.xval[out] = s.hi[out]
+	} else {
+		s.stat[out] = atLower
+		s.xval[out] = s.lo[out]
+	}
+	s.slotOf[out] = -1
+	s.basic[leave] = int32(q)
+	s.slotOf[q] = int32(leave)
+	s.stat[q] = basic
+
+	if s.fac.needRefactor(pivAbs) {
+		if !s.refactor() {
+			s.fail = true
+			return step, IterLimit
+		}
+	} else {
+		s.fac.pushEta(s.alpha, leave)
+	}
+	return step, Optimal
+}
+
+// recomputeD refreshes the full reduced-cost vector from a BTRAN of the
+// basic costs (dual path bookkeeping; the primal path reprices inline).
+func (s *spSolver) recomputeD() {
+	needY := false
+	for k := 0; k < s.m; k++ {
+		cb := s.cost[s.basic[k]]
+		s.cbuf[k] = cb
+		if cb != 0 {
+			needY = true
+		}
+	}
+	if needY {
+		s.fac.btran(s.cbuf, s.y)
+	} else {
+		for i := range s.y {
+			s.y[i] = 0
+		}
+	}
+	for j := 0; j < s.nTot; j++ {
+		if s.stat[j] == basic {
+			s.d[j] = 0
+		} else {
+			s.d[j] = s.cost[j] - s.colDotY(j)
+		}
+	}
+}
+
+// dualFeasible reports whether s.d is consistent with every nonbasic
+// column's bound status (the dual-simplex precondition); fixed columns are
+// exempt. Mirrors the dense check.
+func (s *spSolver) dualFeasible() bool {
+	for j := 0; j < s.nTot; j++ {
+		if s.hi[j]-s.lo[j] < feasTol {
+			continue
+		}
+		switch s.stat[j] {
+		case atLower:
+			if s.d[j] < -dualFeasTol {
+				return false
+			}
+		case atUpper:
+			if s.d[j] > dualFeasTol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dual runs the bounded-variable dual simplex: drive the most-violating
+// basic variable to the bound it violates, entering by the dual ratio test
+// (minimum |d_j/a_rj| over sign-eligible columns, ties toward the larger
+// pivot — the same rule as the dense core). The pivot row comes from a
+// BTRAN of e_r; the reduced costs update incrementally from it.
+func (s *spSolver) dual() Status {
+	for {
+		if s.iters >= s.cap {
+			return IterLimit
+		}
+
+		// Leaving slot: the basic variable with the largest bound violation.
+		r := -1
+		viol := feasTol
+		below := false
+		for i := 0; i < s.m; i++ {
+			b := s.basic[i]
+			if v := s.lo[b] - s.xval[b]; v > viol {
+				r, viol, below = i, v, true
+			}
+			if v := s.xval[b] - s.hi[b]; v > viol {
+				r, viol, below = i, v, false
+			}
+		}
+		if r < 0 {
+			return Optimal
+		}
+		out := int(s.basic[r])
+
+		// Pivot row: arow_j = (B⁻ᵀe_r)·A_j, for every column (basic columns
+		// included — arow_out ≈ 1 feeds the incremental d update below).
+		for k := range s.cbuf {
+			s.cbuf[k] = 0
+		}
+		s.cbuf[r] = 1
+		s.fac.btran(s.cbuf, s.y)
+
+		q := -1
+		best := math.Inf(1)
+		bestAbs := 0.0
+		for j := 0; j < s.nTot; j++ {
+			a := s.colDotY(j)
+			s.arow[j] = a
+			if s.stat[j] == basic || s.hi[j]-s.lo[j] < feasTol {
+				continue
+			}
+			var ok bool
+			if below {
+				ok = (s.stat[j] == atLower && a < -pivTol) || (s.stat[j] == atUpper && a > pivTol)
+			} else {
+				ok = (s.stat[j] == atLower && a > pivTol) || (s.stat[j] == atUpper && a < -pivTol)
+			}
+			if !ok {
+				continue
+			}
+			abs := math.Abs(a)
+			ratio := math.Abs(s.d[j]) / abs
+			if ratio < best-pivTol || (ratio < best+pivTol && abs > bestAbs) {
+				best, q, bestAbs = ratio, j, abs
+			}
+		}
+		if q < 0 {
+			return Infeasible
+		}
+
+		// FTRAN the entering column; its slot-r entry is the pivot. If the
+		// eta chain has drifted far enough that FTRAN and BTRAN disagree on
+		// the pivot, rebuild and retry the iteration from fresh factors.
+		s.scatterColToW(q)
+		s.fac.ftran(s.w, s.alpha)
+		piv := s.alpha[r]
+		if math.Abs(piv) < pivTol {
+			if !s.refactor() {
+				s.fail = true
+				return IterLimit
+			}
+			s.recomputeD()
+			continue
+		}
+
+		s.iters++
+		s.dualIters++
+
+		// Pivot: the leaving variable lands exactly on the violated bound;
+		// the entering variable moves off its bound by dx.
+		beta := s.lo[out]
+		if !below {
+			beta = s.hi[out]
+		}
+		dx := (s.xval[out] - beta) / piv
+		for i := 0; i < s.m; i++ {
+			if i == r {
+				continue
+			}
+			if a := s.alpha[i]; a != 0 {
+				s.xval[s.basic[i]] -= a * dx
+			}
+		}
+		s.xval[q] += dx
+		s.xval[out] = beta
+		if below {
+			s.stat[out] = atLower
+		} else {
+			s.stat[out] = atUpper
+		}
+		s.slotOf[out] = -1
+		s.basic[r] = int32(q)
+		s.slotOf[q] = int32(r)
+		s.stat[q] = basic
+		if math.Abs(dx) < feasTol {
+			s.degenPivots++
+		}
+
+		// Incremental dual update d'_j = d_j − (d_q/arow_q)·arow_j. The
+		// uniform pass also lands d_out = −d_q/arow_q because arow_out ≈ 1
+		// and every other basic column has arow ≈ 0.
+		f := s.d[q] / s.arow[q]
+		if f != 0 {
+			for j := 0; j < s.nTot; j++ {
+				if a := s.arow[j]; a != 0 {
+					s.d[j] -= f * a
+				}
+			}
+		}
+		s.d[q] = 0
+
+		if s.fac.needRefactor(math.Abs(piv)) {
+			if !s.refactor() {
+				s.fail = true
+				return IterLimit
+			}
+			s.recomputeD()
+		} else {
+			s.fac.pushEta(s.alpha, r)
+		}
+	}
+}
+
+// structX extracts structural values back into original units (undo the
+// column scaling) and clamps to the original bounds, shedding both
+// round-off and any residual Harris shift.
+func (s *spSolver) structX(p *Problem) []float64 {
+	x := make([]float64, s.nStr)
+	for j := 0; j < s.nStr; j++ {
+		v := s.xval[j] * s.c.colScale[j]
+		if v < p.Lo[j] {
+			v = p.Lo[j]
+		}
+		if v > p.Hi[j] {
+			v = p.Hi[j]
+		}
+		x[j] = v
+	}
+	return x
+}
+
+// exportBasis mirrors the dense exportBasis: nil when an artificial is
+// still basic, otherwise the statuses over structural+slack columns.
+func (s *spSolver) exportBasis() *Basis {
+	n := s.nStr + s.m
+	for k := 0; k < s.m; k++ {
+		if int(s.basic[k]) >= n {
+			return nil
+		}
+	}
+	b := &Basis{Basic: make([]int, s.m), Stat: make([]BasisStatus, n)}
+	for k := 0; k < s.m; k++ {
+		b.Basic[k] = int(s.basic[k])
+	}
+	for j := 0; j < n; j++ {
+		switch s.stat[j] {
+		case basic:
+			b.Stat[j] = BasisBasic
+		case atUpper:
+			b.Stat[j] = BasisAtUpper
+		default:
+			b.Stat[j] = BasisAtLower
+		}
+	}
+	return b
+}
+
+// finish assembles the Solution for the current state.
+func (s *spSolver) finish(p *Problem, st Status, phase1Iters int, warm bool) *Solution {
+	sol := &Solution{
+		Status:           st,
+		X:                s.structX(p),
+		Iters:            s.iters,
+		Phase1Iters:      phase1Iters,
+		DegeneratePivots: s.degenPivots,
+		BlandPivots:      s.blandPivots,
+		WarmStarted:      warm,
+		DualIters:        s.dualIters,
+	}
+	if st == Optimal {
+		sol.Objective = dot(p.Cost, sol.X)
+		sol.Basis = s.exportBasis()
+	}
+	return sol
+}
+
+// solveSparse runs the two-phase revised simplex on p (already validated).
+// ok = false reports a numerical catastrophe — a basis that would not
+// factorize — and asks the dispatcher for the dense fallback.
+func solveSparse(p *Problem, opt *Options) (*Solution, bool) {
+	c := p.cache()
+	s := &c.s
+	s.initCold(p, c)
+	if opt != nil && opt.MaxIters > 0 {
+		s.cap = opt.MaxIters
+	}
+	if !s.factorize(luPivotFloor) {
+		return nil, false // cannot happen for a slack/artificial basis; belt and braces
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	phase1Iters := 0
+	if s.nArt > 0 {
+		st := s.primal()
+		if s.fail {
+			return nil, false
+		}
+		phase1Iters = s.iters
+		if st == IterLimit {
+			return s.finish(p, IterLimit, phase1Iters, false), true
+		}
+		if s.phaseObjective() > 1e-6 {
+			return s.finish(p, Infeasible, phase1Iters, false), true
+		}
+		s.pinArtificials()
+	}
+
+	// Phase 2: minimize the real objective.
+	s.setPhase2Cost(p)
+	st := s.primal()
+	if s.fail {
+		return nil, false
+	}
+	return s.finish(p, st, phase1Iters, false), true
+}
+
+// solveFromSparse re-optimizes p from an inherited basis on the sparse
+// core. ok = false requests the cold fallback: the basis would not
+// factorize at warmPivTol, it is no longer dual-feasible under the new
+// bounds, or the solve hit a numerical catastrophe mid-flight.
+func solveFromSparse(p *Problem, b *Basis, opt *Options) (*Solution, bool) {
+	c := p.cache()
+	s := &c.s
+	s.initWarm(p, c, b)
+	if opt != nil && opt.MaxIters > 0 {
+		s.cap = opt.MaxIters
+	}
+	if !s.factorize(warmPivTol) {
+		return nil, false
+	}
+	s.recomputeXB()
+	s.recomputeD()
+	if !s.dualFeasible() {
+		return nil, false
+	}
+
+	st := s.dual()
+	if s.fail {
+		return nil, false
+	}
+	if st == Optimal {
+		// The dual phase left a primal- and dual-feasible point; the primal
+		// phase normally confirms optimality in zero iterations and only
+		// pivots to clean up tolerance-level drift.
+		st = s.primal()
+		if s.fail {
+			return nil, false
+		}
+	}
+	return s.finish(p, st, 0, true), true
+}

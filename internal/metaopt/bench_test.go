@@ -1,6 +1,7 @@
 package metaopt
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -35,11 +36,16 @@ func benchConfig(b *testing.B, top *topology.Topology, seed int64, workers int) 
 // nodes/sec between the /serial and /parallel variants. warmstarts/solve
 // and coldfallbacks/solve make the warm-start hit rate part of the per-
 // commit BENCH record (a regression to cold solves shows up here before
-// it shows up in nodes/sec).
+// it shows up in nodes/sec). bytes/solve is the cumulative heap allocation
+// per analysis (runtime TotalAlloc delta, all goroutines) — the memory
+// half of the sparse-LP story, tracked per commit the same way.
 func benchAnalyze(b *testing.B, top *topology.Topology, seed int64, workers int) {
 	cfg := benchConfig(b, top, seed, workers)
 	nodes := 0
 	var warm, cold, fixed, rows, bounds, prop int64
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	allocStart := ms.TotalAlloc
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := Analyze(cfg)
@@ -54,6 +60,9 @@ func benchAnalyze(b *testing.B, top *topology.Topology, seed int64, workers int)
 		bounds += res.Stats.PresolveTightenedBounds
 		prop += res.Stats.PropagationPrunes
 	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.TotalAlloc-allocStart)/float64(b.N), "bytes/solve")
 	b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
 	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/solve")
 	b.ReportMetric(float64(warm)/float64(b.N), "warmstarts/solve")

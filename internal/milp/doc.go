@@ -9,7 +9,10 @@
 // The search runs a worker pool over a shared best-bound queue
 // (Params.Workers), and each node below the root warm-starts its LP
 // relaxation from the parent's simplex basis via lp.SolveFrom; set
-// Params.DisableWarmStart to force cold solves. Warm-start accounting
+// Params.DisableWarmStart to force cold solves. The LP core underneath is
+// package lp's sparse revised simplex, but nothing here depends on that:
+// branch and bound sees only Solve/SolveFrom and Solution.Basis, and the
+// equivalence corpus re-runs on the dense fallback core to prove it. Warm-start accounting
 // (Stats.WarmStarts, Stats.WarmIters, Stats.ColdFallbacks) rides on
 // Result.Stats next to the LP and prune counters. DESIGN.md §2.4 covers
 // the parallel search, §2.8 the warm starts.

@@ -1,0 +1,51 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"raha/internal/lp"
+)
+
+// TestRandomMILPsDenseSparseEquivalence pins branch and bound to the LP
+// core swap: every corpus instance is solved at Workers 1 and 4 on the
+// sparse revised simplex (the default) and again on the legacy dense
+// tableau via the lp.SetDense knob, and all four runs must agree on status
+// and objective with the brute-force enumeration as referee. This is the
+// MILP half of the dense-vs-sparse ground-truth contract (the LP half is
+// internal/lp's TestDenseSparseEquivalenceCorpus); under -race it also
+// exercises the per-worker isolation of the sparse solver workspace.
+func TestRandomMILPsDenseSparseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	n := propCorpusSize(t)
+	for trial := 0; trial < n; trial++ {
+		inst := genMILP(rng)
+		want := inst.bruteForce(t)
+
+		results := map[string]*Result{
+			"sparse-1": solveOK(t, inst.m, corpusParams(Params{Workers: 1})),
+			"sparse-4": solveOK(t, inst.m, corpusParams(Params{Workers: 4})),
+		}
+		func() {
+			prev := lp.SetDense(true)
+			defer lp.SetDense(prev)
+			results["dense-1"] = solveOK(t, inst.m, corpusParams(Params{Workers: 1}))
+			results["dense-4"] = solveOK(t, inst.m, corpusParams(Params{Workers: 4}))
+		}()
+
+		feasible := !math.IsInf(want, 1) && !math.IsInf(want, -1)
+		for label, res := range results {
+			if feasible {
+				if res.Status != Optimal {
+					t.Fatalf("trial %d %s: status %v, brute force found optimum %g", trial, label, res.Status, want)
+				}
+				if math.Abs(res.Objective-want) > 1e-5 {
+					t.Fatalf("trial %d %s: objective %g, brute force %g", trial, label, res.Objective, want)
+				}
+			} else if res.Status != Infeasible {
+				t.Fatalf("trial %d %s: status %v on an infeasible instance", trial, label, res.Status)
+			}
+		}
+	}
+}
