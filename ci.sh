@@ -48,6 +48,13 @@ go test ./internal/topology -run '^$' -fuzz '^FuzzParseGML$' -fuzztime 10s
 # presolve bug can never hide behind the reductions (and vice versa).
 go test ./internal/milp -run 'TestRandomMILPsAgainstBruteForce' -short -presolve=off
 
+# And once more forcing the shared best-bound heap (-queue=shared): the
+# revert knob for the work-stealing scheduler must stay green on its own,
+# or QueueShared silently stops being a fallback. The steal scheduler needs
+# no forced pass here — it is the parallel default, exercised by the
+# Workers>1 corpus matrix in the main -race run above.
+go test ./internal/milp -run 'TestRandomMILPsAgainstBruteForce' -short -queue=shared
+
 # And once more on the legacy dense tableau (RAHA_LP_DENSE forces the
 # fallback LP core): the ground-truth solver the sparse revised simplex is
 # checked against must itself stay green, or the dense-vs-sparse
@@ -72,12 +79,16 @@ go run ./cmd/raha alert -all -builtins=false -zoo-dir internal/topology/testdata
 # raha-trace. summarize exits non-zero on a malformed trace or one with
 # zero attributed time, workers on missing per-worker data — so a schema
 # drift between the solver's emit sites and the analyzer fails CI here.
+# The workers pass doubles as the steal-scheduler health gate: a 4-worker
+# B4 analysis must record successful steals (work actually moved between
+# workers) and keep the summed idle share under 50% (workers spent their
+# time searching, not spinning in steal backoff).
 trace_tmp=$(mktemp /tmp/raha-trace-ci.XXXXXX.jsonl)
 trap 'rm -f "$trace_tmp"' EXIT
 go run ./cmd/raha analyze -topology b4 -budget 5s -workers 4 \
 	-trace "$trace_tmp" -q -progress=false >/dev/null
 go run ./cmd/raha-trace summarize "$trace_tmp" >/dev/null
-go run ./cmd/raha-trace workers "$trace_tmp" >/dev/null
+go run ./cmd/raha-trace workers -require-steals -max-idle 50 "$trace_tmp" >/dev/null
 go run ./cmd/raha-trace tree "$trace_tmp" >/dev/null
 go run ./cmd/raha-trace diff "$trace_tmp" "$trace_tmp" >/dev/null
 
@@ -88,9 +99,11 @@ bench_out="BENCH_$(git rev-parse --short HEAD).json"
 go test -json -run '^$' -bench . -benchmem -count=1 -benchtime 1x ./internal/... >"$bench_out"
 echo "benchmarks -> $bench_out"
 
-# Advisory perf diff against the most recently committed BENCH record:
-# surfaces nodes/sec movement per PR without failing the build over
-# single-iteration benchmark noise (raha-benchdiff exits 0 on regressions).
+# Perf diff against the most recently committed BENCH record: advisory for
+# the throughput metrics (single-iteration benchmark noise must not fail a
+# build), but a hard gate on parallel-efficiency — when EVERY scaling
+# benchmark drops >10% it exits 1, since a real scheduler regression hits
+# all instances while single-instance swings are search-order noise.
 prev=$(git ls-files 'BENCH_*.json' | while read -r f; do
 	printf '%s %s\n' "$(git log -1 --format=%ct -- "$f")" "$f"
 done | sort -rn | awk 'NR==1 {print $2}')

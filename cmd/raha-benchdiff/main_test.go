@@ -248,25 +248,137 @@ func TestReportNewMetricNotes(t *testing.T) {
 	}
 }
 
-// TestReportDiffsParallelEfficiency pins parallel-efficiency as a headline
-// metric: present in both records, it gets a diff table and the advisory
-// regression warning.
-func TestReportDiffsParallelEfficiency(t *testing.T) {
+// TestReportHardFailsOnEfficiencyRegression pins the one non-advisory gate:
+// when EVERY benchmark reporting parallel-efficiency drops beyond the
+// tolerance, each gets a FAIL line (not a WARNING) and report returns true,
+// which main converts to exit status 1. The unanimity requirement is what
+// lets a single-pass gate exist at all: a real scheduler regression is
+// global, while one instance's wall ratio swings with search-order luck.
+func TestReportHardFailsOnEfficiencyRegression(t *testing.T) {
 	oldM := map[string]map[string]float64{
-		"BenchmarkB4Scaling": {"parallel-efficiency": 0.50},
+		"BenchmarkB4Scaling":      {"parallel-efficiency": 0.50},
+		"BenchmarkUninettScaling": {"parallel-efficiency": 0.30},
 	}
 	newM := map[string]map[string]float64{
-		"BenchmarkB4Scaling": {"parallel-efficiency": 0.25},
+		"BenchmarkB4Scaling":      {"parallel-efficiency": 0.25},
+		"BenchmarkUninettScaling": {"parallel-efficiency": 0.10},
 	}
 	var buf strings.Builder
-	report(&buf, "old.json", "new.json", oldM, newM)
+	failed := report(&buf, "old.json", "new.json", oldM, newM)
 	out := buf.String()
 
 	if !strings.Contains(out, "(parallel-efficiency)") {
 		t.Errorf("missing parallel-efficiency diff table:\n%s", out)
 	}
+	if !strings.Contains(out, "FAIL: BenchmarkB4Scaling parallel-efficiency regressed") ||
+		!strings.Contains(out, "FAIL: BenchmarkUninettScaling parallel-efficiency regressed") {
+		t.Errorf("missing FAIL lines:\n%s", out)
+	}
+	if strings.Contains(out, "WARNING: BenchmarkB4Scaling parallel-efficiency") {
+		t.Errorf("unanimous efficiency regression must FAIL, not warn:\n%s", out)
+	}
+	if !failed {
+		t.Error("report returned false; the efficiency gate must request exit 1")
+	}
+}
+
+// TestReportSingleInstanceEfficiencyDropStaysAdvisory pins the gate's noise
+// immunity: one scaling benchmark regressing while another holds (or
+// improves) is a search-order or trade-off signature, not a scheduler
+// regression — it warns and exits 0.
+func TestReportSingleInstanceEfficiencyDropStaysAdvisory(t *testing.T) {
+	oldM := map[string]map[string]float64{
+		"BenchmarkB4Scaling":      {"parallel-efficiency": 0.50},
+		"BenchmarkUninettScaling": {"parallel-efficiency": 0.30},
+	}
+	newM := map[string]map[string]float64{
+		"BenchmarkB4Scaling":      {"parallel-efficiency": 0.20}, // -60%
+		"BenchmarkUninettScaling": {"parallel-efficiency": 0.35}, // improvement
+	}
+	var buf strings.Builder
+	failed := report(&buf, "old.json", "new.json", oldM, newM)
+	out := buf.String()
+
 	if !strings.Contains(out, "WARNING: BenchmarkB4Scaling parallel-efficiency regressed") {
-		t.Errorf("missing regression warning:\n%s", out)
+		t.Errorf("missing advisory warning for the regressed instance:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL:") {
+		t.Errorf("non-unanimous regression must stay advisory:\n%s", out)
+	}
+	if failed {
+		t.Error("non-unanimous efficiency regression must not request exit 1")
+	}
+}
+
+// TestReportDiffsNodeThroughput pins node-throughput-w4 as an advisory
+// headline metric: it rides the diff tables and warns on regression, but
+// never fails the build — it is the diagnostic to read when the
+// parallel-efficiency gate fires, not a gate itself.
+func TestReportDiffsNodeThroughput(t *testing.T) {
+	oldM := map[string]map[string]float64{
+		"BenchmarkB4Scaling": {"node-throughput-w4": 1.0},
+	}
+	newM := map[string]map[string]float64{
+		"BenchmarkB4Scaling": {"node-throughput-w4": 0.5},
+	}
+	var buf strings.Builder
+	failed := report(&buf, "old.json", "new.json", oldM, newM)
+	out := buf.String()
+
+	if !strings.Contains(out, "(node-throughput-w4)") {
+		t.Errorf("missing node-throughput-w4 diff table:\n%s", out)
+	}
+	if !strings.Contains(out, "WARNING: BenchmarkB4Scaling node-throughput-w4 regressed") {
+		t.Errorf("missing advisory warning:\n%s", out)
+	}
+	if failed {
+		t.Error("node-throughput-w4 regression must stay advisory (exit 0)")
+	}
+}
+
+// TestReportEfficiencyWithinToleranceExitsClean pins the gate's other side:
+// an inside-tolerance dip (or an improvement) stays exit-0 with no FAIL
+// line, so benchmark noise cannot fail a build.
+func TestReportEfficiencyWithinToleranceExitsClean(t *testing.T) {
+	oldM := map[string]map[string]float64{
+		"BenchmarkB4Scaling":      {"parallel-efficiency": 0.50},
+		"BenchmarkUninettScaling": {"parallel-efficiency": 0.30},
+	}
+	newM := map[string]map[string]float64{
+		"BenchmarkB4Scaling":      {"parallel-efficiency": 0.47}, // -6%: inside tolerance
+		"BenchmarkUninettScaling": {"parallel-efficiency": 0.60}, // improvement
+	}
+	var buf strings.Builder
+	if report(&buf, "old.json", "new.json", oldM, newM) {
+		t.Errorf("inside-tolerance efficiency dip requested exit 1:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "FAIL:") {
+		t.Errorf("unexpected FAIL line:\n%s", buf.String())
+	}
+}
+
+// TestReportDiffsSpeedupAdvisory pins speedup-w4 as a headline metric with
+// the ordinary advisory treatment: diff table plus WARNING, never FAIL —
+// only the efficiency ratio is load-bearing enough to gate on.
+func TestReportDiffsSpeedupAdvisory(t *testing.T) {
+	oldM := map[string]map[string]float64{
+		"BenchmarkB4Scaling": {"speedup-w4": 2.0},
+	}
+	newM := map[string]map[string]float64{
+		"BenchmarkB4Scaling": {"speedup-w4": 1.0},
+	}
+	var buf strings.Builder
+	failed := report(&buf, "old.json", "new.json", oldM, newM)
+	out := buf.String()
+
+	if !strings.Contains(out, "(speedup-w4)") {
+		t.Errorf("missing speedup-w4 diff table:\n%s", out)
+	}
+	if !strings.Contains(out, "WARNING: BenchmarkB4Scaling speedup-w4 regressed") {
+		t.Errorf("missing advisory warning:\n%s", out)
+	}
+	if failed {
+		t.Error("speedup-w4 regression must stay advisory (exit 0)")
 	}
 }
 

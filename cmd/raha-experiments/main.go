@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"raha/internal/conc"
 	"raha/internal/experiments"
 	"raha/internal/milp"
 	"raha/internal/obs"
@@ -27,6 +28,7 @@ import (
 var (
 	solverWorkers int
 	sweepParallel int
+	sweepPolicy   conc.Policy
 	checkModels   bool
 	noPresolve    bool
 	branchRule    milp.BranchRule
@@ -40,6 +42,7 @@ var (
 func tuned(s *experiments.Setup) *experiments.Setup {
 	s.Workers = solverWorkers
 	s.Parallel = sweepParallel
+	s.Parallelism = sweepPolicy
 	s.Check = checkModels
 	s.DisablePresolve = noPresolve
 	s.Branching = branchRule
@@ -54,6 +57,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
 	workers := flag.Int("workers", 0, "branch-and-bound worker goroutines per solve (0 = all cores, 1 = serial)")
 	parallel := flag.Int("parallel", 0, "concurrent analyses per sweep (0 or 1 = serial)")
+	parallelism := flag.String("parallelism", "", "worker routing policy: auto, scenarios, solve, or off (empty = legacy -workers/-parallel behaviour)")
 	check := flag.Bool("check", false, "run the static model checker before every solve; error diagnostics abort the sweep")
 	presolve := flag.String("presolve", "on", "MILP presolve and per-node domain propagation: on or off")
 	branching := flag.String("branching", "pseudocost", "branch variable selection: pseudocost or mostfrac")
@@ -66,6 +70,19 @@ func main() {
 	solverWorkers = *workers
 	sweepParallel = *parallel
 	checkModels = *check
+	switch *parallelism {
+	case "":
+	case "auto":
+		sweepPolicy = conc.Policy{Mode: conc.PolicyAuto, Workers: *workers}
+	case "scenarios":
+		sweepPolicy = conc.Policy{Mode: conc.PolicyScenarios, Workers: *workers}
+	case "solve":
+		sweepPolicy = conc.Policy{Mode: conc.PolicyIntraSolve, Workers: *workers}
+	case "off":
+		sweepPolicy = conc.Policy{Mode: conc.PolicySerial, Workers: *workers}
+	default:
+		fail(fmt.Errorf("-parallelism must be auto, scenarios, solve, or off, got %q", *parallelism))
+	}
 	switch *presolve {
 	case "on":
 	case "off":

@@ -50,3 +50,41 @@ func readOpq(c *counters) int64 {
 func helperAdd(p *int64, v int64) {
 	atomic.AddInt64(p, v)
 }
+
+// incumbent mirrors the solver's lock-free incumbent: the objective lives
+// as Float64bits behind a CAS claim loop, the solution vector is published
+// as a fresh copy, and a sequence word versions the publications.
+type incumbent struct {
+	bits uint64    // only ever Load/CAS — the float-bits CAS idiom, legal
+	seq  uint64    // atomically bumped by writers; plain reads below are flagged
+	x    []float64 // float64 elements: not atomic-capable, never tracked
+}
+
+// offer is the CAS claim loop: every access to bits goes through
+// sync/atomic, so the idiom produces no finding.
+func offer(inc *incumbent, objBits uint64) bool {
+	for {
+		cur := atomic.LoadUint64(&inc.bits)
+		if cur <= objBits {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&inc.bits, cur, objBits) { // legal: Load + CAS only
+			atomic.AddUint64(&inc.seq, 1)
+			return true
+		}
+	}
+}
+
+// seqReadLoop is the classic seqlock read loop written wrong: the writer
+// publishes seq with atomic.Add, so the unsynchronized first read is a
+// race the schedule may never surface — exactly what the rule exists to
+// catch structurally.
+func seqReadLoop(inc *incumbent) []float64 {
+	for {
+		s1 := inc.seq // want:atomic-mix
+		cp := append([]float64(nil), inc.x...)
+		if atomic.LoadUint64(&inc.seq) == s1 && s1%2 == 0 {
+			return cp
+		}
+	}
+}

@@ -103,3 +103,29 @@ func outsideLoop(n int) []int {
 	}
 	return buf
 }
+
+// stealScanReuse mirrors the worker steal path: one buffer hoisted out of
+// the victim-scan loop and truncated per victim — the allocation-free
+// shape the scheduler's hot loop must keep.
+func stealScanReuse(victims [][]int) int {
+	buf := make([]int, 0, 64) // legal: hoisted steal buffer, reused per victim
+	t := 0
+	for _, v := range victims {
+		buf = buf[:0]
+		buf = append(buf, v...) // legal: amortized into the reused buffer
+		t += len(buf)
+	}
+	return t
+}
+
+// stealScanFresh is the naive variant: a fresh buffer per scanned victim
+// puts an allocation on every steal attempt, most of which fail.
+func stealScanFresh(victims [][]int) int {
+	t := 0
+	for _, v := range victims {
+		buf := make([]int, 0, len(v)) // want:hot-alloc
+		buf = append(buf, v...)
+		t += len(buf)
+	}
+	return t
+}

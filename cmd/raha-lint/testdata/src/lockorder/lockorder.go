@@ -56,6 +56,28 @@ func cThenA2() {
 	muA.Unlock()
 }
 
+// The steal-path hazard the deque protocol dodges by never holding two
+// deque locks at once: a thief that pins its own deque while raiding a
+// victim's inverts against the victim raiding back.
+var (
+	dequeOwn sync.Mutex
+	dequeVic sync.Mutex
+)
+
+func stealHoldingOwn() {
+	dequeOwn.Lock()
+	defer dequeOwn.Unlock()
+	dequeVic.Lock() // want:lock-order
+	dequeVic.Unlock()
+}
+
+func victimStealsBack() {
+	dequeVic.Lock()
+	defer dequeVic.Unlock()
+	dequeOwn.Lock()
+	dequeOwn.Unlock()
+}
+
 // Interface dispatch resolves to every analyzed method with a matching name
 // and arity; impl.Do only takes its own lock, so muD → impl.mu is an edge
 // but no cycle.

@@ -5,8 +5,10 @@
 //	summarize — wall-clock attribution: where the solve's worker-time went
 //	            (presolve, warm/cold LP, heuristic, branching, queue wait,
 //	            idle).
-//	workers   — per-worker utilization and queue-wait table; answers "why
-//	            is Workers=4 slower than serial" by showing who starved.
+//	workers   — per-worker utilization, steal-traffic, and queue-wait
+//	            table; answers "why is Workers=4 slower than serial" by
+//	            showing who starved. -require-steals and -max-idle turn
+//	            the report into a CI assertion on scheduler health.
 //	tree      — search-tree shape: depth histogram, fathom-reason
 //	            breakdown, incumbent timeline.
 //	diff      — two traces side by side, with relative deltas.
@@ -53,8 +55,10 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: raha-trace <subcommand> [flags] <trace.jsonl>
 
   summarize <trace>        wall-clock attribution across solve phases
-  workers [-timeline] <trace>
-                           per-worker utilization + queue-wait table
+  workers [-timeline] [-require-steals] [-max-idle <pct>] <trace>
+                           per-worker utilization, steal traffic, and
+                           queue-wait table; the assertion flags turn the
+                           report into a CI gate
   tree <trace>             depth histogram, fathom reasons, incumbents
   diff <old> <new>         compare two traces side by side
 

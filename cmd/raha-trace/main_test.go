@@ -113,6 +113,76 @@ func TestWorkersReportSharesSum(t *testing.T) {
 	}
 }
 
+// TestWorkersStealColumnsAndAssertions: steal counters from solve_end and
+// per_worker must survive parsing, render in the workers table, and drive
+// the -require-steals / -max-idle CI assertions. The trace is a literal so
+// the counter values are deterministic regardless of scheduling.
+func TestWorkersStealColumnsAndAssertions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "steal.jsonl")
+	line := `{"t":0.5,"layer":"milp","ev":"solve_end","fields":{` +
+		`"runtime_s":0.5,"nodes":100,"lp_solves":100,"max_open":9,` +
+		`"presolve_ns":1000,"lp_warm_ns":400000,"lp_cold_ns":1000,"heur_ns":0,"branch_ns":1000,` +
+		`"queue_pop_ns":100,"queue_pops":100,"queue_push_ns":100,"queue_pushes":100,` +
+		`"warm_starts":99,"cold_fallbacks":1,` +
+		`"steals":3,"failed_steals":7,"stolen_nodes":12,"steal_ns":9000,` +
+		`"per_worker":[` +
+		`{"nodes":60,"busy_ns":300000,"wait_ns":100,"idle_ns":99900,"wall_ns":400000,"steals":0,"stolen_nodes":0},` +
+		`{"nodes":40,"busy_ns":200000,"wait_ns":100,"idle_ns":199900,"wall_ns":400000,"steals":3,"stolen_nodes":12}]}}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := parseTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.steals != 3 || tr.failedSteals != 7 || tr.stolenNodes != 12 || tr.stealNs != 9000 {
+		t.Fatalf("steal aggregates = %d/%d/%d/%d, want 3/7/12/9000",
+			tr.steals, tr.failedSteals, tr.stolenNodes, tr.stealNs)
+	}
+	if tr.workers[1].steals != 3 || tr.workers[1].stolenNodes != 12 {
+		t.Fatalf("worker 1 steals = %d/%d, want 3/12", tr.workers[1].steals, tr.workers[1].stolenNodes)
+	}
+	var buf bytes.Buffer
+	if err := workersReport(&buf, tr, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"steals", "stolen", "3 ok (12 nodes moved", "7 failed scans"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("workers output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Idle is 299800 of 800000 worker-ns (~37.5%): inside a 50%% ceiling,
+	// outside a 30%% one.
+	if err := assertWorkers(tr, true, 50); err != nil {
+		t.Fatalf("assertions should pass on a stealing, mostly-busy trace: %v", err)
+	}
+	if err := assertWorkers(tr, false, 30); err == nil || !strings.Contains(err.Error(), "idle share") {
+		t.Fatalf("want idle-ceiling failure, got %v", err)
+	}
+}
+
+// TestWorkersRequireStealsFailsOnSerialTrace: a Workers=1 solve
+// deterministically records zero steals, so -require-steals must reject
+// its trace — the gate that catches ci.sh accidentally tracing a solve
+// too small (or too serial) to exercise the scheduler.
+func TestWorkersRequireStealsFailsOnSerialTrace(t *testing.T) {
+	tr, err := parseTrace(writeTrace(t, 1, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.steals != 0 {
+		t.Fatalf("serial trace records %d steals, want 0", tr.steals)
+	}
+	if err := assertWorkers(tr, true, -1); err == nil || !strings.Contains(err.Error(), "no successful steals") {
+		t.Fatalf("want require-steals failure, got %v", err)
+	}
+	if err := assertWorkers(tr, false, -1); err != nil {
+		t.Fatalf("assertions disabled must pass: %v", err)
+	}
+}
+
 func TestTreeReport(t *testing.T) {
 	path := writeTrace(t, 2, 11)
 	tr, err := parseTrace(path)

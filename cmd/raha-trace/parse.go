@@ -29,6 +29,7 @@ type trace struct {
 	presolveNs, lpWarmNs, lpColdNs, heurNs, branchNs int64
 	queuePopNs, queuePops, queuePushNs, queuePushes  int64
 	warmStarts, coldFallbacks                        int64
+	steals, failedSteals, stolenNodes, stealNs       int64
 
 	workers []workerAgg // indexed by worker id, summed across solves
 
@@ -40,6 +41,7 @@ type trace struct {
 
 type workerAgg struct {
 	nodes, busyNs, waitNs, idleNs, wallNs int64
+	steals, stolenNodes                   int64
 }
 
 type incPoint struct {
@@ -154,6 +156,10 @@ func (tr *trace) addMILP(e obs.Event) error {
 		tr.queuePushes += int64(fnum(f, "queue_pushes"))
 		tr.warmStarts += int64(fnum(f, "warm_starts"))
 		tr.coldFallbacks += int64(fnum(f, "cold_fallbacks"))
+		tr.steals += int64(fnum(f, "steals"))
+		tr.failedSteals += int64(fnum(f, "failed_steals"))
+		tr.stolenNodes += int64(fnum(f, "stolen_nodes"))
+		tr.stealNs += int64(fnum(f, "steal_ns"))
 		if pw, ok := f["per_worker"].([]any); ok {
 			for i, raw := range pw {
 				w, ok := raw.(map[string]any)
@@ -168,6 +174,8 @@ func (tr *trace) addMILP(e obs.Event) error {
 				tr.workers[i].waitNs += int64(fnum(w, "wait_ns"))
 				tr.workers[i].idleNs += int64(fnum(w, "idle_ns"))
 				tr.workers[i].wallNs += int64(fnum(w, "wall_ns"))
+				tr.workers[i].steals += int64(fnum(w, "steals"))
+				tr.workers[i].stolenNodes += int64(fnum(w, "stolen_nodes"))
 			}
 		}
 	}

@@ -78,6 +78,8 @@ func summarize(out io.Writer, tr *trace) error {
 func workersCmd(args []string) error {
 	fs := flag.NewFlagSet("workers", flag.ExitOnError)
 	timeline := fs.Bool("timeline", false, "print the sampled per-worker busy-share timeline")
+	requireSteals := fs.Bool("require-steals", false, "exit non-zero unless the trace records at least one successful steal")
+	maxIdle := fs.Float64("max-idle", -1, "exit non-zero when the total idle share exceeds this percentage (-1 disables)")
 	_ = fs.Parse(args) // ExitOnError: flag errors exit instead of returning
 	if fs.NArg() != 1 {
 		return fmt.Errorf("workers: want one trace path, got %d args", fs.NArg())
@@ -86,7 +88,26 @@ func workersCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	return workersReport(os.Stdout, tr, *timeline)
+	if err := workersReport(os.Stdout, tr, *timeline); err != nil {
+		return err
+	}
+	return assertWorkers(tr, *requireSteals, *maxIdle)
+}
+
+// assertWorkers is the CI gate behind -require-steals and -max-idle: a
+// traced parallel solve whose workers never stole, or spent most of their
+// lifetime idle, means the steal scheduler is not moving load — the report
+// above still prints, so the failure log shows the table it judged.
+func assertWorkers(tr *trace, requireSteals bool, maxIdlePct float64) error {
+	if requireSteals && tr.steals == 0 {
+		return fmt.Errorf("%s: no successful steals recorded (%d attempts failed) — work never moved between workers", tr.path, tr.failedSteals)
+	}
+	if maxIdlePct >= 0 {
+		if idle := pct(tr.idleNs(), tr.workerWallNs()); idle > maxIdlePct {
+			return fmt.Errorf("%s: idle share %.1f%% exceeds the %.1f%% ceiling — workers are starving", tr.path, idle, maxIdlePct)
+		}
+	}
+	return nil
 }
 
 // workersReport prints the per-worker utilization table — the direct
@@ -98,25 +119,34 @@ func workersReport(out io.Writer, tr *trace, timeline bool) error {
 	}
 	w := &strings.Builder{}
 	fmt.Fprintf(w, "trace: %s  (%d solves, %d workers)\n\n", tr.path, tr.solves, len(tr.workers))
-	fmt.Fprintf(w, "worker    nodes       busy       wait       idle       wall\n")
+	fmt.Fprintf(w, "worker    nodes   steals   stolen       busy       wait       idle       wall\n")
 	var tot workerAgg
 	for i, wk := range tr.workers {
-		fmt.Fprintf(w, "%6d %8d %9.1f%% %9.1f%% %9.1f%% %10s\n",
-			i, wk.nodes, pct(wk.busyNs, wk.wallNs), pct(wk.waitNs, wk.wallNs),
+		fmt.Fprintf(w, "%6d %8d %8d %8d %9.1f%% %9.1f%% %9.1f%% %10s\n",
+			i, wk.nodes, wk.steals, wk.stolenNodes,
+			pct(wk.busyNs, wk.wallNs), pct(wk.waitNs, wk.wallNs),
 			pct(wk.idleNs, wk.wallNs), fmtNs(wk.wallNs))
 		tot.nodes += wk.nodes
+		tot.steals += wk.steals
+		tot.stolenNodes += wk.stolenNodes
 		tot.busyNs += wk.busyNs
 		tot.waitNs += wk.waitNs
 		tot.idleNs += wk.idleNs
 		tot.wallNs += wk.wallNs
 	}
-	fmt.Fprintf(w, " total %8d %9.1f%% %9.1f%% %9.1f%% %10s\n",
-		tot.nodes, pct(tot.busyNs, tot.wallNs), pct(tot.waitNs, tot.wallNs),
+	fmt.Fprintf(w, " total %8d %8d %8d %9.1f%% %9.1f%% %9.1f%% %10s\n",
+		tot.nodes, tot.steals, tot.stolenNodes,
+		pct(tot.busyNs, tot.wallNs), pct(tot.waitNs, tot.wallNs),
 		pct(tot.idleNs, tot.wallNs), fmtNs(tot.wallNs))
 	if tr.queuePops > 0 {
 		fmt.Fprintf(w, "\nqueue: %d pops avg %s, %d pushes avg %s\n",
 			tr.queuePops, fmtNs(tr.queuePopNs/tr.queuePops),
 			tr.queuePushes, fmtNs(safeDiv(tr.queuePushNs, tr.queuePushes)))
+	}
+	if tr.steals > 0 || tr.failedSteals > 0 {
+		fmt.Fprintf(w, "steals: %d ok (%d nodes moved, avg %s), %d failed scans\n",
+			tr.steals, tr.stolenNodes, fmtNs(safeDiv(tr.stealNs, tr.steals)),
+			tr.failedSteals)
 	}
 	if timeline {
 		printTimeline(w, tr)
@@ -275,6 +305,8 @@ func diffReport(out io.Writer, old, cur *trace) error {
 	ns("idle", old.idleNs(), cur.idleNs())
 	num("pop avg ns", avg(old.queuePopNs, old.queuePops), avg(cur.queuePopNs, cur.queuePops), "%.0f")
 	num("push avg ns", avg(old.queuePushNs, old.queuePushes), avg(cur.queuePushNs, cur.queuePushes), "%.0f")
+	num("steals", float64(old.steals), float64(cur.steals), "%.0f")
+	num("stolen nodes", float64(old.stolenNodes), float64(cur.stolenNodes), "%.0f")
 	_, err := io.WriteString(out, w.String())
 	return err
 }

@@ -114,6 +114,8 @@ type commonFlags struct {
 	budget    *time.Duration
 	seed      *int64
 	workers   *int
+	queue     *string
+	parallel  *string
 	check     *bool
 	presolve  *string
 	branching *string
@@ -135,6 +137,8 @@ func newCommon(name string) *commonFlags {
 		budget:    fs.Duration("budget", 30*time.Second, "solver time budget"),
 		seed:      fs.Int64("seed", 1, "seed for the gravity demand model"),
 		workers:   fs.Int("workers", 0, "branch-and-bound worker goroutines (0 = all cores, 1 = serial)"),
+		queue:     fs.String("queue", "auto", "branch-and-bound scheduler: auto, shared (best-bound heap), or steal (work-stealing deques)"),
+		parallel:  fs.String("parallelism", "", "worker routing policy: auto, scenarios, solve, or off (empty = legacy -workers behaviour)"),
 		check:     fs.Bool("check", false, "run the static model checker before each solve; error diagnostics abort the solve"),
 		presolve:  fs.String("presolve", "on", "MILP presolve and per-node domain propagation: on or off"),
 		branching: fs.String("branching", "pseudocost", "branch variable selection: pseudocost or mostfrac"),
@@ -163,6 +167,40 @@ func (c *commonFlags) solverTuning() (disablePresolve bool, rule raha.BranchRule
 	return disablePresolve, rule, nil
 }
 
+// queueMode maps the -queue flag string onto the scheduler selector.
+func (c *commonFlags) queueMode() (raha.QueueMode, error) {
+	switch *c.queue {
+	case "auto":
+		return raha.QueueAuto, nil
+	case "shared":
+		return raha.QueueShared, nil
+	case "steal":
+		return raha.QueueSteal, nil
+	default:
+		return 0, fmt.Errorf("-queue must be auto, shared, or steal, got %q", *c.queue)
+	}
+}
+
+// parallelPolicy maps the -parallelism flag onto a worker-routing policy.
+// The empty default returns the zero policy, leaving the legacy -workers
+// knob in charge; otherwise -workers becomes the policy's total budget.
+func (c *commonFlags) parallelPolicy() (raha.ParallelPolicy, error) {
+	switch *c.parallel {
+	case "":
+		return raha.ParallelPolicy{}, nil
+	case "auto":
+		return raha.ParallelPolicy{Mode: raha.ParallelAuto, Workers: *c.workers}, nil
+	case "scenarios":
+		return raha.ParallelPolicy{Mode: raha.ParallelScenarios, Workers: *c.workers}, nil
+	case "solve":
+		return raha.ParallelPolicy{Mode: raha.ParallelIntra, Workers: *c.workers}, nil
+	case "off":
+		return raha.ParallelPolicy{Mode: raha.ParallelSerial, Workers: *c.workers}, nil
+	default:
+		return raha.ParallelPolicy{}, fmt.Errorf("-parallelism must be auto, scenarios, solve, or off, got %q", *c.parallel)
+	}
+}
+
 // solver assembles the solver params from the flags and the run's
 // observability bundle.
 func (c *commonFlags) solver(o *runObs) (raha.SolverParams, error) {
@@ -170,9 +208,14 @@ func (c *commonFlags) solver(o *runObs) (raha.SolverParams, error) {
 	if err != nil {
 		return raha.SolverParams{}, err
 	}
+	queue, err := c.queueMode()
+	if err != nil {
+		return raha.SolverParams{}, err
+	}
 	return raha.SolverParams{
 		TimeLimit:       *c.budget,
 		Workers:         *c.workers,
+		Queue:           queue,
 		Tracer:          o.tracer(),
 		OnProgress:      o.solveProgress(),
 		Check:           *c.check,

@@ -104,6 +104,10 @@ func alertAll(ctx context.Context, c *commonFlags, sw *sweepFlags, tolerance flo
 	if err != nil {
 		return err
 	}
+	policy, err := c.parallelPolicy()
+	if err != nil {
+		return err
+	}
 
 	total := len(sources)
 	if numShards > 1 {
@@ -146,6 +150,7 @@ func alertAll(ctx context.Context, c *commonFlags, sw *sweepFlags, tolerance flo
 		Tolerance:            tolerance,
 		BudgetPerTopo:        *sw.budgetPerTopo,
 		Workers:              *c.workers,
+		Parallelism:          policy,
 		Shard:                shard,
 		NumShards:            numShards,
 		Seed:                 *c.seed,

@@ -53,6 +53,11 @@ type Config struct {
 	// solve; 0 uses all cores.
 	Workers int
 
+	// AutoWidth lets each phase's solve shrink Workers from the solver's
+	// root-LP tree-size estimate (milp.Params.AutoWidth) — set by callers
+	// running a portfolio policy in auto mode.
+	AutoWidth bool
+
 	// Tracer and OnProgress flow into both phases' solver params (see
 	// milp.Params); either may be nil.
 	Tracer     obs.Tracer
@@ -159,6 +164,7 @@ func (cfg *Config) solver(budget time.Duration) milp.Params {
 	return milp.Params{
 		TimeLimit:       budget,
 		Workers:         cfg.Workers,
+		AutoWidth:       cfg.AutoWidth,
 		Tracer:          cfg.Tracer,
 		OnProgress:      cfg.OnProgress,
 		Check:           cfg.Check,

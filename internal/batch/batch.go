@@ -57,6 +57,18 @@ type Config struct {
 	// (< 1 = serial).
 	SolverWorkers int
 
+	// Parallelism, when Set, supersedes Workers and SolverWorkers: the
+	// policy's budget is split over the shard's topology count
+	// (conc.Policy.Split), so a fleet-sized sweep runs topology-parallel
+	// with serial solves while a short source list routes the workers
+	// into each solve. The routing decision is emitted as a
+	// "parallelism" trace event.
+	Parallelism conc.Policy
+
+	// autoWidth lets each cell solve shrink its width from the root-LP
+	// estimate; set by Run when Parallelism is an auto policy.
+	autoWidth bool
+
 	// Shard/NumShards select a 1-based slice of the fleet: shard i of M
 	// sweeps the sources whose index ≡ i−1 (mod M). Zero values sweep
 	// everything.
@@ -133,6 +145,24 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	cells := grid.Cells()
 	sources := shardSources(cfg.Sources, cfg.Shard, cfg.NumShards)
+
+	if cfg.Parallelism.Set() {
+		// Portfolio routing: spend the worker budget at the tier that has
+		// the independent work — across topologies when the shard is wide,
+		// inside each solve when it is not.
+		fanout, perSolve := cfg.Parallelism.Split(len(sources))
+		cfg.Workers = fanout
+		cfg.SolverWorkers = perSolve
+		cfg.autoWidth = cfg.Parallelism.Auto()
+		if tr := cfg.Tracer; tr != nil {
+			tr.Emit("batch", "parallelism", obs.F{
+				"mode":           cfg.Parallelism.Mode.String(),
+				"units":          len(sources),
+				"fanout":         fanout,
+				"solver_workers": perSolve,
+			})
+		}
+	}
 
 	start := time.Now()
 	results := make([]TopoResult, len(sources))
@@ -309,6 +339,7 @@ func runCell(ctx context.Context, cfg *Config, top *topology.Topology, cell Cell
 		Phase1Budget:         phaseBudget,
 		Phase2Budget:         phaseBudget,
 		Workers:              solverWorkers(cfg.SolverWorkers),
+		AutoWidth:            cfg.autoWidth,
 		Tracer:               cfg.Tracer,
 		Check:                cfg.Check,
 		DisablePresolve:      cfg.DisablePresolve,

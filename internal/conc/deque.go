@@ -1,0 +1,101 @@
+package conc
+
+import "sync"
+
+// Deque is a work-stealing double-ended queue for one owner and many
+// thieves. The owner pushes and pops at the back (LIFO, so a branch-and-
+// bound worker keeps diving into the subtree it just expanded — the
+// warm-start locality the dual simplex depends on); thieves remove a
+// batch from the front (FIFO end), which holds the oldest and therefore
+// shallowest, best-bounded work the owner queued.
+//
+// The implementation is a plain mutex around a slice rather than a
+// lock-free Chase–Lev deque on purpose: the owner's push/pop only ever
+// contends with an occasional thief (steals are rare by design — a
+// worker steals only when its own deque is empty), so the mutex is
+// uncontended on the hot path and the correctness argument stays one
+// paragraph instead of a memory-model proof. All methods are safe for
+// concurrent use.
+type Deque[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// Push appends item at the back (the owner's LIFO end).
+func (d *Deque[T]) Push(item T) {
+	d.mu.Lock()
+	d.items = append(d.items, item)
+	d.mu.Unlock()
+}
+
+// Pop removes and returns the most recently pushed item (back), or false
+// when the deque is empty.
+func (d *Deque[T]) Pop() (item T, ok bool) {
+	d.mu.Lock()
+	if n := len(d.items); n > 0 {
+		item, ok = d.items[n-1], true
+		var zero T
+		d.items[n-1] = zero
+		d.items = d.items[:n-1]
+	}
+	d.mu.Unlock()
+	return item, ok
+}
+
+// Steal removes up to half of the deque (rounded up, capped at max when
+// max > 0) from the front — the oldest entries — and appends them to buf,
+// returning the extended slice. A caller-provided buffer keeps the steal
+// path allocation-free once the thief's scratch has grown. The batch
+// leaves atomically: an item is never visible in two deques, and never
+// lost. Callers whose correctness depends on every item being covered by
+// some observer at every instant (the solver's global-bound aggregation)
+// must publish a conservative cover before calling Steal, because the
+// victim may stop accounting for the batch the moment Steal returns.
+func (d *Deque[T]) Steal(buf []T, max int) []T {
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		return buf
+	}
+	take := (n + 1) / 2
+	if max > 0 && take > max {
+		take = max
+	}
+	buf = append(buf, d.items[:take]...)
+	rest := copy(d.items, d.items[take:])
+	var zero T
+	for i := rest; i < n; i++ {
+		d.items[i] = zero
+	}
+	d.items = d.items[:rest]
+	d.mu.Unlock()
+	return buf
+}
+
+// Len returns the current number of items.
+func (d *Deque[T]) Len() int {
+	d.mu.Lock()
+	n := len(d.items)
+	d.mu.Unlock()
+	return n
+}
+
+// Best returns the minimum item under better (better(a,b) meaning a
+// strictly precedes b), or false when the deque is empty. The scan is
+// O(n) under the lock; branch-and-bound deques hold a worker's open
+// frontier (typically tens of nodes), so the scan is noise next to one
+// node's LP solve.
+func (d *Deque[T]) Best(better func(a, b T) bool) (best T, ok bool) {
+	d.mu.Lock()
+	if len(d.items) > 0 {
+		best, ok = d.items[0], true
+		for _, it := range d.items[1:] {
+			if better(it, best) {
+				best = it
+			}
+		}
+	}
+	d.mu.Unlock()
+	return best, ok
+}

@@ -1,0 +1,154 @@
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeLIFOOwnerOrder(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 5; i++ {
+		d.Push(i)
+	}
+	for want := 4; want >= 0; want-- {
+		got, ok := d.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %d, %v; want %d, true", got, ok, want)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("Pop on empty deque reported ok")
+	}
+}
+
+func TestDequeStealTakesOldestHalf(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 7; i++ {
+		d.Push(i)
+	}
+	batch := d.Steal(nil, 0)
+	// 7 items → ceil(7/2) = 4 stolen, from the front: 0,1,2,3.
+	if len(batch) != 4 {
+		t.Fatalf("stole %d items, want 4", len(batch))
+	}
+	for i, v := range batch {
+		if v != i {
+			t.Fatalf("batch[%d] = %d, want %d (steals take the FIFO end)", i, v, i)
+		}
+	}
+	if d.Len() != 3 {
+		t.Fatalf("victim kept %d items, want 3", d.Len())
+	}
+	// The owner's LIFO end is intact: 6, 5, 4.
+	for want := 6; want >= 4; want-- {
+		got, ok := d.Pop()
+		if !ok || got != want {
+			t.Fatalf("after steal Pop = %d, %v; want %d", got, ok, want)
+		}
+	}
+}
+
+func TestDequeStealMaxAndEmpty(t *testing.T) {
+	var d Deque[int]
+	if got := d.Steal(nil, 0); len(got) != 0 {
+		t.Fatalf("steal from empty deque returned %v", got)
+	}
+	for i := 0; i < 10; i++ {
+		d.Push(i)
+	}
+	buf := make([]int, 0, 4)
+	batch := d.Steal(buf, 2)
+	if len(batch) != 2 || batch[0] != 0 || batch[1] != 1 {
+		t.Fatalf("capped steal = %v, want [0 1]", batch)
+	}
+	if d.Len() != 8 {
+		t.Fatalf("victim kept %d items, want 8", d.Len())
+	}
+}
+
+func TestDequeBest(t *testing.T) {
+	var d Deque[int]
+	less := func(a, b int) bool { return a < b }
+	if _, ok := d.Best(less); ok {
+		t.Fatal("Best on empty deque reported ok")
+	}
+	for _, v := range []int{5, 2, 9, 2, 7} {
+		d.Push(v)
+	}
+	if best, ok := d.Best(less); !ok || best != 2 {
+		t.Fatalf("Best = %d, %v; want 2, true", best, ok)
+	}
+}
+
+// TestDequeConcurrentStealing hammers one owner against several thieves
+// under the race detector and checks conservation: every pushed item is
+// consumed exactly once, whether popped by the owner or stolen.
+func TestDequeConcurrentStealing(t *testing.T) {
+	const (
+		items   = 20000
+		thieves = 4
+	)
+	var d Deque[int]
+	seen := make([]atomic.Int32, items)
+	consume := func(v int) { seen[v].Add(1) }
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(thieves)
+	for th := 0; th < thieves; th++ {
+		go func() {
+			defer wg.Done()
+			var buf []int
+			for {
+				buf = d.Steal(buf[:0], 0)
+				for _, v := range buf {
+					consume(v)
+				}
+				if len(buf) == 0 {
+					select {
+					case <-stop:
+						return
+					default:
+						runtime.Gosched() // keep the owner scheduled on small GOMAXPROCS
+					}
+				}
+			}
+		}()
+	}
+
+	// Owner: interleave pushes with occasional pops.
+	for i := 0; i < items; i++ {
+		d.Push(i)
+		if i%3 == 0 {
+			if v, ok := d.Pop(); ok {
+				consume(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		consume(v)
+	}
+	close(stop)
+	wg.Wait()
+	// Thieves have exited; anything they left mid-flight is impossible
+	// (Steal moves items atomically), so drain whatever remains.
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		consume(v)
+	}
+
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("item %d consumed %d times, want exactly once", i, n)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package conc
+
+import "testing"
+
+func TestPolicySplit(t *testing.T) {
+	tests := []struct {
+		name       string
+		p          Policy
+		units      int
+		fanout, pw int
+	}{
+		{"auto many scenarios", Policy{PolicyAuto, 4}, 16, 4, 1},
+		{"auto exact fit", Policy{PolicyAuto, 4}, 4, 4, 1},
+		{"auto single solve", Policy{PolicyAuto, 4}, 1, 1, 4},
+		{"auto zero units", Policy{PolicyAuto, 4}, 0, 1, 4},
+		{"auto in between", Policy{PolicyAuto, 8}, 2, 2, 4},
+		{"auto uneven split", Policy{PolicyAuto, 7}, 3, 3, 2},
+		{"scenarios", Policy{PolicyScenarios, 4}, 16, 4, 1},
+		{"scenarios few units", Policy{PolicyScenarios, 8}, 3, 3, 1},
+		{"intra-solve", Policy{PolicyIntraSolve, 4}, 16, 1, 4},
+		{"serial", Policy{PolicySerial, 4}, 16, 1, 1},
+		{"unset answers serial", Policy{}, 16, 1, 1},
+	}
+	for _, tt := range tests {
+		fanout, pw := tt.p.Split(tt.units)
+		if fanout != tt.fanout || pw != tt.pw {
+			t.Errorf("%s: Split(%d) = (%d, %d), want (%d, %d)",
+				tt.name, tt.units, fanout, pw, tt.fanout, tt.pw)
+		}
+	}
+}
+
+func TestPolicySetAndAuto(t *testing.T) {
+	if (Policy{}).Set() {
+		t.Error("zero Policy reports Set")
+	}
+	if !(Policy{Mode: PolicyAuto}).Set() {
+		t.Error("auto Policy reports unset")
+	}
+	if !(Policy{Mode: PolicyAuto}).Auto() {
+		t.Error("auto Policy reports !Auto")
+	}
+	if (Policy{Mode: PolicyScenarios}).Auto() {
+		t.Error("scenarios Policy reports Auto")
+	}
+}
+
+func TestPolicyModeString(t *testing.T) {
+	for mode, want := range map[PolicyMode]string{
+		PolicyUnset:      "unset",
+		PolicyAuto:       "auto",
+		PolicyScenarios:  "scenarios",
+		PolicyIntraSolve: "solve",
+		PolicySerial:     "serial",
+		PolicyMode(42):   "unknown",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("PolicyMode(%d).String() = %q, want %q", mode, got, want)
+		}
+	}
+}

@@ -147,6 +147,7 @@ func Figure5(s *Setup, variant DemandVariant, thresholds []float64, ks []int, ce
 		return nil, err
 	}
 	env := s.envelope(variant)
+	s = s.plan(len(ks)) // each threshold's per-k solves are the parallel unit
 	var rows []DegRow
 	tk := s.sweep("figure5", len(thresholds)*len(ks))
 	// Sweep thresholds from strict to loose, warm-starting each budget's
@@ -205,6 +206,7 @@ func Figure7(s *Setup, slacks []float64, ks []int, threshold float64) ([]SlackRo
 	if err != nil {
 		return nil, err
 	}
+	s = s.plan(len(ks)) // each slack's per-k solves are the parallel unit
 	var rows []SlackRow
 	tk := s.sweep("figure7", len(slacks)*len(ks))
 	prev := make(map[int]*metaopt.Result) // per failure budget
@@ -269,6 +271,7 @@ func Figure8(s *Setup, clusters int, thresholds []float64, ks []int) ([]ClusterR
 			grid = append(grid, cell{th, k})
 		}
 	}
+	s = s.plan(len(grid))
 	rows := make([]ClusterRow, len(grid))
 	tk := s.sweep("figure8", len(grid))
 	err = conc.ForEach(context.Background(), len(grid), s.parallel(), func(_ context.Context, i int) error {
@@ -317,8 +320,9 @@ func Figure9(s *Setup, clusterCounts []int, threshold float64, k int) ([]Cluster
 				QuantBits: s.QuantBits,
 				Solver:    s.solver(),
 			},
-			Clusters: n,
-			Parallel: s.parallel(),
+			Clusters:    n,
+			Parallel:    s.parallel(),
+			Parallelism: s.Parallelism, // metaopt re-splits per wave
 		})
 		if err != nil {
 			return nil, err
@@ -350,6 +354,7 @@ func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, thresho
 	// Every point of each factor sweep is an independent analysis; each
 	// factor fans out across s.Parallel while the factor groups stay in the
 	// paper's order.
+	s = s.plan(len(primaries))
 	prim := make([]RuntimeRow, len(primaries))
 	err := conc.ForEach(context.Background(), len(primaries), s.parallel(), func(_ context.Context, i int) error {
 		sub := *s
@@ -376,6 +381,7 @@ func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, thresho
 	if err != nil {
 		return nil, err
 	}
+	s = s.plan(len(thresholds))
 	ths := make([]RuntimeRow, len(thresholds))
 	err = conc.ForEach(context.Background(), len(thresholds), s.parallel(), func(_ context.Context, i int) error {
 		res, err := s.analyze(dps, env, thresholds[i], 0, false, nil)
@@ -391,6 +397,7 @@ func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, thresho
 	}
 	rows = append(rows, ths...)
 
+	s = s.plan(len(ks))
 	kr := make([]RuntimeRow, len(ks))
 	err = conc.ForEach(context.Background(), len(ks), s.parallel(), func(_ context.Context, i int) error {
 		res, err := s.analyze(dps, env, threshold, ks[i], false, nil)
@@ -412,6 +419,7 @@ func Figure10(s *Setup, primaries []int, thresholds []float64, ks []int, thresho
 // path computation (the paper's dominant cost at high backup counts).
 func Figure14(s *Setup, backups []int, threshold float64) ([]RuntimeRow, error) {
 	env := demand.UpTo(s.Base, maxFactor-1)
+	s = s.plan(len(backups))
 	rows := make([]RuntimeRow, len(backups))
 	tk := s.sweep("figure14", len(backups))
 	err := conc.ForEach(context.Background(), len(backups), s.parallel(), func(_ context.Context, i int) error {
@@ -470,6 +478,7 @@ func Figure12(s *Setup, primaries, backups []int, ks []int, threshold float64, c
 			grid = append(grid, cell{primary: s.Primary, backup: nb, k: k})
 		}
 	}
+	s = s.plan(len(grid))
 	rows := make([]PathRow, len(grid))
 	tk := s.sweep("figure12", len(grid))
 	err := conc.ForEach(context.Background(), len(grid), s.parallel(), func(_ context.Context, i int) error {

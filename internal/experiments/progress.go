@@ -93,6 +93,7 @@ func (s *Setup) solver() milp.Params {
 	return milp.Params{
 		TimeLimit:       s.Budget,
 		Workers:         s.Workers,
+		AutoWidth:       s.autoWidth,
 		Tracer:          s.Tracer,
 		Check:           s.Check,
 		DisablePresolve: s.DisablePresolve,

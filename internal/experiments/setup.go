@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"raha/internal/conc"
 	"raha/internal/demand"
 	"raha/internal/metaopt"
 	"raha/internal/milp"
@@ -68,6 +69,45 @@ type Setup struct {
 	// per-figure progress line. Called from sweep worker goroutines; must
 	// be safe for concurrent use.
 	OnProgress func(SweepProgress)
+
+	// Parallelism, when Set, supersedes Parallel and Workers: each sweep
+	// stage splits the policy's worker budget over its own count of
+	// independent analyses (conc.Policy.Split via plan), so a wide stage
+	// fans out serial solves while a narrow one routes workers inside
+	// each solve. Clustered analyses (Figure 8/9, tables) forward the
+	// policy to metaopt, which re-splits per wave.
+	Parallelism conc.Policy
+
+	// autoWidth forwards milp.Params.AutoWidth; set by plan for auto
+	// policies.
+	autoWidth bool
+}
+
+// plan resolves the portfolio policy for a sweep stage of units
+// independent analyses: the returned setup's Parallel and Workers carry
+// the split (and autoWidth the policy's auto bit). Without a policy the
+// receiver is returned unchanged, legacy knobs in charge. Each call
+// re-splits, so a figure with stages of different widths routes each
+// stage independently — the decision is trace-visible as an
+// experiments/"parallelism" event.
+func (s *Setup) plan(units int) *Setup {
+	if !s.Parallelism.Set() {
+		return s
+	}
+	fanout, perSolve := s.Parallelism.Split(units)
+	c := *s
+	c.Parallel = fanout
+	c.Workers = perSolve
+	c.autoWidth = s.Parallelism.Auto()
+	if s.Tracer != nil {
+		s.Tracer.Emit("experiments", "parallelism", obs.F{
+			"mode":           s.Parallelism.Mode.String(),
+			"units":          units,
+			"fanout":         fanout,
+			"solver_workers": perSolve,
+		})
+	}
+	return &c
 }
 
 // parallel is the sweep fan-out width; the zero value means serial.

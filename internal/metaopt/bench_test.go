@@ -2,9 +2,11 @@ package metaopt
 
 import (
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
+	"raha/internal/conc"
 	"raha/internal/demand"
 	"raha/internal/milp"
 	"raha/internal/paths"
@@ -84,23 +86,58 @@ func BenchmarkAnalyzeUninettParallel(b *testing.B) {
 	benchAnalyze(b, topology.Uninett2010(), 2010, 0)
 }
 
+// medianOf runs fn reps times and returns the median and total elapsed
+// time. The scaling ratios below must be stable at -benchtime 1x: a
+// parallel search explores a slightly different tree each run, and a
+// single unlucky order can swing a raw wall-clock ratio by ±30%. The
+// median of three absorbs one outlier per width for the wall ratios;
+// the throughput ratio uses the totals (all reps count as samples).
+func medianOf(b *testing.B, reps int, fn func()) (median, total time.Duration) {
+	b.Helper()
+	times := make([]time.Duration, reps)
+	for i := range times {
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start)
+		total += times[i]
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[reps/2], total
+}
+
 // benchScaling runs the same analysis at Workers 1, 2, and 4 and reports
 // the speedup curve — the direct measure of ROADMAP item 2 ("Workers=4
 // slower than serial"). parallel-efficiency is speedup@4 divided by 4:
 // 1.0 is perfect scaling, 0.25 means four workers add nothing, and below
 // 0.25 the worker pool is actively losing to queue contention.
-func benchScaling(b *testing.B, top *topology.Topology, seed int64) {
+//
+// Wall-clock speedup of a parallel search is a compound of two effects:
+// scheduler overhead (contention, steal traffic, idle) and search order
+// (a different exploration order grows or shrinks the tree, by luck).
+// The order effect makes the wall ratios swing ±30% run to run, so they
+// are advisory. node-throughput-w4 — aggregate nodes/sec at Workers 4
+// over nodes/sec at Workers 1 — divides the tree size out and isolates
+// the scheduler: on an N-core machine it approaches min(4, N) when the
+// pool adds no overhead, and collapses when workers fight over shared
+// state. That is the stable signal raha-benchdiff hard-fails on.
+func benchScaling(b *testing.B, top *topology.Topology, seed int64, reps int) {
 	cfg := benchConfig(b, top, seed, 1)
 	elapsed := map[int]time.Duration{}
+	totals := map[int]time.Duration{}
+	nodes := map[int]int{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, workers := range []int{1, 2, 4} {
 			cfg.Solver.Workers = workers
-			start := time.Now()
-			if _, err := Analyze(cfg); err != nil {
-				b.Fatal(err)
-			}
-			elapsed[workers] += time.Since(start)
+			med, tot := medianOf(b, reps, func() {
+				res, err := Analyze(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes[workers] += res.Nodes
+			})
+			elapsed[workers] += med
+			totals[workers] += tot
 		}
 	}
 	if elapsed[2] <= 0 || elapsed[4] <= 0 {
@@ -111,7 +148,50 @@ func benchScaling(b *testing.B, top *topology.Topology, seed int64) {
 	b.ReportMetric(s2, "speedup-w2")
 	b.ReportMetric(s4, "speedup-w4")
 	b.ReportMetric(s4/4, "parallel-efficiency")
+	rate1 := float64(nodes[1]) / totals[1].Seconds()
+	rate4 := float64(nodes[4]) / totals[4].Seconds()
+	if rate1 > 0 {
+		b.ReportMetric(rate4/rate1, "node-throughput-w4")
+	}
 }
 
-func BenchmarkB4Scaling(b *testing.B)      { benchScaling(b, topology.B4(), 4) }
-func BenchmarkUninettScaling(b *testing.B) { benchScaling(b, topology.Uninett2010(), 2010) }
+// B4 solves are cheap, so it affords more repetitions; its small tree
+// makes per-run rates noisier, and the extra samples buy the stability
+// back. Uninett is ~6× slower per pass and stable at three.
+func BenchmarkB4Scaling(b *testing.B)      { benchScaling(b, topology.B4(), 4, 7) }
+func BenchmarkUninettScaling(b *testing.B) { benchScaling(b, topology.Uninett2010(), 2010, 3) }
+
+// BenchmarkPortfolioScaling measures what the portfolio tier buys on a
+// clustered analysis: the same four-cluster Uninett run with parallelism
+// forced off (serial waves of serial solves) versus the auto policy
+// routing a four-worker budget across the wave. The ratio reports under
+// the same speedup-w4 / parallel-efficiency names as the intra-solve
+// scaling benchmarks, so the portfolio trajectory rides the BENCH record
+// and raha-benchdiff's efficiency gate like any other scaling figure.
+func BenchmarkPortfolioScaling(b *testing.B) {
+	cfg := benchConfig(b, topology.Uninett2010(), 2010, 1)
+	ccfg := ClusterConfig{Config: cfg, Clusters: 4}
+	elapsed := map[conc.PolicyMode]time.Duration{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []conc.Policy{
+			{Mode: conc.PolicySerial, Workers: 1},
+			{Mode: conc.PolicyAuto, Workers: 4},
+		} {
+			c := ccfg
+			c.Parallelism = pol
+			med, _ := medianOf(b, 3, func() {
+				if _, err := AnalyzeClustered(c); err != nil {
+					b.Fatal(err)
+				}
+			})
+			elapsed[pol.Mode] += med
+		}
+	}
+	if elapsed[conc.PolicyAuto] <= 0 {
+		b.Fatal("portfolio run too fast to time")
+	}
+	s4 := elapsed[conc.PolicySerial].Seconds() / elapsed[conc.PolicyAuto].Seconds()
+	b.ReportMetric(s4, "speedup-w4")
+	b.ReportMetric(s4/4, "parallel-efficiency")
+}

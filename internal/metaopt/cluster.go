@@ -28,6 +28,15 @@ type ClusterConfig struct {
 	// return timing-dependent incumbents and get less CPU when competing
 	// for cores.
 	Parallel int
+
+	// Parallelism, when Set, supersedes Parallel and the Solver's Workers
+	// knob: each wave splits the policy's budget over its pair count
+	// (conc.Policy.Split), so a wave with enough independent pair solves
+	// runs them scenario-parallel with serial solvers — the portfolio
+	// tier that scales embarrassingly — while a narrow wave (or the final
+	// fixed-demand pass) routes workers inside the solve instead. Each
+	// wave's routing decision is emitted as a "parallelism" trace event.
+	Parallelism conc.Policy
 }
 
 // AnalyzeClustered runs Algorithm 1. The solver time budget of cfg.Solver
@@ -49,6 +58,11 @@ func AnalyzeClustered(cfg ClusterConfig) (*Result, error) {
 // propagates into every cluster-pair solve (see AnalyzeContext).
 func AnalyzeClusteredContext(ctx context.Context, cfg ClusterConfig) (*Result, error) {
 	if cfg.Clusters < 2 {
+		if cfg.Parallelism.Set() {
+			// One unclustered analysis is a single unit of work: hand the
+			// whole policy to the solver, which takes its per-solve share.
+			cfg.Config.Solver.Parallelism = cfg.Parallelism
+		}
 		return AnalyzeContext(ctx, cfg.Config)
 	}
 	if err := cfg.validate(); err != nil {
@@ -108,11 +122,30 @@ func AnalyzeClusteredContext(ctx context.Context, cfg ClusterConfig) (*Result, e
 			continue
 		}
 
+		// Portfolio routing: split the policy's worker budget over this
+		// wave's independent pair solves. Plenty of pairs → wide fan-out of
+		// serial solves; few pairs → narrow fan-out of wider solves.
+		wavePar, waveSolver := cfg.Parallel, per
+		if cfg.Parallelism.Set() {
+			fanout, perSolve := cfg.Parallelism.Split(len(keys))
+			wavePar = fanout
+			waveSolver.Workers = perSolve
+			waveSolver.AutoWidth = cfg.Parallelism.Auto()
+			if tr := cfg.Solver.Tracer; tr != nil {
+				tr.Emit("metaopt", "parallelism", obs.F{
+					"mode":           cfg.Parallelism.Mode.String(),
+					"units":          len(keys),
+					"fanout":         fanout,
+					"solver_workers": perSolve,
+				})
+			}
+		}
+
 		// Snapshot of the pinned demands at wave start: every solve of the
 		// wave reads it, none writes it, so the solves are independent.
 		snapshot := append([]float64(nil), current...)
 		results := make([]*Result, len(keys)) // indexed writes: one disjoint slot per solve
-		err := conc.ForEach(ctx, len(keys), cfg.Parallel, func(ctx context.Context, i int) error {
+		err := conc.ForEach(ctx, len(keys), wavePar, func(ctx context.Context, i int) error {
 			key := keys[i]
 			// Envelope: demands of this pair keep their original range; all
 			// others are pinned to their wave-start values.
@@ -127,7 +160,7 @@ func AnalyzeClusteredContext(ctx context.Context, cfg ClusterConfig) (*Result, e
 			}
 			sub := cfg.Config
 			sub.Envelope = env
-			sub.Solver = per
+			sub.Solver = waveSolver
 			res, err := AnalyzeContext(ctx, sub)
 			if err != nil {
 				return fmt.Errorf("metaopt: cluster pair %v: %w", key, err)
@@ -172,6 +205,11 @@ func AnalyzeClusteredContext(ctx context.Context, cfg ClusterConfig) (*Result, e
 		Hi:    append([]float64(nil), current...),
 	}
 	final.Solver = per
+	if cfg.Parallelism.Set() {
+		// The final fixed-demand pass is one unit: the solver takes the
+		// policy's per-solve share (all workers under auto).
+		final.Solver.Parallelism = cfg.Parallelism
+	}
 	return AnalyzeContext(ctx, final)
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"raha/internal/conc"
 	"raha/internal/demand"
 	"raha/internal/milp"
 )
@@ -44,6 +45,52 @@ func TestAnalyzeClusteredParallelMatchesSerial(t *testing.T) {
 	}
 	if got.Status != serial.Status {
 		t.Fatalf("status %v != %v", got.Status, serial.Status)
+	}
+}
+
+// TestAnalyzeClusteredPortfolioEquivalence: the worker-routing policy
+// decides WHERE parallelism goes, never WHAT is computed — every mode of
+// the portfolio tier (serial, scenario fan-out, intra-solve, auto) must
+// reproduce the no-policy result bit for bit, since each cluster-pair
+// solve proves optimality regardless of how workers are routed into it.
+// Run under -race this also exercises the metaopt wave fan-out feeding
+// the steal scheduler underneath.
+func TestAnalyzeClusteredPortfolioEquivalence(t *testing.T) {
+	top, dps := tiny()
+	base := demand.Matrix{
+		{Src: dps[0].Src, Dst: dps[0].Dst, Volume: 12},
+		{Src: dps[1].Src, Dst: dps[1].Dst, Volume: 10},
+	}
+	cfg := ClusterConfig{
+		Config: Config{
+			Topo: top, Demands: dps, Envelope: demand.Around(base, 0.5),
+			QuantBits: 2, MaxFailures: 2,
+		},
+		Clusters: 2,
+	}
+	ref, err := AnalyzeClustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []conc.Policy{
+		{Mode: conc.PolicySerial},
+		{Mode: conc.PolicyScenarios, Workers: 4},
+		{Mode: conc.PolicyIntraSolve, Workers: 4},
+		{Mode: conc.PolicyAuto, Workers: 4},
+	} {
+		c := cfg
+		c.Parallelism = pol
+		got, err := AnalyzeClustered(c)
+		if err != nil {
+			t.Fatalf("policy %v: %v", pol.Mode, err)
+		}
+		//raha:lint-allow float-cmp routing policies that prove optimality are bit-identical
+		if got.Degradation != ref.Degradation {
+			t.Fatalf("policy %v degradation %g != no-policy %g", pol.Mode, got.Degradation, ref.Degradation)
+		}
+		if got.Status != ref.Status {
+			t.Fatalf("policy %v status %v != %v", pol.Mode, got.Status, ref.Status)
+		}
 	}
 }
 

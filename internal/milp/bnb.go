@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"raha/internal/conc"
 	"raha/internal/lp"
 	"raha/internal/obs"
 )
@@ -28,6 +29,14 @@ var (
 	cPresolveBounds  = obs.Default.Counter("milp.presolve_tightened_bounds")
 	cPresolveCoefs   = obs.Default.Counter("milp.presolve_tightened_coefs")
 	cPropagationCuts = obs.Default.Counter("milp.propagation_prunes")
+
+	// Work-stealing traffic (QueueSteal / QueueAuto at Workers > 1): how
+	// often load had to move between workers and how much moved. A healthy
+	// parallel search steals rarely — each steal is a worker that ran its
+	// own subtree dry.
+	cSteals       = obs.Default.Counter("milp.steals")
+	cStolenNodes  = obs.Default.Counter("milp.stolen_nodes")
+	cFailedSteals = obs.Default.Counter("milp.failed_steals")
 
 	// Run-wide worker-utilization totals, accumulated once per solve from
 	// the per-worker accounting (cheap: three adds per solve, not per
@@ -49,6 +58,7 @@ var (
 	hLPWarm      = obs.Default.Histogram("milp.lp_warm_ns")
 	hLPCold      = obs.Default.Histogram("milp.lp_cold_ns")
 	hNodeProcess = obs.Default.Histogram("milp.node_ns")
+	hSteal       = obs.Default.Histogram("milp.steal_ns")
 )
 
 // Status reports the outcome of a MILP solve.
@@ -87,12 +97,35 @@ type Params struct {
 	IntTol    float64       // integrality tolerance; 0 = 1e-6
 
 	// Workers is the number of concurrent branch-and-bound workers. Each
-	// worker claims nodes from a shared best-bound queue and runs its own LP
-	// solves (package lp is re-entrant: every solve builds a private
-	// tableau). 0 defaults to runtime.GOMAXPROCS(0); 1 is the serial search.
-	// The optimal objective value does not depend on Workers; node counts
-	// and which of several equally-good solutions is returned may.
+	// worker runs its own LP solves (package lp is re-entrant: every solve
+	// builds a private tableau). 0 defaults to runtime.GOMAXPROCS(0); 1 is
+	// the serial search. The optimal objective value does not depend on
+	// Workers; node counts and which of several equally-good solutions is
+	// returned may.
 	Workers int
+
+	// Queue selects how open nodes are scheduled across workers: a shared
+	// best-bound heap or per-worker work-stealing deques. The zero value
+	// (QueueAuto) picks the heap for serial solves and the deques when
+	// Workers > 1; QueueShared and QueueSteal force one or the other — the
+	// A/B knob behind the corpus equivalence matrix and bisection.
+	Queue QueueMode
+
+	// AutoWidth lets the solver shrink Workers from a root-LP tree-size
+	// estimate before the pool starts: a relaxation with only a handful of
+	// fractional integer variables yields a tree too small to keep several
+	// workers fed, so the solve runs serial instead of paying
+	// synchronization for nothing. The chosen width is emitted as an
+	// "auto_width" trace event.
+	AutoWidth bool
+
+	// Parallelism, when Set, is the portfolio policy that owns this
+	// solve's worker budget: SolveContext replaces Workers with the
+	// policy's per-solve share (Split(1)) and PolicyAuto additionally
+	// turns on AutoWidth. Callers running many independent solves hand
+	// the same policy to their fan-out tier so the budget is spent at
+	// exactly one level — see conc.Policy.
+	Parallelism conc.Policy
 
 	// Hints are warm-start candidates: full-length value vectors whose
 	// integer entries are fixed (rounded, clamped to bounds) and whose
@@ -311,6 +344,9 @@ type search struct {
 	pc     *pseudocosts
 	pools  []boundPool
 
+	// Shared-heap scheduler state (Queue == QueueShared, or QueueAuto at
+	// Workers 1), guarded by mu. Workers claim under the lock, solve LPs
+	// outside it, and publish children back under it.
 	mu       sync.Mutex
 	cond     *sync.Cond
 	open     nodeHeap
@@ -318,17 +354,46 @@ type search struct {
 	inflight int       // workers currently processing a node
 	nextSeq  int
 
-	nodes         int
-	haveIncumbent bool
-	incObj        float64
-	incX          []float64
-	dualBound     float64 // last published global bound (model sense)
-	haveBound     bool
+	// Work-stealing scheduler state (see bnb_steal.go). Each worker owns
+	// deques[id] (LIFO dives; thieves batch-steal from the FIFO end) and
+	// is the only writer of pubBound[id], its published local dual bound
+	// as Float64bits in model sense. outstanding counts every node that
+	// exists — queued anywhere or in flight — and hitting zero is the
+	// stable termination signal. stealBuf and stealRng are per-worker
+	// scratch (steal batches, xorshift victim selection).
+	steal       bool
+	deques      []conc.Deque[*node]
+	stealBuf    [][]*node
+	stealRng    []uint64
+	pubBound    []atomic.Uint64
+	outstanding atomic.Int64
+	openCount   atomic.Int64
+	inflightA   atomic.Int64
+	maxOpenA    atomic.Int64
+	stopA       atomic.Bool
+	errA        atomic.Bool
+	nodeBetter  func(a, b *node) bool // bound order for deque Best scans
+
+	// Scheduler-independent shared state. nodes is the global claim
+	// counter; inc is the lock-free incumbent (incumbent.go); boundBits is
+	// the last published global dual bound as Float64bits in model sense
+	// (±Inf by sense until first published — addFinite drops it from
+	// traces, which is how "no bound yet" reads).
+	nodes     atomic.Int64
+	inc       incumbent
+	boundBits atomic.Uint64
 
 	clean     bool // no node was abandoned due to LP iteration limits
 	stop      bool // a limit, the gap target, or cancellation ended the search
 	unbounded bool
 	err       error
+}
+
+// stopped reports whether any limit, gap target, cancellation, or error
+// ended the search, whichever scheduler recorded it. Only for use after
+// the pool has drained (or under mu): s.stop is mu-guarded.
+func (s *search) stopped() bool {
+	return s.stop || s.stopA.Load() || s.errA.Load()
 }
 
 // toObj maps the solver's internal minimized value back to model sense. The
@@ -426,30 +491,6 @@ func (s *search) fractional(x []float64) Var {
 	return best
 }
 
-// offerIncumbent installs (obj, x) as the incumbent if it improves on the
-// current one. The incumbent trace event is emitted while still holding
-// the search lock so the JSONL timeline is monotone even when two workers
-// improve the incumbent back to back (lock order is s.mu → tracer's own
-// mutex; nothing acquires them in reverse).
-func (s *search) offerIncumbent(obj float64, x []float64) {
-	s.mu.Lock()
-	if !s.haveIncumbent || s.better(obj, s.incObj) {
-		s.haveIncumbent = true
-		s.incObj = obj
-		s.incX = x
-		s.stats.incumbentUpdates.Add(1)
-		cIncumbents.Inc()
-		if s.tracer != nil {
-			f := obs.F{"obj": obj, "nodes": s.nodes}
-			if s.haveBound {
-				addFinite(f, "bound", s.dualBound)
-			}
-			s.tracer.Emit("milp", "incumbent", f)
-		}
-	}
-	s.mu.Unlock()
-}
-
 // tryRound fixes integers to rounded values and re-solves; a feasible
 // result becomes an incumbent candidate. The node relaxation's basis (when
 // available) warm-starts the heuristic LP too — fixing the integers is just
@@ -496,8 +537,10 @@ func (s *search) tryRound(wid int, nlo, nhi, x []float64, basis *lp.Basis) (tota
 	return
 }
 
-// fail records the first worker error and wakes everyone up.
+// fail records the first worker error and wakes everyone up. Both
+// schedulers are signalled: the heap's cond and the steal loop's flag.
 func (s *search) fail(err error) {
+	s.errA.Store(true)
 	s.mu.Lock()
 	if s.err == nil {
 		s.err = err
@@ -507,8 +550,9 @@ func (s *search) fail(err error) {
 }
 
 // halt sets the stop flag (limit / gap / cancellation) and wakes everyone.
-// Safe to call from outside a worker.
+// Safe to call from outside a worker. Both schedulers are signalled.
 func (s *search) halt() {
+	s.stopA.Store(true)
 	s.mu.Lock()
 	s.stop = true
 	s.cond.Broadcast()
@@ -538,19 +582,40 @@ const heurEvery = 64
 // worker_sample trace event). The snapshot is assembled under the search
 // lock; the callback and the emit happen outside it.
 func (s *search) sample(workers int) {
-	s.mu.Lock()
-	pr := Progress{
-		Elapsed:       time.Since(s.start),
-		Nodes:         s.nodes,
-		Open:          len(s.open.nodes),
-		Inflight:      s.inflight,
-		Workers:       workers,
-		Incumbents:    s.stats.incumbentUpdates.Load(),
-		HaveIncumbent: s.haveIncumbent,
-		Incumbent:     s.incObj,
-		Bound:         s.globalBoundLocked(s.toObj(math.Inf(1))),
+	var pr Progress
+	if s.steal {
+		// The steal scheduler has no global lock to freeze the world under;
+		// each field is an independent atomic read, so the snapshot is
+		// eventually consistent — good enough for a progress line, and the
+		// bound is still a true bound (see globalBoundSteal).
+		inc, have := s.incumbentObj()
+		pr = Progress{
+			Elapsed:       time.Since(s.start),
+			Nodes:         int(s.nodes.Load()),
+			Open:          int(s.openCount.Load()),
+			Inflight:      int(s.inflightA.Load()),
+			Workers:       workers,
+			Incumbents:    s.stats.incumbentUpdates.Load(),
+			HaveIncumbent: have,
+			Incumbent:     inc,
+			Bound:         s.globalBoundSteal(),
+		}
+	} else {
+		s.mu.Lock()
+		inc, have := s.incumbentObj()
+		pr = Progress{
+			Elapsed:       time.Since(s.start),
+			Nodes:         int(s.nodes.Load()),
+			Open:          len(s.open.nodes),
+			Inflight:      s.inflight,
+			Workers:       workers,
+			Incumbents:    s.stats.incumbentUpdates.Load(),
+			HaveIncumbent: have,
+			Incumbent:     inc,
+			Bound:         s.globalBoundLocked(s.toObj(math.Inf(1))),
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	pr.Gap = math.Inf(1)
 	if pr.HaveIncumbent {
@@ -601,10 +666,12 @@ func (s *search) sample(workers int) {
 // while the owning worker is still writing; wallNs is stored once when the
 // worker exits.
 type workerAcc struct {
-	nodes  atomic.Int64 // nodes claimed and processed
-	busyNs atomic.Int64 // inside process(): LP, heuristic, branching
-	waitNs atomic.Int64 // claiming from / publishing to the shared queue
-	wallNs atomic.Int64 // goroutine lifetime, set on exit
+	nodes       atomic.Int64 // nodes claimed and processed
+	busyNs      atomic.Int64 // inside process(): LP, heuristic, branching
+	waitNs      atomic.Int64 // claiming from / publishing to the queue
+	wallNs      atomic.Int64 // goroutine lifetime, set on exit
+	steals      atomic.Int64 // successful steals this worker performed
+	stolenNodes atomic.Int64 // nodes this worker took in those steals
 }
 
 // claimStatus is the outcome of one claim attempt.
@@ -630,8 +697,13 @@ func (s *search) claim(id int) (n *node, claimNo int, st claimStatus) {
 		defer func() {
 			ns := time.Since(waitStart).Nanoseconds()
 			acc.waitNs.Add(ns)
+			// Every attempt counts toward queuePopNs — retries and the
+			// terminal drain are still time spent obtaining work, and the
+			// trace attribution needs queuePopNs+queuePushNs to cover the
+			// summed worker wait share. The latency histogram stays
+			// successful-claims-only so its percentiles mean pop latency.
+			s.stats.queuePopNs.Add(ns)
 			if st == claimOK {
-				s.stats.queuePopNs.Add(ns)
 				hQueuePop.Observe(ns)
 			}
 		}()
@@ -648,8 +720,9 @@ func (s *search) claim(id int) (n *node, claimNo int, st claimStatus) {
 		s.mu.Unlock()
 		return nil, 0, claimExit
 	}
-	if s.p.NodeLimit > 0 && s.nodes >= s.p.NodeLimit {
+	if s.p.NodeLimit > 0 && int(s.nodes.Load()) >= s.p.NodeLimit {
 		s.stop = true
+		s.stopA.Store(true)
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		return nil, 0, claimExit
@@ -658,7 +731,7 @@ func (s *search) claim(id int) (n *node, claimNo int, st claimStatus) {
 	n = heap.Pop(&s.open).(*node)
 
 	// Prune by inherited bound (does not count as an explored node).
-	if s.haveIncumbent && !s.better(n.relax, s.incObj) {
+	if inc, ok := s.incumbentObj(); ok && !s.better(n.relax, inc) {
 		s.mu.Unlock()
 		s.stats.prePruned.Add(1)
 		s.pools[id].put(n.lo)
@@ -669,19 +742,19 @@ func (s *search) claim(id int) (n *node, claimNo int, st claimStatus) {
 	// Publish the global dual bound and test the gap target. The popped
 	// node is best-bound among open nodes, so the bound is it vs the
 	// in-flight nodes.
-	if s.haveIncumbent {
+	if inc, ok := s.incumbentObj(); ok {
 		bound := s.globalBoundLocked(n.relax)
-		s.dualBound, s.haveBound = bound, true
-		if s.p.MIPGap > 0 && gapMet(s.incObj, bound, s.p.MIPGap) {
+		s.boundBits.Store(math.Float64bits(bound))
+		if s.p.MIPGap > 0 && gapMet(inc, bound, s.p.MIPGap) {
 			s.stop = true
+			s.stopA.Store(true)
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			return nil, 0, claimExit
 		}
 	}
 
-	s.nodes++
-	claimNo = s.nodes
+	claimNo = int(s.nodes.Add(1))
 	s.working[id] = n.relax
 	s.inflight++
 	s.mu.Unlock()
@@ -737,7 +810,14 @@ func (s *search) worker(id int) {
 	}
 	claimed := 0
 	for {
-		n, claimNo, st := s.claim(id)
+		var n *node
+		var claimNo int
+		var st claimStatus
+		if s.steal {
+			n, claimNo, st = s.claimSteal(id)
+		} else {
+			n, claimNo, st = s.claim(id)
+		}
 		if st == claimExit {
 			return
 		}
@@ -753,7 +833,11 @@ func (s *search) worker(id int) {
 		s.pools[id].put(n.lo)
 		s.pools[id].put(n.hi)
 
-		s.publish(id, children)
+		if s.steal {
+			s.publishSteal(id, children)
+		} else {
+			s.publish(id, children)
+		}
 	}
 }
 
@@ -806,8 +890,11 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 		s.emitNode(claimNo, n.depth, "infeasible", math.NaN())
 		return nil
 	case lp.Unbounded:
-		if n.seq == 0 {
+		if n.depth == 0 {
 			// Unbounded root relaxation: the MILP itself is unbounded.
+			// (Depth, not seq, identifies the root: the steal scheduler
+			// does not assign sequence numbers.)
+			s.stopA.Store(true)
 			s.mu.Lock()
 			s.unbounded = true
 			s.stop = true
@@ -842,10 +929,8 @@ func (s *search) process(wid int, n *node, claimNo, claimed int) []*node {
 		s.pc.observe(n.bvar, n.bup, deg/n.bdist)
 	}
 
-	s.mu.Lock()
-	pruned := s.haveIncumbent && !s.better(obj, s.incObj)
-	s.mu.Unlock()
-	if pruned {
+	inc, haveInc := s.incumbentObj()
+	if haveInc && !s.better(obj, inc) {
 		s.stats.prunedBound.Add(1)
 		s.emitNode(claimNo, n.depth, "bound", obj)
 		return nil
@@ -933,6 +1018,15 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 			return nil, err
 		}
 	}
+	if p.Parallelism.Set() {
+		// A portfolio policy owns the budget: this solve gets the policy's
+		// per-solve share, and Auto lets the root-LP estimate shrink it
+		// further below.
+		_, p.Workers = p.Parallelism.Split(1)
+		if p.Parallelism.Auto() {
+			p.AutoWidth = true
+		}
+	}
 	workers := p.workers()
 
 	if p.TimeLimit > 0 {
@@ -962,6 +1056,16 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		}
 	}
 
+	// Auto width: solve the root relaxation once (off the books — the
+	// search's own root solve still happens and is the one Stats counts)
+	// and shrink the pool when the fractional count says the tree cannot
+	// keep it fed.
+	autoRequested, autoFrac := 0, -1
+	if p.AutoWidth && workers > 1 && (pres == nil || !pres.infeasible) {
+		autoRequested = workers
+		workers, autoFrac = autoWidth(sm, p.IntTol, workers)
+	}
+
 	s := &search{
 		m:        sm,
 		p:        p,
@@ -980,8 +1084,24 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 	cSolves.Inc()
 	s.cond = sync.NewCond(&s.mu)
 	s.open.maximize = s.maximize
+	s.nodeBetter = func(a, b *node) bool { return s.better(a.relax, b.relax) }
 	for i := range s.working {
 		s.working[i] = math.NaN()
+	}
+	s.steal = p.stealQueue(workers)
+	if s.steal {
+		s.deques = make([]conc.Deque[*node], workers)
+		s.stealBuf = make([][]*node, workers)
+		s.stealRng = make([]uint64, workers)
+		s.pubBound = make([]atomic.Uint64, workers)
+		worstBits := math.Float64bits(s.toObj(math.Inf(1)))
+		for i := range s.stealRng {
+			// Fixed per-worker xorshift seeds (splitmix-style spread):
+			// victim selection needs statistical spread, not entropy, and
+			// fixed seeds keep runs reproducible.
+			s.stealRng[i] = uint64(i)*0x9E3779B97F4A7C15 + 0x6A09E667F3BCC909
+			s.pubBound[i].Store(worstBits)
+		}
 	}
 	for v, t := range sm.vtype {
 		if t != Continuous {
@@ -1014,17 +1134,24 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 				"infeasible":       pres.infeasible,
 			})
 		}
+		if autoRequested > 0 {
+			s.tracer.Emit("milp", "auto_width", obs.F{
+				"requested":  autoRequested,
+				"chosen":     workers,
+				"root_fracs": autoFrac,
+			})
+		}
 	}
 
 	inf := math.Inf(1)
-	s.incObj = s.toObj(inf)
-	s.dualBound = s.toObj(-inf)
+	s.inc.init(s.toObj(inf))
+	s.boundBits.Store(math.Float64bits(s.toObj(-inf)))
 
 	if pres != nil && pres.infeasible {
 		res := &Result{
 			Status:    Infeasible,
-			Objective: s.incObj,
-			Bound:     s.dualBound,
+			Objective: s.toObj(inf),
+			Bound:     s.toObj(-inf),
 			Runtime:   time.Since(start),
 			Stats:     s.stats.snapshot(),
 		}
@@ -1083,7 +1210,15 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		}
 	}
 
-	heap.Push(&s.open, root)
+	if s.steal {
+		s.deques[0].Push(root)
+		s.pubBound[0].Store(math.Float64bits(root.relax))
+		s.outstanding.Store(1)
+		s.openCount.Store(1)
+		s.maxOpenA.Store(1)
+	} else {
+		heap.Push(&s.open, root)
+	}
 	s.stats.maxOpen = 1
 
 	// A context that is already dead halts the search before any node is
@@ -1154,6 +1289,15 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		return nil, s.err
 	}
 
+	if s.steal {
+		// The heap scheduler tracks maxOpen under mu; the steal scheduler
+		// CAS-maxes an atomic. Fold the larger into the accumulator before
+		// snapshotting.
+		if mo := s.maxOpenA.Load(); mo > s.stats.maxOpen {
+			s.stats.maxOpen = mo
+		}
+	}
+
 	// Snapshot the accumulator and fold the per-worker accounting into it
 	// (workers and sampler have exited, so the copy is quiescent). Idle is
 	// the remainder of the worker's wall clock, so the three shares always
@@ -1170,6 +1314,8 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 				BusyNs:      a.busyNs.Load(),
 				QueueWaitNs: a.waitNs.Load(),
 				WallNs:      a.wallNs.Load(),
+				Steals:      a.steals.Load(),
+				StolenNodes: a.stolenNodes.Load(),
 			}
 			w := &stats.PerWorker[i]
 			if idle := w.WallNs - w.BusyNs - w.QueueWaitNs; idle > 0 {
@@ -1184,29 +1330,44 @@ func (m *Model) SolveContext(ctx context.Context, p Params) (*Result, error) {
 		cWorkerIdleNs.Add(idleTot)
 	}
 
+	incObj, haveInc := s.incumbentObj()
+	if !haveInc {
+		incObj = s.toObj(inf) // the sentinel, verbatim
+	}
 	res := &Result{
-		Objective: s.incObj,
-		Bound:     s.dualBound,
-		X:         s.incX,
-		Nodes:     s.nodes,
+		Objective: incObj,
+		Bound:     math.Float64frombits(s.boundBits.Load()),
+		X:         s.inc.snapshotX(),
+		Nodes:     int(s.nodes.Load()),
 		Runtime:   time.Since(start),
 		Stats:     stats,
+	}
+	var exhausted bool
+	if s.steal {
+		exhausted = s.outstanding.Load() == 0 && !s.stopped()
+		// The final decentralized bound: min-reduce the per-worker
+		// published bounds. Non-finite means the tree drained without a
+		// stop — the heap-init bound (±Inf by sense) already says that.
+		if b := s.globalBoundSteal(); !math.IsInf(b, 0) {
+			res.Bound = b
+		}
+	} else {
+		exhausted = len(s.open.nodes) == 0 && !s.stopped()
 	}
 	if post != nil {
 		// Back to the caller's variable space: re-insert the presolve-fixed
 		// variables around the searched ones.
 		res.X = post.restore(res.X)
 	}
-	exhausted := len(s.open.nodes) == 0 && !s.stop
 	switch {
 	case s.unbounded:
 		res.Status = Unbounded
-	case exhausted && s.haveIncumbent && s.clean:
+	case exhausted && haveInc && s.clean:
 		res.Status = Optimal
 		res.Bound = res.Objective
-	case exhausted && !s.haveIncumbent && s.clean:
+	case exhausted && !haveInc && s.clean:
 		res.Status = Infeasible
-	case s.haveIncumbent:
+	case haveInc:
 		res.Status = Feasible
 	default:
 		res.Status = Unknown
@@ -1247,16 +1408,22 @@ func (s *search) emitSolveEnd(res *Result) {
 		"queue_pops":          res.Stats.QueuePops,
 		"queue_push_ns":       res.Stats.QueuePushNs,
 		"queue_pushes":        res.Stats.QueuePushes,
+		"steals":              res.Stats.Steals,
+		"failed_steals":       res.Stats.FailedSteals,
+		"stolen_nodes":        res.Stats.StolenNodes,
+		"steal_ns":            res.Stats.StealNs,
 	}
 	if len(res.Stats.PerWorker) > 0 {
 		pw := make([]obs.F, len(res.Stats.PerWorker))
 		for i, w := range res.Stats.PerWorker {
 			pw[i] = obs.F{
-				"nodes":   w.Nodes,
-				"busy_ns": w.BusyNs,
-				"wait_ns": w.QueueWaitNs,
-				"idle_ns": w.IdleNs,
-				"wall_ns": w.WallNs,
+				"nodes":        w.Nodes,
+				"busy_ns":      w.BusyNs,
+				"wait_ns":      w.QueueWaitNs,
+				"idle_ns":      w.IdleNs,
+				"wall_ns":      w.WallNs,
+				"steals":       w.Steals,
+				"stolen_nodes": w.StolenNodes,
 			}
 		}
 		f["per_worker"] = pw

@@ -1,0 +1,399 @@
+package milp
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"raha/internal/lp"
+)
+
+// Work-stealing branch-and-bound scheduler. Instead of one contended
+// best-bound heap, every worker owns a private deque of open nodes: it
+// pushes children and pops work at the LIFO end (so a worker keeps
+// diving into the subtree it just expanded — the locality the dual
+// simplex warm start depends on) and steals a batch from the FIFO end of
+// a random victim only when its own deque runs dry. The three global
+// facts the heap used to centralize — the incumbent, the dual bound, and
+// "is the tree done" — become a lock-free CAS word (incumbent.go), a
+// min-reduction over per-worker published bounds, and an
+// outstanding-node counter. DESIGN.md §2.14 carries the full
+// correctness argument; the invariants in brief:
+//
+//   - Bound coverage: at every instant, every live node's relaxation
+//     bound is ≥-covered (in the better() sense) by some pubBound entry.
+//     Owners are the only writers of their own entry; a thief that is
+//     about to make a batch invisible to its victim first publishes the
+//     covers-everything bound on its own entry, so the min-reduction can
+//     dip conservatively low during a steal but can never miss a node.
+//   - Termination: outstanding counts nodes that exist (queued anywhere
+//     or in flight). Retiring a parent and enqueuing its k children is a
+//     single Add(k-1), so the counter never transits zero while the tree
+//     lives; zero is stable and final.
+type QueueMode int8
+
+const (
+	// QueueAuto (the zero value) picks the shared best-bound heap for
+	// serial solves and the work-stealing deques at Workers > 1.
+	QueueAuto QueueMode = iota
+
+	// QueueShared forces the shared best-bound heap at any worker count —
+	// the revert knob the corpus equivalence matrix sweeps against the
+	// deques, and the bisection fallback.
+	QueueShared
+
+	// QueueSteal forces the work-stealing deques at any worker count. At
+	// Workers 1 the result is a deterministic depth-first dive (one
+	// owner, LIFO pops, no thieves), which the determinism tests pin.
+	QueueSteal
+)
+
+func (q QueueMode) String() string {
+	switch q {
+	case QueueAuto:
+		return "auto"
+	case QueueShared:
+		return "shared"
+	case QueueSteal:
+		return "steal"
+	}
+	return "unknown"
+}
+
+// stealQueue reports whether a solve at the given width uses the
+// work-stealing scheduler.
+func (p *Params) stealQueue(workers int) bool {
+	switch p.Queue {
+	case QueueShared:
+		return false
+	case QueueSteal:
+		return true
+	}
+	return workers > 1
+}
+
+// Idle backoff: a worker that found nothing to pop or steal yields the
+// processor a few times (cheap, keeps latency low when a victim is about
+// to publish children), then sleeps with exponential backoff so a
+// starved worker does not spin a core while one long subtree finishes.
+const (
+	stealSpinTries  = 4
+	stealBackoffMin = 20 * time.Microsecond
+	stealBackoffCap = time.Millisecond
+)
+
+// popLocal pops the newest node from the worker's own deque and
+// republishes the worker's local bound so it covers both the popped
+// (now in-flight) node and everything still queued. Between the pop and
+// the republish the previous published value still covers the node —
+// published bounds only ever lag conservatively.
+func (s *search) popLocal(id int) *node {
+	d := &s.deques[id]
+	n, ok := d.Pop()
+	if !ok {
+		return nil
+	}
+	s.openCount.Add(-1)
+	b := n.relax
+	if best, ok := d.Best(s.nodeBetter); ok && s.better(best.relax, b) {
+		b = best.relax
+	}
+	s.pubBound[id].Store(math.Float64bits(b))
+	return n
+}
+
+// globalBoundSteal min-reduces the per-worker published bounds into the
+// global dual bound. Each entry covers its owner's queued and in-flight
+// nodes (or is the covers-everything value during that owner's steal
+// window), so the reduction bounds every live node. When the result is
+// worse than the incumbent, the incumbent itself is the tightest sound
+// bound on the optimum — every remaining node would be pruned — which
+// is also what makes the bound collapse to the objective at exhaustion.
+func (s *search) globalBoundSteal() float64 {
+	b := s.toObj(math.Inf(1)) // worst by sense: the reduction's identity
+	for i := range s.pubBound {
+		if v := math.Float64frombits(s.pubBound[i].Load()); s.better(v, b) {
+			b = v
+		}
+	}
+	if inc, ok := s.incumbentObj(); ok && s.better(inc, b) {
+		b = inc
+	}
+	return b
+}
+
+// stealRand steps the worker's private xorshift64 state. Victim
+// selection needs cheap statistical spread, not entropy (and math/rand
+// in solver loops is banned by the lint tree for reproducibility); the
+// state is owner-only, so no synchronization.
+func (s *search) stealRand(id int) uint64 {
+	x := s.stealRng[id]
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.stealRng[id] = x
+	return x
+}
+
+// stealScan walks the other deques from a random start and moves half of
+// the first non-empty victim's nodes into this worker's deque, returning
+// the batch (nil when every victim was empty). Before extracting, the
+// thief publishes the covers-everything bound on its own entry: from
+// that store until the batch is re-counted below, the global reduction
+// dips conservatively instead of ever missing the migrating nodes. The
+// donation is bound-ordered, worst first, so the thief's next LIFO pops
+// take the best stolen work first.
+func (s *search) stealScan(id int) []*node {
+	w := len(s.deques)
+	coverAll := math.Float64bits(s.toObj(math.Inf(-1)))
+	worst := math.Float64bits(s.toObj(math.Inf(1)))
+	start := int(s.stealRand(id) % uint64(w))
+	for i := 0; i < w; i++ {
+		v := start + i
+		if v >= w {
+			v -= w
+		}
+		if v == id || s.deques[v].Len() == 0 {
+			continue
+		}
+		s.pubBound[id].Store(coverAll)
+		batch := s.deques[v].Steal(s.stealBuf[id][:0], 0)
+		s.stealBuf[id] = batch[:0]
+		if len(batch) == 0 {
+			// Raced with the victim draining its deque. Retract the cover:
+			// this worker's deque is empty and it holds nothing in flight,
+			// so the worst-by-sense sentinel is its true local bound.
+			s.pubBound[id].Store(worst)
+			continue
+		}
+		// Insertion sort, worst bound first (batches are a handful of
+		// nodes; no closure, no allocation — sort.Slice would be both).
+		for j := 1; j < len(batch); j++ {
+			nj := batch[j]
+			k := j - 1
+			for k >= 0 && s.better(batch[k].relax, nj.relax) {
+				batch[k+1] = batch[k]
+				k--
+			}
+			batch[k+1] = nj
+		}
+		d := &s.deques[id]
+		for _, n := range batch {
+			d.Push(n)
+		}
+		// The batch is locally queued: replace the cover with the exact
+		// local bound (the batch's best — the deque holds nothing else).
+		s.pubBound[id].Store(math.Float64bits(batch[len(batch)-1].relax))
+		return batch
+	}
+	return nil
+}
+
+// stealFrom performs one steal attempt for claimSteal, with accounting:
+// successful steals tick the worker and solve counters and feed the
+// steal-latency histogram; a full scan of empty victims counts as a
+// failed steal (the signal that the search is in its starved tail).
+func (s *search) stealFrom(id int) bool {
+	var t0 time.Time
+	if s.timed {
+		t0 = time.Now()
+	}
+	batch := s.stealScan(id)
+	if len(batch) == 0 {
+		s.stats.failedSteals.Add(1)
+		cFailedSteals.Inc()
+		return false
+	}
+	s.stats.steals.Add(1)
+	s.stats.stolenNodes.Add(int64(len(batch)))
+	s.wstats[id].steals.Add(1)
+	s.wstats[id].stolenNodes.Add(int64(len(batch)))
+	cSteals.Inc()
+	cStolenNodes.Add(int64(len(batch)))
+	if s.timed {
+		ns := time.Since(t0).Nanoseconds()
+		s.stats.stealNs.Add(ns)
+		hSteal.Observe(ns)
+	}
+	return true
+}
+
+// stealWait parks an idle worker for the round's backoff slice and
+// returns the nanoseconds actually slept (0 untimed). Sleeping is not
+// queue wait — callers subtract it so waitNs keeps meaning "time spent
+// obtaining work", and the remainder lands in the worker's idle share.
+func (s *search) stealWait(round int) int64 {
+	d := stealBackoffMin << min(round, 6)
+	if d > stealBackoffCap {
+		d = stealBackoffCap
+	}
+	if !s.timed {
+		time.Sleep(d)
+		return 0
+	}
+	t0 := time.Now()
+	time.Sleep(d)
+	return time.Since(t0).Nanoseconds()
+}
+
+// claimSteal is the work-stealing claim: pop locally, steal when the
+// local deque is dry, park with backoff when there is nothing to steal
+// anywhere, and exit when outstanding hits zero or the search stops. It
+// mirrors claim's contract exactly — same claimStatus protocol, same
+// wait/pop accounting (minus backoff sleep), same pre-prune and gap
+// duties — so worker() can dispatch between them blindly.
+func (s *search) claimSteal(id int) (n *node, claimNo int, st claimStatus) {
+	acc := &s.wstats[id]
+	var backoffNs int64
+	if s.timed {
+		waitStart := time.Now()
+		defer func() {
+			ns := time.Since(waitStart).Nanoseconds() - backoffNs
+			if ns > 0 {
+				acc.waitNs.Add(ns)
+				// All attempts feed queuePopNs (steal scans, spin yields,
+				// the terminal drain) so queue wait in the trace covers
+				// the worker wait share; see claim. Histogram stays
+				// claimOK-only.
+				s.stats.queuePopNs.Add(ns)
+				if st == claimOK {
+					hQueuePop.Observe(ns)
+				}
+			}
+		}()
+	}
+
+	spins := 0
+	for {
+		if s.stopA.Load() || s.errA.Load() {
+			return nil, 0, claimExit
+		}
+		if s.p.NodeLimit > 0 && int(s.nodes.Load()) >= s.p.NodeLimit {
+			s.halt()
+			return nil, 0, claimExit
+		}
+		if n = s.popLocal(id); n == nil {
+			if s.outstanding.Load() == 0 {
+				return nil, 0, claimExit
+			}
+			if s.stealFrom(id) {
+				spins = 0
+				continue
+			}
+			spins++
+			if spins <= stealSpinTries {
+				runtime.Gosched()
+			} else {
+				backoffNs += s.stealWait(spins - stealSpinTries)
+			}
+			continue
+		}
+		spins = 0
+
+		// Prune by inherited bound (does not count as an explored node).
+		if inc, ok := s.incumbentObj(); ok && !s.better(n.relax, inc) {
+			s.stats.prePruned.Add(1)
+			s.pools[id].put(n.lo)
+			s.pools[id].put(n.hi)
+			s.outstanding.Add(-1)
+			return nil, 0, claimRetry
+		}
+
+		// Publish the global dual bound and test the gap target. The
+		// reduction is eventually consistent but always a true bound, so
+		// a met gap here is a met gap.
+		if inc, ok := s.incumbentObj(); ok {
+			bound := s.globalBoundSteal()
+			s.boundBits.Store(math.Float64bits(bound))
+			if s.p.MIPGap > 0 && gapMet(inc, bound, s.p.MIPGap) {
+				s.halt()
+				return nil, 0, claimExit
+			}
+		}
+
+		claimNo = int(s.nodes.Add(1))
+		s.inflightA.Add(1)
+		cNodes.Inc()
+		acc.nodes.Add(1)
+		s.stats.queuePops.Add(1)
+		return n, claimNo, claimOK
+	}
+}
+
+// publishSteal queues a processed node's children on the worker's own
+// deque and retires the parent. The parent→children handoff on
+// outstanding is a single Add(k−1), so the counter never transits zero
+// while the subtree lives — what makes zero a stable termination signal.
+// The republished local bound may be worse than the parent's: sound,
+// because the parent is now fully accounted for by its queued children.
+func (s *search) publishSteal(id int, children []*node) {
+	var pushStart time.Time
+	if s.timed {
+		pushStart = time.Now()
+	}
+	d := &s.deques[id]
+	for _, c := range children {
+		d.Push(c)
+	}
+	if k := int64(len(children)); k > 0 {
+		cur := s.openCount.Add(k)
+		for {
+			old := s.maxOpenA.Load()
+			if cur <= old || s.maxOpenA.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+	}
+	b := s.toObj(math.Inf(1))
+	if best, ok := d.Best(s.nodeBetter); ok {
+		b = best.relax
+	}
+	s.pubBound[id].Store(math.Float64bits(b))
+	s.inflightA.Add(-1)
+	s.outstanding.Add(int64(len(children)) - 1)
+	s.stats.queuePushes.Add(1)
+	if s.timed {
+		ns := time.Since(pushStart).Nanoseconds()
+		s.wstats[id].waitNs.Add(ns)
+		s.stats.queuePushNs.Add(ns)
+		hQueuePush.Observe(ns)
+	}
+}
+
+// autoWidthMinFrac is the root-fractionality threshold below which a
+// solve runs serial regardless of the requested width: F fractional
+// integer variables at the root bound the interesting tree to roughly
+// 2^F shapes, and a solve that fathoms in a few dozen nodes cannot keep
+// several workers fed — they would only pay synchronization and explore
+// nodes the serial search proves unnecessary.
+const autoWidthMinFrac = 3
+
+// autoWidth estimates whether the solve is a long-tail tree worth
+// intra-solve workers, by solving the root relaxation once and counting
+// fractional integer variables. The probe LP is off the books (the
+// search re-solves its own root, and that one is what Stats counts).
+// Width is also capped at GOMAXPROCS: branch and bound is CPU-bound, and
+// oversubscribed workers only add contention.
+func autoWidth(m *Model, intTol float64, workers int) (width, frac int) {
+	width = workers
+	if g := runtime.GOMAXPROCS(0); width > g {
+		width = g
+	}
+	sol, err := lp.Solve(m.reuseLP(nil, m.lo, m.hi), nil)
+	if err != nil || sol.Status != lp.Optimal {
+		return width, -1
+	}
+	for v, t := range m.vtype {
+		if t == Continuous {
+			continue
+		}
+		f := sol.X[v] - math.Floor(sol.X[v])
+		if math.Min(f, 1-f) > intTol {
+			frac++
+		}
+	}
+	if frac <= autoWidthMinFrac {
+		return 1, frac
+	}
+	return width, frac
+}

@@ -1,0 +1,131 @@
+package milp
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// boundTol absorbs the LP layer's numerical tolerance: a dual bound a
+// hair inside the true optimum is round-off, not unsoundness.
+const boundTol = 1e-6
+
+// trueOptimum solves the instance to optimality on the reference
+// single-worker heap scheduler and returns the optimal objective.
+func trueOptimum(t *testing.T, seed int64, n int) float64 {
+	t.Helper()
+	res := solveOK(t, wideKnapsack(seed, n), Params{Workers: 1, Queue: QueueShared})
+	if res.Status != Optimal {
+		t.Fatalf("reference solve: status %v, want Optimal", res.Status)
+	}
+	return res.Objective
+}
+
+// checkDualSide asserts bound sits on the dual side of the true optimum:
+// for a Maximize model every sound dual bound is ≥ z* (within tolerance).
+// Non-finite bounds are trivially sound (nothing proven yet).
+func checkDualSide(t *testing.T, what string, bound, opt float64) {
+	t.Helper()
+	if math.IsNaN(bound) {
+		t.Fatalf("%s: bound is NaN", what)
+	}
+	if math.IsInf(bound, 0) {
+		return
+	}
+	if bound < opt-boundTol {
+		t.Fatalf("%s: bound %.9f < true optimum %.9f — not a valid dual bound", what, bound, opt)
+	}
+}
+
+// TestProgressBoundIsTrueBound pins the soundness of the bound the sampler
+// publishes: at EVERY OnProgress sample, Progress.Bound must be a valid
+// dual bound on the true optimum (≥ z* for this Maximize instance), and
+// never on the wrong side of the sample's own incumbent. This is the
+// invariant the steal scheduler's eventually-consistent bound aggregation
+// (per-worker published bounds + pre-steal cover, globalBoundSteal) is
+// pinned by: a worker may briefly publish a stale or conservative value,
+// but an optimistic one — claiming the tree is more explored than it is —
+// would show up here as a bound below the optimum.
+func TestProgressBoundIsTrueBound(t *testing.T) {
+	const seed, n = 7, 24
+	opt := trueOptimum(t, seed, n)
+
+	for _, workers := range []int{1, 4} {
+		var (
+			mu      sync.Mutex
+			samples []Progress
+		)
+		res := solveOK(t, wideKnapsack(seed, n), Params{
+			Workers:       workers,
+			Queue:         QueueSteal, // the scheduler under test, at both widths
+			ProgressEvery: 200 * time.Microsecond,
+			OnProgress: func(p Progress) {
+				mu.Lock()
+				samples = append(samples, p)
+				mu.Unlock()
+			},
+		})
+		if res.Status != Optimal {
+			t.Fatalf("workers=%d: status %v, want Optimal", workers, res.Status)
+		}
+		if math.Abs(res.Objective-opt) > boundTol {
+			t.Fatalf("workers=%d: objective %g != reference optimum %g", workers, res.Objective, opt)
+		}
+		checkDualSide(t, "final result", res.Bound, opt)
+
+		mu.Lock()
+		got := append([]Progress(nil), samples...)
+		mu.Unlock()
+		for i, p := range got {
+			checkDualSide(t, "sample", p.Bound, opt)
+			if p.HaveIncumbent && !math.IsInf(p.Bound, 0) && p.Bound < p.Incumbent-boundTol {
+				t.Fatalf("workers=%d sample %d: bound %.9f below its own incumbent %.9f", workers, i, p.Bound, p.Incumbent)
+			}
+			if p.HaveIncumbent && p.Incumbent > opt+boundTol {
+				t.Fatalf("workers=%d sample %d: incumbent %.9f above the optimum %.9f — infeasible solution accepted", workers, i, p.Incumbent, opt)
+			}
+		}
+	}
+}
+
+// TestCancelledBoundIsTrueBound pins the same invariant at the rougher
+// edge: a solve cancelled mid-tree must still return a Result.Bound on the
+// dual side of the true optimum, and an incumbent (if any) on the primal
+// side — the anytime contract callers rely on when they act on partial
+// results. Exercised at Workers 1 and 4 on the steal scheduler, whose
+// termination path reconstructs the bound from per-worker publications
+// rather than a frozen global queue.
+func TestCancelledBoundIsTrueBound(t *testing.T) {
+	const seed, n = 7, 24
+	opt := trueOptimum(t, seed, n)
+
+	for _, workers := range []int{1, 4} {
+		// A NodeLimit stops the solve deterministically mid-tree; a second
+		// run is stopped by context cancellation racing the workers.
+		res, err := wideKnapsack(seed, n).Solve(Params{Workers: workers, Queue: QueueSteal, NodeLimit: 20})
+		if err != nil {
+			t.Fatalf("workers=%d node-limited solve: %v", workers, err)
+		}
+		checkDualSide(t, "node-limited result", res.Bound, opt)
+		if res.Status == Feasible && res.Objective > opt+boundTol {
+			t.Fatalf("workers=%d: node-limited incumbent %.9f above optimum %.9f", workers, res.Objective, opt)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			cancel()
+		}()
+		res, err = wideKnapsack(seed, n).SolveContext(ctx, Params{Workers: workers, Queue: QueueSteal})
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d cancelled solve: %v", workers, err)
+		}
+		checkDualSide(t, "cancelled result", res.Bound, opt)
+		if res.Status == Feasible && res.Objective > opt+boundTol {
+			t.Fatalf("workers=%d: cancelled incumbent %.9f above optimum %.9f", workers, res.Objective, opt)
+		}
+	}
+}

@@ -13,9 +13,21 @@ import (
 // smoke check that the presolve-disabled solver still matches brute force.
 var presolveMode = flag.String("presolve", "on", `corpus presolve mode: "on" or "off"`)
 
+// queueMode lets CI force one scheduler across the corpus
+// (`go test -run TestRandomMILPs -queue=shared`) — the revert knob's
+// regression check: the retired shared heap must keep matching brute force
+// for as long as Params.Queue exposes it.
+var queueMode = flag.String("queue", "auto", `corpus queue mode: "auto", "shared", or "steal"`)
+
 func corpusParams(p Params) Params {
 	if *presolveMode == "off" {
 		p.DisablePresolve = true
+	}
+	switch *queueMode {
+	case "shared":
+		p.Queue = QueueShared
+	case "steal":
+		p.Queue = QueueSteal
 	}
 	return p
 }
@@ -360,7 +372,7 @@ func TestRandomMILPsPostsolveRoundTrip(t *testing.T) {
 // accounting: nanosecond totals legitimately differ run to run.
 func scrubTimingStats(s *Stats) {
 	s.PresolveNs, s.LPWarmNs, s.LPColdNs, s.HeurNs, s.BranchNs = 0, 0, 0, 0, 0
-	s.QueuePopNs, s.QueuePushNs = 0, 0
+	s.QueuePopNs, s.QueuePushNs, s.StealNs = 0, 0, 0
 	for i := range s.PerWorker {
 		s.PerWorker[i].BusyNs = 0
 		s.PerWorker[i].QueueWaitNs = 0
@@ -406,6 +418,102 @@ func TestWorkers1StatsDeterminism(t *testing.T) {
 					if a.X[v] != b.X[v] {
 						t.Fatalf("trial %d cfg %d: X[%d] %g != %g", trial, ci, v, a.X[v], b.X[v])
 					}
+				}
+			}
+		}
+	}
+}
+
+// TestRandomMILPsQueueEquivalenceMatrix is the scheduler equivalence
+// harness: across the random corpus, the full matrix of worker widths
+// {1, 4, 8} × queue modes {shared heap, work-stealing deques} × width
+// policy {fixed, root-LP auto} must agree on status and objective with
+// the Workers-1 shared-heap reference (the pre-steal solver), and every
+// cell must keep the node-accounting invariant. Run under -race in CI,
+// this is the concurrency check for the deque protocol, the lock-free
+// incumbent, and the per-worker bound publications.
+func TestRandomMILPsQueueEquivalenceMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	n := propCorpusSize(t)
+	type cfg struct {
+		label string
+		p     Params
+	}
+	cfgs := []cfg{
+		{"shared-1", Params{Workers: 1, Queue: QueueShared}}, // reference: the PR-9 scheduler
+		{"shared-4", Params{Workers: 4, Queue: QueueShared}},
+		{"shared-8", Params{Workers: 8, Queue: QueueShared}},
+		{"steal-1", Params{Workers: 1, Queue: QueueSteal}},
+		{"steal-4", Params{Workers: 4, Queue: QueueSteal}},
+		{"steal-8", Params{Workers: 8, Queue: QueueSteal}},
+		{"steal-4-auto", Params{Workers: 4, Queue: QueueSteal, AutoWidth: true}},
+		{"auto-8-auto", Params{Workers: 8, AutoWidth: true}}, // QueueAuto resolves to steal at width > 1
+	}
+	for trial := 0; trial < n; trial++ {
+		inst := genMILP(rng)
+		var ref *Result
+		for _, c := range cfgs {
+			res := solveOK(t, inst.m, c.p)
+			nodeAccounting(t, trial, c.label, res, c.p)
+			if c.p.Workers == 1 && (res.Stats.Steals != 0 || res.Stats.StolenNodes != 0 || res.Stats.FailedSteals != 0) {
+				t.Fatalf("trial %d (%s): single worker recorded steals %+v", trial, c.label, res.Stats)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.Status != ref.Status {
+				t.Fatalf("trial %d (%s): status %v, shared-1 says %v", trial, c.label, res.Status, ref.Status)
+			}
+			if ref.Status == Optimal {
+				if math.Abs(res.Objective-ref.Objective) > 1e-6 {
+					t.Fatalf("trial %d (%s): objective %g != shared-1 %g", trial, c.label, res.Objective, ref.Objective)
+				}
+				assertOriginalSpace(t, inst.m, res.X, c.label)
+				if math.Abs(res.Bound-res.Objective) > 1e-6 {
+					t.Fatalf("trial %d (%s): optimal bound %g != objective %g", trial, c.label, res.Bound, res.Objective)
+				}
+			}
+		}
+	}
+}
+
+// TestStealWorkers1Determinism pins the steal scheduler's single-worker
+// reproducibility: with one worker the deque degenerates to pure LIFO
+// depth-first search with no victims to steal from, so two runs must agree
+// bit for bit on the scrubbed Stats, the node count, the objective, and
+// the returned point — the same determinism contract the shared heap gives
+// at Workers 1 (TestWorkers1StatsDeterminism), now on the new code path.
+func TestStealWorkers1Determinism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	n := propCorpusSize(t) / 5
+	for trial := 0; trial < n; trial++ {
+		inst := genMILP(rng)
+		p := Params{Workers: 1, Queue: QueueSteal}
+		a := solveOK(t, inst.m, p)
+		b := solveOK(t, inst.m, p)
+		if a.Status != b.Status || a.Nodes != b.Nodes {
+			t.Fatalf("trial %d: runs diverged: status %v/%v nodes %d/%d",
+				trial, a.Status, b.Status, a.Nodes, b.Nodes)
+		}
+		sa, sb := a.Stats, b.Stats
+		scrubTimingStats(&sa)
+		scrubTimingStats(&sb)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("trial %d: stats diverged:\n%+v\n%+v", trial, sa, sb)
+		}
+		if sa.Steals != 0 || sa.StolenNodes != 0 || sa.FailedSteals != 0 {
+			t.Fatalf("trial %d: single steal-mode worker recorded steals %+v", trial, sa)
+		}
+		if a.Status == Optimal {
+			//raha:lint-allow float-cmp bitwise determinism is the property under test
+			if a.Objective != b.Objective {
+				t.Fatalf("trial %d: objective %g != %g", trial, a.Objective, b.Objective)
+			}
+			for v := range a.X {
+				//raha:lint-allow float-cmp bitwise determinism is the property under test
+				if a.X[v] != b.X[v] {
+					t.Fatalf("trial %d: X[%d] %g != %g", trial, v, a.X[v], b.X[v])
 				}
 			}
 		}

@@ -77,6 +77,16 @@ type Stats struct {
 	QueuePushNs int64 // total child-publish critical-section latency
 	QueuePushes int64 // publishes (== claims that ran process)
 
+	// Work-stealing traffic (zero on shared-heap solves): how often load
+	// had to move between workers. A healthy parallel search steals
+	// rarely — each steal is a worker that ran its own subtree dry — and
+	// FailedSteals counts full scans that found every victim empty (the
+	// starved tail of the search).
+	Steals       int64 // successful steals (one batch each)
+	FailedSteals int64 // steal scans that found nothing anywhere
+	StolenNodes  int64 // nodes moved between workers across all steals
+	StealNs      int64 // wall clock inside successful steals (timed solves)
+
 	// PerWorker is the per-worker utilization summary, indexed by worker
 	// id. Empty when the solve was unobserved (see above) or never started
 	// its workers (presolve proved infeasibility), since without per-node
@@ -126,6 +136,11 @@ type statsAcc struct {
 	queuePops   atomic.Int64
 	queuePushNs atomic.Int64
 	queuePushes atomic.Int64
+
+	steals       atomic.Int64
+	failedSteals atomic.Int64
+	stolenNodes  atomic.Int64
+	stealNs      atomic.Int64
 
 	maxOpen int64 // high-water mark of the open queue; guarded by search.mu
 
@@ -182,6 +197,11 @@ func (a *statsAcc) snapshot() Stats {
 		QueuePops:   a.queuePops.Load(),
 		QueuePushNs: a.queuePushNs.Load(),
 		QueuePushes: a.queuePushes.Load(),
+
+		Steals:       a.steals.Load(),
+		FailedSteals: a.failedSteals.Load(),
+		StolenNodes:  a.stolenNodes.Load(),
+		StealNs:      a.stealNs.Load(),
 	}
 }
 
@@ -192,9 +212,11 @@ func (a *statsAcc) snapshot() Stats {
 type WorkerStats struct {
 	Nodes       int64 // nodes this worker claimed and processed
 	BusyNs      int64 // time inside node processing (LP, heuristic, branching)
-	QueueWaitNs int64 // time claiming from / publishing to the shared queue
-	IdleNs      int64 // remainder: started up, wound down, or starved
+	QueueWaitNs int64 // time claiming from / publishing to the queue
+	IdleNs      int64 // remainder: started up, wound down, starved, or in steal backoff
 	WallNs      int64 // worker goroutine lifetime
+	Steals      int64 // successful steals this worker performed (work-stealing solves)
+	StolenNodes int64 // nodes this worker took in those steals
 }
 
 // BusyShare returns BusyNs as a fraction of WallNs (0 when WallNs is 0).

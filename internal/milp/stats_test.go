@@ -41,6 +41,10 @@ func TestStatsAccSnapshotMapping(t *testing.T) {
 	a.queuePops.Store(24)
 	a.queuePushNs.Store(25)
 	a.queuePushes.Store(26)
+	a.steals.Store(33)
+	a.failedSteals.Store(34)
+	a.stolenNodes.Store(35)
+	a.stealNs.Store(36)
 	a.maxOpen = 27
 	a.presolveNs = 28
 	a.presolveFixedVars = 29
@@ -85,6 +89,11 @@ func TestStatsAccSnapshotMapping(t *testing.T) {
 		QueuePops:   24,
 		QueuePushNs: 25,
 		QueuePushes: 26,
+
+		Steals:       33,
+		FailedSteals: 34,
+		StolenNodes:  35,
+		StealNs:      36,
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("snapshot mismatch:\ngot  %+v\nwant %+v", got, want)

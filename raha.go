@@ -36,6 +36,7 @@ import (
 	"io"
 
 	"raha/internal/augment"
+	"raha/internal/conc"
 	"raha/internal/demand"
 	"raha/internal/failures"
 	"raha/internal/metaopt"
@@ -204,6 +205,37 @@ const (
 // SolveProgress is a live snapshot of a running solve, delivered to
 // SolverParams.OnProgress.
 type SolveProgress = milp.Progress
+
+// QueueMode selects the branch-and-bound scheduler (SolverParams.Queue).
+type QueueMode = milp.QueueMode
+
+// Queue modes. QueueAuto (the zero value) picks the best-bound heap for
+// serial solves and work-stealing deques for parallel ones; the explicit
+// modes force one scheduler for comparisons and regression hunts.
+const (
+	QueueAuto   = milp.QueueAuto
+	QueueShared = milp.QueueShared
+	QueueSteal  = milp.QueueSteal
+)
+
+// ParallelPolicy routes a worker budget between scenario-level fan-out and
+// intra-solve parallelism. Set it on ClusterConfig.Parallelism,
+// BatchConfig-style pipelines, or experiment setups; the zero value leaves
+// the legacy Parallel/Workers knobs in charge.
+type ParallelPolicy = conc.Policy
+
+// ParallelMode is a ParallelPolicy's routing choice.
+type ParallelMode = conc.PolicyMode
+
+// Parallel policy modes. ParallelAuto splits by unit count: enough
+// independent scenarios saturate the budget with serial solves, otherwise
+// leftover workers move inside each solve (with root-LP width estimation).
+const (
+	ParallelAuto      = conc.PolicyAuto
+	ParallelScenarios = conc.PolicyScenarios
+	ParallelIntra     = conc.PolicyIntraSolve
+	ParallelSerial    = conc.PolicySerial
+)
 
 // --- Model checking ------------------------------------------------------------
 
